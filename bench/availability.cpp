@@ -1,0 +1,97 @@
+// Availability vs. storage cost — the paper's §1 baseline requirement
+// ("reliability... data is never lost") quantified per encoding.
+//
+// For each Figure 1 policy: inject every possible count of simultaneous
+// node failures (Monte Carlo over failure sets) and report the measured
+// probability the object is still retrievable, alongside the measured
+// storage blowup. The classic trade: Shamir (t,n) pays replication-level
+// storage for erasure-level-or-worse availability — the paper's "same
+// overhead as replication with less availability" jab at POTSHARDS.
+#include <cstdio>
+#include <vector>
+
+#include "archive/archive.h"
+#include "archive/cost.h"
+#include "crypto/chacha20.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aegis;
+
+  std::vector<ArchivalPolicy> policies = {
+      ArchivalPolicy::FigReplication(),  // n=3
+      ArchivalPolicy::FigErasure(),      // (6,9)
+      ArchivalPolicy::FigEncryption(),   // (6,9)
+      ArchivalPolicy::FigShamir(),       // (3,5)
+      ArchivalPolicy::FigPacked(),       // t=3,k=4,n=10
+      ArchivalPolicy::FigLrss(),         // (3,5)
+  };
+
+  std::printf(
+      "Availability under simultaneous node failures (200 trials per "
+      "cell)\n\n%-24s %8s %9s | P[retrievable] with f failed nodes\n"
+      "%-24s %8s %9s |    f=1    f=2    f=3    f=4    f=5\n",
+      "encoding", "(geo)", "cost(x)", "", "", "");
+
+  for (const ArchivalPolicy& p : policies) {
+    Cluster cluster(p.n, ChannelKind::kPlain, 1);
+    SchemeRegistry registry;
+    ChaChaRng rng(1);
+    TimestampAuthority tsa(rng);
+    Archive archive(cluster, p, registry, tsa, rng);
+    SimRng sim(p.n * 31 + p.k * 7 + p.t);
+
+    const Bytes data = sim.bytes(4096);
+    archive.put("obj", data);
+    const double cost = archive.storage_report().overhead();
+
+    char geo[32];
+    if (p.encoding == EncodingKind::kReplication) {
+      std::snprintf(geo, sizeof geo, "n=%u", p.n);
+    } else if (p.encoding == EncodingKind::kShamir ||
+               p.encoding == EncodingKind::kLrss) {
+      std::snprintf(geo, sizeof geo, "(%u,%u)", p.t, p.n);
+    } else if (p.encoding == EncodingKind::kPacked) {
+      std::snprintf(geo, sizeof geo, "t%u k%u n%u", p.t, p.k, p.n);
+    } else {
+      std::snprintf(geo, sizeof geo, "(%u,%u)", p.k, p.n);
+    }
+
+    std::printf("%-24s %8s %8.2fx |", p.name.c_str(), geo, cost);
+    for (unsigned failures = 1; failures <= 5; ++failures) {
+      if (failures >= p.n) {
+        std::printf("%7s", "-");
+        continue;
+      }
+      int ok = 0;
+      const int trials = 200;
+      for (int trial = 0; trial < trials; ++trial) {
+        // Fail a random distinct set.
+        std::vector<NodeId> ids(p.n);
+        for (unsigned i = 0; i < p.n; ++i) ids[i] = i;
+        for (unsigned i = 0; i < failures; ++i) {
+          const auto j = i + sim.uniform(p.n - i);
+          std::swap(ids[i], ids[j]);
+          cluster.fail_node(ids[i]);
+        }
+        try {
+          ok += archive.get("obj") == data;
+        } catch (const Error&) {
+        }
+        for (unsigned i = 0; i < failures; ++i) cluster.restore_node(ids[i]);
+      }
+      std::printf(" %6.2f", static_cast<double>(ok) / trials);
+    }
+    // MTTDL at 4% node AFR, 24h repair: the reliability number behind
+    // the probabilities.
+    std::printf("   MTTDL %.1e y\n",
+                mttdl_years(p.n, p.reconstruction_threshold(), 0.04, 24));
+  }
+
+  std::printf(
+      "\nShape: RS(6,9) and replication(3) both survive any 2 losses at "
+      "1.5x vs 3x\ncost; Shamir(3,5) survives exactly 2 at 5x — "
+      "replication-grade cost, erasure-\ngrade-or-worse availability. "
+      "Packed sharing buys some of that back (t+k of n).\n");
+  return 0;
+}

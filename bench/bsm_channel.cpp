@@ -1,0 +1,79 @@
+// §4's Bounded Storage Model direction, measured: the "practical
+// evaluation the BSM is overdue for" at laptop scale.
+//
+// Sweeps (1) the adversary storage ratio at fixed honest sampling —
+// success probability should fall off as ratio^|intersection| — and
+// (2) the honest sampling rate — key-agreement success and key material
+// per MB streamed, the practicality number the paper asks about.
+#include <cstdio>
+#include <vector>
+
+#include "channel/bsm.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aegis;
+
+  std::printf(
+      "BSM key agreement (Maurer sampling), stream = 2^18 words (2 MiB)\n\n"
+      "Sweep 1: adversary storage ratio (honest: 2048 samples/party)\n"
+      "%-10s %10s %12s %14s %14s\n",
+      "ratio", "agreed", "E[|I|]", "P[steal] sim", "P[steal] model");
+
+  SimRng rng(42);
+  for (double ratio : {0.125, 0.25, 0.5, 0.75, 0.9}) {
+    BsmParams p;
+    p.stream_words = 1 << 18;
+    p.samples_per_party = 2048;  // E[I] = 2048^2 / 2^18 = 16
+    p.adversary_words =
+        static_cast<std::uint64_t>(ratio * p.stream_words);
+
+    int agreed = 0, steals = 0;
+    double isum = 0;
+    const int runs = 20;
+    for (int i = 0; i < runs; ++i) {
+      const auto r = bsm_key_agreement(p, BsmAdversaryStrategy::kRandom, rng);
+      agreed += r.agreed;
+      steals += r.adversary_has_key;
+      isum += r.intersection_size;
+    }
+    const double mean_i = isum / runs;
+    std::printf("%-10.3f %7d/%02d %12.1f %14.3f %14.6f\n", ratio, agreed,
+                runs, mean_i, static_cast<double>(steals) / runs,
+                bsm_adversary_success_probability(
+                    ratio, static_cast<unsigned>(mean_i + 0.5)));
+  }
+
+  std::printf(
+      "\nSweep 2: honest sampling rate (adversary at 50%% storage)\n"
+      "%-12s %10s %12s %18s\n",
+      "samples", "agreed", "E[|I|]", "key B / MiB streamed");
+  for (unsigned samples : {256u, 512u, 1024u, 2048u, 4096u}) {
+    BsmParams p;
+    p.stream_words = 1 << 18;
+    p.samples_per_party = samples;
+    p.adversary_words = p.stream_words / 2;
+
+    int agreed = 0;
+    double isum = 0;
+    const int runs = 20;
+    for (int i = 0; i < runs; ++i) {
+      const auto r = bsm_key_agreement(p, BsmAdversaryStrategy::kRandom, rng);
+      agreed += r.agreed;
+      isum += r.intersection_size;
+    }
+    const double mib = (static_cast<double>(p.stream_words) * 8) / (1 << 20);
+    // 32 B of key per successful agreement.
+    const double key_per_mib = 32.0 * agreed / runs / mib;
+    std::printf("%-12u %7d/%02d %12.1f %18.2f\n", samples, agreed, runs,
+                isum / runs, key_per_mib);
+  }
+
+  std::printf(
+      "\nShape: the adversary's steal probability collapses once the "
+      "intersection has\na few words it probably missed (ratio^|I|); key "
+      "yield per streamed MiB is tiny\n-- the paper's practicality "
+      "question in one number. Prefix-storing adversaries\ndo no better "
+      "(positions are random).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation: robust-combiner constructions (§3.2's hedge against single-
+// cipher breaks) — cascade vs XOR-split, measured on three axes:
+// ciphertext expansion, throughput, and the break schedule each
+// construction survives.
+#include <chrono>
+#include <cstdio>
+
+#include "crypto/chacha20.h"
+#include "crypto/combiner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace aegis;
+
+double mbps(std::size_t bytes, double secs) {
+  return static_cast<double>(bytes) / 1.0e6 / secs;
+}
+
+template <typename Fn>
+double time_it(Fn&& fn, int iters = 8) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aegis;
+
+  ChaChaRng rng(1);
+  SimRng sim(1);
+  const Bytes msg = sim.bytes(1 << 20);  // 1 MiB
+
+  std::printf(
+      "Robust combiners: cascade vs XOR-split (1 MiB messages)\n\n"
+      "%-34s %10s %12s %-26s\n",
+      "construction", "expand", "MB/s", "falls when");
+
+  // Cascades of depth 1..3.
+  const SchemeId kLayers[3] = {SchemeId::kAes256Ctr, SchemeId::kChaCha20,
+                               SchemeId::kSpeck128Ctr};
+  for (unsigned depth = 1; depth <= 3; ++depth) {
+    std::vector<SchemeId> comps(kLayers, kLayers + depth);
+    const CascadeCombiner cc(comps);
+    const auto keys = cc.keygen(rng);
+    const double secs = time_it([&] { (void)cc.seal(msg, keys); });
+
+    std::string name = "cascade[";
+    for (unsigned i = 0; i < depth; ++i)
+      name += std::string(i ? "+" : "") + scheme_name(comps[i]);
+    name += "]";
+    std::printf("%-34s %9.2fx %12.1f %-26s\n", name.c_str(), cc.expansion(),
+                mbps(msg.size(), secs),
+                depth == 1 ? "its one cipher breaks" : "ALL layers break");
+  }
+
+  // XOR combiner.
+  {
+    const XorCombiner xc(SchemeId::kAes256Ctr, SchemeId::kChaCha20);
+    const auto keys = xc.keygen(rng);
+    const double secs = time_it([&] { (void)xc.seal(msg, keys, rng); });
+    std::printf("%-34s %9.2fx %12.1f %-26s\n", "xor-split[AES-256|ChaCha20]",
+                xc.expansion(), mbps(msg.size(), secs),
+                "BOTH components break");
+  }
+
+  // Break-schedule survival table.
+  std::printf("\nSurvival vs break schedules (o = survives, X = falls):\n"
+              "%-34s %12s %12s %12s\n",
+              "construction", "AES@10", "AES+ChaCha", "all three");
+  struct Case {
+    const char* name;
+    Epoch falls[3];
+  };
+  SchemeRegistry r1, r2, r3;
+  r1.set_break_epoch(SchemeId::kAes256Ctr, 10);
+  r2.set_break_epoch(SchemeId::kAes256Ctr, 10);
+  r2.set_break_epoch(SchemeId::kChaCha20, 20);
+  r3.set_break_epoch(SchemeId::kAes256Ctr, 10);
+  r3.set_break_epoch(SchemeId::kChaCha20, 20);
+  r3.set_break_epoch(SchemeId::kSpeck128Ctr, 30);
+
+  const CascadeCombiner c1({SchemeId::kAes256Ctr});
+  const CascadeCombiner c2({SchemeId::kAes256Ctr, SchemeId::kChaCha20});
+  const CascadeCombiner c3(
+      {SchemeId::kAes256Ctr, SchemeId::kChaCha20, SchemeId::kSpeck128Ctr});
+  const XorCombiner x2(SchemeId::kAes256Ctr, SchemeId::kChaCha20);
+
+  auto cell = [](Epoch e) -> std::string {
+    return e == kNever ? "o" : "X@" + std::to_string(e);
+  };
+  auto row = [&](const char* name, Epoch a, Epoch b, Epoch c) {
+    std::printf("%-34s %12s %12s %12s\n", name, cell(a).c_str(),
+                cell(b).c_str(), cell(c).c_str());
+  };
+  row("single AES-256", c1.falls_at(r1), c1.falls_at(r2), c1.falls_at(r3));
+  row("cascade depth 2", c2.falls_at(r1), c2.falls_at(r2), c2.falls_at(r3));
+  row("cascade depth 3", c3.falls_at(r1), c3.falls_at(r2), c3.falls_at(r3));
+  row("xor-split (AES,ChaCha)", x2.falls_at(r1), x2.falls_at(r2),
+      x2.falls_at(r3));
+
+  std::printf(
+      "\nShape: hedging costs throughput (cascade) or storage (xor-split) "
+      "and both\nsurvive single-cipher breaks — but NONE of them stop "
+      "HNDL on harvested\nciphertext once the whole portfolio falls "
+      "(see bench/hndl_timeline).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figure 1: the storage-cost vs. security-level quadrant, measured.
+//
+// The paper draws this qualitatively; we regenerate it quantitatively:
+//   * storage cost  — measured blowup (stored bytes / logical bytes) of
+//     each encoding run end-to-end through the archive;
+//   * security level — a composite score from the encoding's long-term
+//     confidentiality class, whether HNDL cryptanalysis can ever expose
+//     harvested material, and resistance to sub-threshold local leakage.
+//
+// Expected shape (the paper's quadrants): replication and erasure coding
+// sit at zero security (cost 3x and 1.5x); traditional encryption is
+// cheap but falls to future cryptanalysis; entropically secure
+// encryption is cheap with conditional ITS; secret sharing is expensive
+// with full ITS; packed sharing pulls the cost down at the same class;
+// LRSS pays extra for leakage resistance on top of ITS.
+#include <cstdio>
+#include <vector>
+
+#include "archive/analyzer.h"
+#include "archive/obsolescence.h"
+#include "sharing/lrss.h"
+
+namespace aegis {
+namespace {
+
+struct Row {
+  ArchivalPolicy policy;
+};
+
+/// Security score in [0, 10]:
+///   class: none=0, computational=2, entropic=5, ITS=8
+///   +1 if no cryptanalytic break schedule can ever expose harvested
+///      at-rest material (measured, not asserted)
+///   +1 if sub-threshold single-bit local leakage does not reveal a
+///      secret functional (measured with the GF(2^8) attack planner)
+double security_score(const ArchivalPolicy& p, bool hndl_immune,
+                      bool leak_resilient) {
+  double s = 0;
+  switch (classify(p).at_rest) {
+    case SecurityClass::kNone: s = 0; break;
+    case SecurityClass::kComputational: s = 2; break;
+    case SecurityClass::kEntropic: s = 5; break;
+    case SecurityClass::kInformationTheoretic: s = 8; break;
+  }
+  if (hndl_immune) s += 1;
+  if (leak_resilient) s += 1;
+  return s;
+}
+
+}  // namespace
+}  // namespace aegis
+
+int main() {
+  using namespace aegis;
+
+  std::vector<ArchivalPolicy> encodings = {
+      ArchivalPolicy::FigReplication(), ArchivalPolicy::FigErasure(),
+      ArchivalPolicy::FigEncryption(),  ArchivalPolicy::FigEntropic(),
+      ArchivalPolicy::FigShamir(),      ArchivalPolicy::FigPacked(),
+      ArchivalPolicy::FigLrss()};
+
+  std::printf(
+      "Figure 1 (measured): storage cost vs security level per encoding\n"
+      "%-26s %11s %9s %13s %13s %9s\n",
+      "encoding", "overhead(x)", "class", "HNDL-immune", "leak-resist",
+      "score");
+
+  for (ArchivalPolicy p : encodings) {
+    // Isolate the at-rest encoding: transport over the ITS channel so
+    // wiretap breaks cannot contaminate the measurement.
+    p.channel = ChannelKind::kQkd;
+
+    // Measure the blowup by actually archiving 64 KiB.
+    TimelineConfig cfg;
+    cfg.epochs = 1;
+    cfg.object_count = 4;
+    cfg.object_size = 16384;
+    const TimelineResult base = run_timeline(p, cfg);
+
+    // HNDL immunity of the encoding: the adversary sweeps one node per
+    // epoch until it holds threshold-1 distinct shards (the bounded-
+    // subset premise of Figure 1's axis), and EVERY breakable scheme
+    // falls at epoch 1. Does the analyzer hand it the content?
+    TimelineConfig hndl = cfg;
+    hndl.epochs = std::max(1u, p.reconstruction_threshold() - 1);
+    hndl.breaks = {{SchemeId::kAes128Ctr, 1},      {SchemeId::kAes256Ctr, 1},
+                   {SchemeId::kChaCha20, 1},       {SchemeId::kSpeck128Ctr, 1},
+                   {SchemeId::kSha256, 1},         {SchemeId::kSha512, 1},
+                   {SchemeId::kHmacSha256, 1},     {SchemeId::kEcdhSecp256k1, 1},
+                   {SchemeId::kSchnorrSecp256k1, 1}};
+    const TimelineResult attacked = run_timeline(p, hndl);
+    const bool hndl_immune = attacked.exposure.exposed_count == 0;
+
+    // Leakage resistance: does the one-bit-per-share linear attack find
+    // a secret functional against this encoding's stored shares?
+    // Measured with the actual attack planners for both GF(2^8) Shamir
+    // and GF(2^16) packed sharing. A small-n packed geometry can be
+    // incidentally safe, so the packed point is charged at the archival
+    // scale it is meant for (many shares).
+    bool leak_resilient = true;
+    if (p.encoding == EncodingKind::kShamir) {
+      std::vector<std::uint8_t> xs;
+      for (unsigned i = 1; i <= p.n; ++i)
+        xs.push_back(static_cast<std::uint8_t>(i));
+      leak_resilient = !plan_shamir_lsb_attack(p.t, xs).feasible;
+    } else if (p.encoding == EncodingKind::kPacked) {
+      const PackedSharing at_scale(p.t, p.k, 16 * p.t + p.k + 1);
+      leak_resilient = !plan_packed_lsb_attack(at_scale).feasible;
+    } else if (p.encoding == EncodingKind::kReplication ||
+               p.encoding == EncodingKind::kErasure) {
+      leak_resilient = false;
+    }
+
+    const double overhead = base.storage.overhead();
+    const double score = security_score(p, hndl_immune, leak_resilient);
+    std::printf("%-26s %11.2f %9s %13s %13s %9.1f\n", p.name.c_str(),
+                overhead, confidentiality_label(classify(p).at_rest),
+                hndl_immune ? "yes" : "NO", leak_resilient ? "yes" : "NO",
+                score);
+  }
+
+  std::printf(
+      "\nQuadrant check (paper's Figure 1):\n"
+      "  low-cost/low-security   : erasure, traditional encryption\n"
+      "  low-cost/mid-security   : entropically secure encryption\n"
+      "  mid-cost/high-security  : packed secret sharing\n"
+      "  high-cost/high-security : secret sharing, LRSS\n"
+      "  high-cost/low-security  : replication\n");
+  return 0;
+}

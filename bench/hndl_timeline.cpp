@@ -1,0 +1,76 @@
+// The Harvest-Now-Decrypt-Later timeline experiment (the paper's §3.1/
+// §3.2 narrative, measured).
+//
+// One shared scenario: f=1 mobile sweep adversary, passive global
+// wiretap, AES-256 and ECDH fall at epoch 12, ChaCha20 at epoch 22,
+// Speck at epoch 30, 40 epochs total. For each policy we report when
+// (if ever) the adversary first holds object content and through which
+// route. The paper's claims this demonstrates:
+//   * re-encryption/cascades do not stop HNDL on already-stolen data;
+//   * static secret sharing falls to the mobile adversary alone;
+//   * proactive refresh closes that, but TLS transport re-opens it;
+//   * only the LINCOS-shaped stack (ITS at rest + ITS transit +
+//     refresh) survives the full schedule.
+#include <cstdio>
+#include <vector>
+
+#include "archive/analyzer.h"
+#include "archive/obsolescence.h"
+
+int main() {
+  using namespace aegis;
+
+  TimelineConfig cfg;
+  cfg.epochs = 40;
+  cfg.object_count = 4;
+  cfg.object_size = 4096;
+  cfg.adversary_budget = 1;
+  cfg.strategy = CorruptionStrategy::kSweep;
+  cfg.breaks = {{SchemeId::kAes256Ctr, 12},
+                {SchemeId::kEcdhSecp256k1, 12},
+                {SchemeId::kChaCha20, 22},
+                {SchemeId::kSpeck128Ctr, 30},
+                {SchemeId::kSha256, 22}};
+
+  std::vector<ArchivalPolicy> policies = {
+      ArchivalPolicy::CloudBaseline(), ArchivalPolicy::ArchiveSafeLT(),
+      ArchivalPolicy::AontRs(),        ArchivalPolicy::Potshards(),
+      ArchivalPolicy::VsrArchive(),    ArchivalPolicy::HasDpss(),
+      ArchivalPolicy::Lincos()};
+
+  std::printf(
+      "HNDL timeline: breaks AES/ECDH@12, ChaCha/SHA-256@22, Speck@30; "
+      "f=1 sweep adversary, 40 epochs\n\n"
+      "%-18s %-9s %-10s %-46s %9s\n",
+      "policy", "exposed", "first@", "mechanism", "stored(x)");
+
+  for (const ArchivalPolicy& p : policies) {
+    const TimelineResult r = run_timeline(p, cfg);
+    std::string mech = "-";
+    std::string at = "-";
+    if (r.exposure.exposed_count > 0) {
+      at = std::to_string(r.exposure.first_exposure);
+      for (const auto& o : r.exposure.objects) {
+        if (o.content_exposed && o.exposed_at == r.exposure.first_exposure) {
+          mech = o.mechanism;
+          break;
+        }
+      }
+    }
+    std::printf("%-18s %u/%-7u %-10s %-46s %9.2f\n", r.policy_name.c_str(),
+                r.exposure.exposed_count,
+                static_cast<unsigned>(r.exposure.objects.size()), at.c_str(),
+                mech.substr(0, 46).c_str(), r.storage.overhead());
+  }
+
+  std::printf(
+      "\nExpected shape: cloud exposed @12 (harvested ciphertext falls "
+      "with AES);\ncascade holds to @30 (last layer); AONT-RS falls to "
+      "share collection alone;\nPOTSHARDS falls @2 (t=3 nodes swept, no "
+      "cryptanalysis); VSR holds at rest but\nfalls @12 via recorded TLS "
+      "refresh traffic; HasDPSS falls @12 with its data\ncipher (the ITS "
+      "in its Table 1 row is about keys, not data); only the\nLINCOS "
+      "stack (ITS rest + ITS transit + refresh) survives the whole "
+      "schedule.\n");
+  return 0;
+}

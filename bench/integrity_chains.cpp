@@ -1,0 +1,89 @@
+// §3.3 measured: timestamp chains under cryptanalytic breaks.
+//
+// Sweeps renewal cadence against a fixed break schedule and reports
+// whether a chain of each cadence survives a century-scale timeline —
+// the Haber–Stornetta "renew before your scheme breaks" rule — plus the
+// confidentiality comparison between hash-stamped and Pedersen-stamped
+// chains and their byte costs.
+#include <cstdio>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+#include "integrity/timestamp.h"
+
+int main() {
+  using namespace aegis;
+
+  // Signature generations fall every 30 epochs; a chain must hop to the
+  // next generation before its current one dies.
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSigGenA, 30);
+  reg.set_break_epoch(SchemeId::kSigGenB, 60);
+  // Generation C never falls within the horizon.
+
+  const Epoch horizon = 100;
+  const Bytes doc = to_bytes(std::string_view("century-lived record"));
+  const Bytes digest = Sha256::hash(doc);
+
+  std::printf(
+      "Timestamp-chain survival over %u epochs (SigGenA breaks @30, "
+      "SigGenB @60)\n\n%-18s %10s %10s %-20s\n",
+      horizon, "renew every", "links", "bytes", "verdict @100");
+
+  for (Epoch cadence : {Epoch(10), Epoch(25), Epoch(29), Epoch(31),
+                        Epoch(50), Epoch(200)}) {
+    ChaChaRng rng(cadence);
+    TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+    auto chain = TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+
+    for (Epoch e = cadence; e < horizon; e += cadence) {
+      // The TSA rotates to the newest unbroken generation as time passes.
+      if (e >= 50 && tsa.generation() != SchemeId::kSigGenC) {
+        tsa.rotate(SchemeId::kSigGenC, rng);
+      } else if (e >= 20 && tsa.generation() == SchemeId::kSigGenA) {
+        tsa.rotate(SchemeId::kSigGenB, rng);
+      }
+      chain.renew(tsa, e);
+    }
+
+    std::size_t bytes = 0;
+    for (const auto& l : chain.links()) bytes += l.serialize().size();
+
+    const ChainStatus status = chain.verify(digest, reg, horizon);
+    std::printf("%-18u %10zu %10zu %-20s\n", cadence, chain.length(),
+                bytes, to_string(status));
+  }
+
+  // Confidentiality of the chain itself: hash-stamped chains expose the
+  // object to HNDL once the hash falls; Pedersen chains never do.
+  ChaChaRng rng(99);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenC);
+  const auto hash_chain =
+      TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+  const auto stamp = commit_and_stamp(tsa, doc, 0, rng);
+
+  std::size_t hash_bytes = 0, commit_bytes = 0;
+  for (const auto& l : hash_chain.links()) hash_bytes += l.serialize().size();
+  for (const auto& l : stamp.chain.links())
+    commit_bytes += l.serialize().size();
+
+  std::printf(
+      "\nChain confidentiality (LINCOS observation):\n"
+      "  hash-stamped chain:     leaks content on digest break = %s, "
+      "%zu B/link\n"
+      "  Pedersen-stamped chain: leaks content on digest break = %s, "
+      "%zu B/link\n"
+      "  Pedersen opening verifies: %s\n",
+      hash_chain.leaks_content_on_digest_break() ? "YES" : "no", hash_bytes,
+      stamp.chain.leaks_content_on_digest_break() ? "YES" : "no",
+      commit_bytes,
+      verify_committed_stamp(stamp, doc, reg, 10) ? "yes" : "NO");
+
+  std::printf(
+      "\nShape: any cadence <= 29 epochs survives the schedule; cadences "
+      "that miss a\nbreak (>=31) die with expired-guarantee; the "
+      "commitment chain costs ~same bytes\nbut keeps information-"
+      "theoretic confidentiality of the stamped content.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// §4's LRSS direction, measured: (1) the local-leakage attack against
+// GF(2^8) Shamir — one leaked bit per share, never t full shares — and
+// (2) the two-layer LRSS compiler's resistance and its storage price.
+//
+// Output: for each (t, n), whether a secret-parity functional is
+// computable from LSB leakage (and the verified distinguisher advantage),
+// then the same leakage applied to LRSS shares (advantage ~ 0), then the
+// LRSS share-size overhead as a function of the leakage budget — the
+// extra storage Figure 1 charges the LRSS quadrant point.
+#include <cstdio>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "sharing/lrss.h"
+#include "sharing/shamir.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aegis;
+
+  std::printf(
+      "Local leakage attack on Shamir over GF(2^8): one LSB per share\n\n"
+      "%-10s %10s %12s %16s\n",
+      "(t,n)", "feasible", "mask", "advantage");
+
+  struct Geometry { unsigned t, n; };
+  const std::vector<Geometry> geometries = {{2, 3},  {2, 8},  {3, 8},
+                                            {3, 20}, {5, 30}, {8, 60},
+                                            {10, 100}};
+
+  ChaChaRng rng(1);
+  for (const auto [t, n] : geometries) {
+    std::vector<std::uint8_t> xs;
+    for (unsigned i = 1; i <= n; ++i)
+      xs.push_back(static_cast<std::uint8_t>(i));
+    const auto plan = plan_shamir_lsb_attack(t, xs);
+
+    double advantage = 0.0;
+    if (plan.feasible) {
+      // Verified distinguisher: predicted parity vs ground truth over
+      // many sharings; advantage = 2*|accuracy - 1/2|.
+      int agree = 0, total = 0;
+      for (int trial = 0; trial < 40; ++trial) {
+        SimRng sim(trial);
+        const Bytes secret = sim.bytes(16);
+        const auto shares = shamir_split(secret, t, n, rng);
+        const auto predicted = apply_shamir_lsb_attack(plan, shares);
+        const auto truth = secret_parities(secret, plan.secret_mask);
+        for (std::size_t p = 0; p < truth.size(); ++p) {
+          agree += predicted[p] == truth[p];
+          ++total;
+        }
+      }
+      advantage = 2.0 * (static_cast<double>(agree) / total - 0.5);
+    }
+    std::printf("(%2u,%3u)   %10s %#12x %15.3f\n", t, n,
+                plan.feasible ? "YES" : "no",
+                static_cast<unsigned>(plan.secret_mask), advantage);
+  }
+
+  // The attack generalizes to packed sharing over GF(2^16).
+  std::printf(
+      "\nSame attack vs packed sharing over GF(2^16) (LSB per share):\n"
+      "%-16s %10s %16s\n",
+      "(t,k,n)", "feasible", "advantage");
+  {
+    struct PG { unsigned t, k, n; };
+    for (const auto [t, k, n] :
+         {PG{3, 2, 8}, PG{3, 4, 49}, PG{3, 4, 60}, PG{5, 8, 100}}) {
+      const PackedSharing ps(t, k, n);
+      const auto plan = plan_packed_lsb_attack(ps);
+      double adv = 0.0;
+      if (plan.feasible) {
+        int agree = 0, total = 0;
+        for (int trial = 0; trial < 20; ++trial) {
+          SimRng sim(trial + 31);
+          const Bytes secret = sim.bytes(64);
+          const auto shares = ps.split(secret, rng);
+          const auto pred = apply_packed_lsb_attack(plan, shares);
+          const auto truth =
+              packed_secret_parities(secret, k, plan.secret_masks);
+          for (std::size_t b = 0; b < truth.size(); ++b) {
+            agree += pred[b] == truth[b];
+            ++total;
+          }
+        }
+        adv = 2.0 * (static_cast<double>(agree) / total - 0.5);
+      }
+      std::printf("(%u,%u,%3u)       %10s %15.3f\n", t, k, n,
+                  plan.feasible ? "YES" : "no", adv);
+    }
+  }
+
+  // The same leakage against LRSS-wrapped shares.
+  std::printf("\nSame leakage vs LRSS (t=3, n=20), 40 trials:\n");
+  {
+    const unsigned t = 3, n = 20;
+    std::vector<std::uint8_t> xs;
+    for (unsigned i = 1; i <= n; ++i)
+      xs.push_back(static_cast<std::uint8_t>(i));
+    const auto plan = plan_shamir_lsb_attack(t, xs);
+    const Lrss lrss(t, n);
+    int agree = 0, total = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      SimRng sim(trial + 5000);
+      const Bytes secret = sim.bytes(16);
+      const auto sharing = lrss.split(secret, rng);
+      std::vector<Share> view;
+      for (const auto& s : sharing.shares) view.push_back({s.index, s.masked});
+      const auto predicted = apply_shamir_lsb_attack(plan, view);
+      const auto truth = secret_parities(secret, plan.secret_mask);
+      for (std::size_t p = 0; p < truth.size(); ++p) {
+        agree += predicted[p] == truth[p];
+        ++total;
+      }
+    }
+    const double adv = 2.0 * (static_cast<double>(agree) / total - 0.5);
+    std::printf("  distinguisher advantage: %.3f (Shamir gives 1.000)\n",
+                adv);
+  }
+
+  // Storage price of leakage resilience.
+  std::printf(
+      "\nLRSS share size vs leakage budget (1 KiB secret, t=3, n=5; "
+      "Shamir share = 1024 B)\n%-16s %14s %10s\n",
+      "budget (bits)", "share bytes", "overhead");
+  for (unsigned budget : {64u, 128u, 512u, 4096u, 16384u}) {
+    const Lrss lrss(3, 5, budget);
+    const std::size_t sz = lrss.share_size(1024);
+    std::printf("%-16u %14zu %9.2fx\n", budget, sz,
+                static_cast<double>(sz) / 1024.0);
+  }
+
+  std::printf(
+      "\nShape: the attack is total (advantage 1.0) against plain Shamir "
+      "for every\ngeometry with enough shares, and flat against LRSS; "
+      "LRSS pays ~2-4x extra\nper share depending on how much leakage "
+      "it must absorb.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// §4's archival-media comparison: tape, HDD, glass (Project Silica),
+// DNA, photosensitive film — density, migration cadence, and the total
+// cost of keeping 1 PB for a century under each policy's storage blowup.
+#include <cstdio>
+#include <vector>
+
+#include "archive/cost.h"
+#include "archive/policy.h"
+
+int main() {
+  using namespace aegis;
+
+  std::printf(
+      "Archival media models (paper Sec. 4)\n\n"
+      "%-20s %14s %12s %12s %14s\n",
+      "medium", "TB/mm^3", "life (y)", "$/TB write", "$/TB/month");
+  for (const MediaModel& m : MediaModel::all()) {
+    std::printf("%-20s %14.2e %12.0f %12.0f %14.2f\n", m.name.c_str(),
+                m.density_tb_per_mm3, m.media_lifetime_years,
+                m.write_cost_per_tb, m.capacity_cost_per_tb_month);
+  }
+
+  std::printf(
+      "\nDensity headline: DNA ~ 1 EB/mm^3 (8 orders over tape); glass "
+      "429 TB/in^3\n= %.1e TB/mm^3.\n",
+      429.0 / 16387.064);
+
+  // 100-year cost of 1 PB logical under representative policies.
+  const std::vector<ArchivalPolicy> policies = {
+      ArchivalPolicy::CloudBaseline(),  // 1.5x
+      ArchivalPolicy::Potshards(),      // 5x
+      ArchivalPolicy::Lincos(),         // 5x
+  };
+
+  std::printf(
+      "\n100-year cost of 1 PB logical (policy overhead applied), $M\n"
+      "%-20s", "medium");
+  for (const auto& p : policies)
+    std::printf(" %12s(%.1fx)", p.name.substr(0, 10).c_str(),
+                p.nominal_overhead());
+  std::printf("\n");
+
+  for (const MediaModel& m : MediaModel::all()) {
+    std::printf("%-20s", m.name.c_str());
+    for (const auto& p : policies) {
+      const double usd =
+          total_cost_usd(m, 1000.0, p.nominal_overhead(), 100.0);
+      std::printf(" %18.2f", usd / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape: glass wins the century (no migration rewrites); tape "
+      "re-buys itself\nevery decade; DNA's synthesis cost dominates at "
+      "PB scale but its density makes\nit the only medium where a "
+      "zettabyte fits in a shoebox. The 3-5x overhead of\nITS encodings "
+      "multiplies straight through every column — the Figure 1 trade-off\n"
+      "in dollars.\n");
+  return 0;
+}

@@ -1,0 +1,295 @@
+// Microbenchmarks (google-benchmark): every primitive's throughput, plus
+// the ablations DESIGN.md calls out — cascade depth, Shamir (t,n),
+// packed pack-factor, AONT-vs-Shamir at equal geometry.
+//
+// These numbers feed the re-encryption CPU-bound model and quantify the
+// paper's implicit claim that ITS encodings cost more than ciphers not
+// just in storage but in compute.
+#include <benchmark/benchmark.h>
+
+#include "archive/aont.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/cipher.h"
+#include "crypto/entropic.h"
+#include "crypto/pedersen.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "crypto/sha3.h"
+#include "crypto/speck.h"
+#include "erasure/reed_solomon.h"
+#include "integrity/merkle.h"
+#include "sharing/lrss.h"
+#include "sharing/packed.h"
+#include "sharing/proactive.h"
+#include "sharing/shamir.h"
+#include "sharing/vss.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+constexpr std::size_t kBuf = 256 * 1024;
+
+Bytes buffer(std::size_t n = kBuf) {
+  SimRng rng(7);
+  return rng.bytes(n);
+}
+
+// ------------------------------------------------------------- hashes
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = buffer();
+  for (auto _ : state) benchmark::DoNotOptimize(Sha256::hash(data));
+  state.SetBytesProcessed(state.iterations() * kBuf);
+}
+BENCHMARK(BM_Sha256);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes data = buffer();
+  for (auto _ : state) benchmark::DoNotOptimize(Sha512::hash(data));
+  state.SetBytesProcessed(state.iterations() * kBuf);
+}
+BENCHMARK(BM_Sha512);
+
+void BM_Sha3_256(benchmark::State& state) {
+  const Bytes data = buffer();
+  for (auto _ : state) benchmark::DoNotOptimize(Sha3_256::hash(data));
+  state.SetBytesProcessed(state.iterations() * kBuf);
+}
+BENCHMARK(BM_Sha3_256);
+
+// ------------------------------------------------------------- ciphers
+
+void BM_Cipher(benchmark::State& state, SchemeId id) {
+  ChaChaRng rng(1);
+  Bytes data = buffer();
+  const SecureBytes key = generate_key(id, rng, data.size());
+  const Bytes iv = generate_iv(id, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cipher_apply(id, ByteView(key.data(), key.size()), iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() * kBuf);
+}
+BENCHMARK_CAPTURE(BM_Cipher, aes128, SchemeId::kAes128Ctr);
+BENCHMARK_CAPTURE(BM_Cipher, aes256, SchemeId::kAes256Ctr);
+BENCHMARK_CAPTURE(BM_Cipher, chacha20, SchemeId::kChaCha20);
+BENCHMARK_CAPTURE(BM_Cipher, speck128, SchemeId::kSpeck128Ctr);
+BENCHMARK_CAPTURE(BM_Cipher, otp, SchemeId::kOneTimePad);
+BENCHMARK_CAPTURE(BM_Cipher, entropic, SchemeId::kEntropicXor);
+
+// Ablation: cascade depth (ArchiveSafeLT's knob). Depth d applies d
+// cipher layers; throughput should fall ~linearly.
+void BM_CascadeDepth(benchmark::State& state) {
+  const unsigned depth = static_cast<unsigned>(state.range(0));
+  const SchemeId layers[3] = {SchemeId::kAes256Ctr, SchemeId::kChaCha20,
+                              SchemeId::kSpeck128Ctr};
+  ChaChaRng rng(2);
+  Bytes data = buffer();
+  std::vector<SecureBytes> keys;
+  std::vector<Bytes> ivs;
+  for (unsigned i = 0; i < depth; ++i) {
+    keys.push_back(generate_key(layers[i % 3], rng));
+    ivs.push_back(generate_iv(layers[i % 3], rng));
+  }
+  for (auto _ : state) {
+    Bytes cur = data;
+    for (unsigned i = 0; i < depth; ++i) {
+      cur = cipher_apply(layers[i % 3],
+                         ByteView(keys[i].data(), keys[i].size()), ivs[i],
+                         cur);
+    }
+    benchmark::DoNotOptimize(cur);
+  }
+  state.SetBytesProcessed(state.iterations() * kBuf);
+}
+BENCHMARK(BM_CascadeDepth)->DenseRange(1, 6);
+
+// ------------------------------------------------------------- erasure
+
+void BM_RsEncode(benchmark::State& state) {
+  const ReedSolomon rs(static_cast<unsigned>(state.range(0)),
+                       static_cast<unsigned>(state.range(1)));
+  const Bytes data = buffer();
+  for (auto _ : state) benchmark::DoNotOptimize(rs.encode(data));
+  state.SetBytesProcessed(state.iterations() * kBuf);
+}
+BENCHMARK(BM_RsEncode)->Args({6, 9})->Args({10, 14})->Args({100, 120});
+
+// Ablation: generator-matrix construction cost, Vandermonde vs Cauchy.
+void BM_RsConstruct(benchmark::State& state) {
+  const auto kind = state.range(2) == 0 ? RsMatrix::kVandermonde
+                                        : RsMatrix::kCauchy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ReedSolomon(static_cast<unsigned>(state.range(0)),
+                    static_cast<unsigned>(state.range(1)), kind));
+  }
+}
+BENCHMARK(BM_RsConstruct)
+    ->Args({6, 9, 0})
+    ->Args({6, 9, 1})
+    ->Args({64, 96, 0})
+    ->Args({64, 96, 1});
+
+void BM_RsDecodeWorstCase(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  const ReedSolomon rs(k, n);
+  const Bytes data = buffer();
+  auto shards = rs.encode(data);
+  std::vector<std::optional<Bytes>> partial(shards.begin(), shards.end());
+  for (unsigned i = 0; i < n - k; ++i) partial[i].reset();  // lose data shards
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rs.decode(partial, data.size()));
+  state.SetBytesProcessed(state.iterations() * kBuf);
+}
+BENCHMARK(BM_RsDecodeWorstCase)->Args({6, 9})->Args({10, 14});
+
+// ------------------------------------------------------------- sharing
+
+void BM_ShamirSplit(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  ChaChaRng rng(3);
+  const Bytes data = buffer(64 * 1024);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shamir_split(data, t, n, rng));
+  state.SetBytesProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_ShamirSplit)
+    ->Args({2, 3})
+    ->Args({3, 5})
+    ->Args({5, 9})
+    ->Args({9, 17})
+    ->Args({17, 33});
+
+void BM_ShamirRecover(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  ChaChaRng rng(4);
+  const Bytes data = buffer(64 * 1024);
+  auto shares = shamir_split(data, t, t + 2, rng);
+  shares.resize(t);
+  for (auto _ : state) benchmark::DoNotOptimize(shamir_recover(shares, t));
+  state.SetBytesProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_ShamirRecover)->Arg(2)->Arg(3)->Arg(5)->Arg(9)->Arg(17);
+
+// Ablation: packed sharing pack factor k at fixed privacy t=3, n=k+t+2.
+void BM_PackedSplit(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  const PackedSharing ps(3, k, k + 5);
+  ChaChaRng rng(5);
+  const Bytes data = buffer(64 * 1024);
+  for (auto _ : state) benchmark::DoNotOptimize(ps.split(data, rng));
+  state.SetBytesProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_PackedSplit)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LrssSplit(benchmark::State& state) {
+  const Lrss lrss(3, 5, static_cast<unsigned>(state.range(0)));
+  ChaChaRng rng(6);
+  const Bytes data = buffer(4 * 1024);
+  for (auto _ : state) benchmark::DoNotOptimize(lrss.split(data, rng));
+  state.SetBytesProcessed(state.iterations() * 4 * 1024);
+}
+BENCHMARK(BM_LrssSplit)->Arg(128)->Arg(4096);
+
+// AONT-RS vs Shamir at matched availability geometry (lose 3 of 9).
+void BM_AontRsPath(benchmark::State& state) {
+  ChaChaRng rng(7);
+  const ReedSolomon rs(6, 9);
+  const Bytes data = buffer(64 * 1024);
+  for (auto _ : state) {
+    const Bytes pkg = aont_package(data, SchemeId::kAes256Ctr, rng);
+    benchmark::DoNotOptimize(rs.encode(pkg));
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_AontRsPath);
+
+void BM_ShamirPathSameGeometry(benchmark::State& state) {
+  ChaChaRng rng(8);
+  const Bytes data = buffer(64 * 1024);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shamir_split(data, 6, 9, rng));
+  state.SetBytesProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_ShamirPathSameGeometry);
+
+// ------------------------------------------------------------ refresh
+
+void BM_ProactiveRefresh(benchmark::State& state) {
+  const unsigned t = static_cast<unsigned>(state.range(0));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  ChaChaRng rng(9);
+  const Bytes data = buffer(16 * 1024);
+  const auto shares = shamir_split(data, t, n, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(proactive_refresh(shares, t, rng));
+  state.SetBytesProcessed(state.iterations() * 16 * 1024);
+}
+BENCHMARK(BM_ProactiveRefresh)->Args({3, 5})->Args({5, 9})->Args({9, 17});
+
+// ---------------------------------------------------------- public key
+
+void BM_PedersenCommit(benchmark::State& state) {
+  ChaChaRng rng(10);
+  const auto& curve = ec::Secp256k1::instance();
+  const U256 v = curve.random_scalar(rng);
+  const U256 r = curve.random_scalar(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(pedersen_commit(v, r));
+}
+BENCHMARK(BM_PedersenCommit);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  ChaChaRng rng(11);
+  const auto kp = schnorr_keygen(rng);
+  const Bytes msg = buffer(256);
+  for (auto _ : state) benchmark::DoNotOptimize(schnorr_sign(kp, msg));
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  ChaChaRng rng(12);
+  const auto kp = schnorr_keygen(rng);
+  const Bytes msg = buffer(256);
+  const auto sig = schnorr_sign(kp, msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(schnorr_verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_PedersenVssDeal(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  ChaChaRng rng(13);
+  const U256 secret(123456);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pedersen_deal(secret, (n + 1) / 2, n, rng));
+}
+BENCHMARK(BM_PedersenVssDeal)->Arg(5)->Arg(9);
+
+void BM_VssVerifyShare(benchmark::State& state) {
+  ChaChaRng rng(14);
+  const auto d = pedersen_deal(U256(42), 3, 5, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(vss_verify_share(d.shares[0], d.commitments));
+}
+BENCHMARK(BM_VssVerifyShare);
+
+// ------------------------------------------------------------- integrity
+
+void BM_MerkleBuild(benchmark::State& state) {
+  SimRng rng(15);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 256; ++i) leaves.push_back(rng.bytes(1024));
+  for (auto _ : state) benchmark::DoNotOptimize(MerkleTree(leaves).root());
+  state.SetBytesProcessed(state.iterations() * 256 * 1024);
+}
+BENCHMARK(BM_MerkleBuild);
+
+}  // namespace
+}  // namespace aegis
+
+BENCHMARK_MAIN();

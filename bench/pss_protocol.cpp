@@ -1,0 +1,72 @@
+// Wire-level cost of distributed verifiable proactive secret sharing —
+// the §3.2 renewal-cost argument measured on an actual message-passing
+// protocol run (sealed point-to-point sub-shares, broadcast commitments,
+// accusations) instead of an analytic count.
+//
+// Sweeps the shareholder count and compares honest rounds with rounds
+// under Byzantine dealers; the commitment broadcasts dominate (t curve
+// points per dealer to n-1 peers), which is the verifiability premium on
+// top of Herzberg's bare n(n-1) sub-shares.
+#include <chrono>
+#include <cstdio>
+
+#include "crypto/chacha20.h"
+#include "protocol/pss.h"
+
+int main() {
+  using namespace aegis;
+
+  std::printf(
+      "Distributed verifiable PSS refresh: wire cost per round (one "
+      "256-bit secret)\n\n%-10s %10s %12s %12s %12s %10s\n",
+      "(t,n)", "messages", "payload B", "wire B", "accused", "ms");
+
+  struct Geometry { unsigned t, n; };
+  for (const auto [t, n] :
+       {Geometry{2, 3}, Geometry{3, 5}, Geometry{4, 7}, Geometry{5, 9},
+        Geometry{7, 13}}) {
+    for (const bool byzantine : {false, true}) {
+      Cluster cluster(n, ChannelKind::kPlain, 1);
+      MessageBus bus(cluster, ChannelKind::kTls);
+      ChaChaRng rng(1);
+
+      const U256 secret(123456789);
+      const VssDealing d = pedersen_deal(secret, t, n, rng);
+      std::vector<PssParticipant> nodes;
+      for (NodeId i = 0; i < n; ++i)
+        nodes.emplace_back(i, t, n, d.shares[i], d.commitments);
+      if (byzantine) nodes[0].set_byzantine(true);
+
+      const auto start = std::chrono::steady_clock::now();
+      const PssRoundResult r = run_pss_refresh(nodes, bus, rng);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+
+      // Wire bytes include channel framing: read from the wiretap.
+      std::uint64_t wire = 0;
+      for (const auto& rec : cluster.wiretap())
+        for (const auto& f : rec.transcript.frames) wire += f.size();
+
+      char geo[16];
+      std::snprintf(geo, sizeof geo, "(%u,%u)%s", t, n,
+                    byzantine ? "*" : " ");
+      std::printf("%-10s %10llu %12llu %12llu %12zu %10.1f\n", geo,
+                  static_cast<unsigned long long>(r.messages),
+                  static_cast<unsigned long long>(r.bytes),
+                  static_cast<unsigned long long>(wire),
+                  r.accused.size(), ms);
+    }
+  }
+
+  std::printf(
+      "\n(* = one Byzantine dealer: detected, accused by every honest "
+      "holder, excluded.)\n"
+      "Shape: messages grow as 2n(n-1) plus n(n-1) accusation broadcasts "
+      "per cheater;\nper-object traffic is dozens of KiB for one 32-byte "
+      "secret — multiply by an\narchive's object count and the renewal "
+      "pass rivals whole-archive re-encryption\n(bench/refresh_cost "
+      "scales this to bulk data).\n");
+  return 0;
+}

@@ -1,0 +1,224 @@
+// aegisctl — an interactive console for driving an aegis archive.
+//
+// Usage:   ./aegisctl [policy]        (default: potshards)
+// Then type commands; `help` lists them. Scriptable via stdin:
+//
+//   printf 'put deed Title deed of 1 Main St\nattack\nattack\nattack\n
+//           exposure\nget deed\nquit\n' | ./aegisctl potshards
+//
+// Policies: cloud, archivesafe, aontrs, potshards, vsr, lincos, hasdpss.
+// The console wires together the full stack: archive, mobile adversary,
+// scheme-break registry, notary, scrub — a sandbox for replaying every
+// scenario in the paper by hand.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "archive/analyzer.h"
+#include "archive/archive.h"
+#include "crypto/chacha20.h"
+#include "node/adversary.h"
+
+namespace {
+
+using namespace aegis;
+
+ArchivalPolicy policy_by_name(const std::string& name) {
+  if (name == "cloud") return ArchivalPolicy::CloudBaseline();
+  if (name == "archivesafe") return ArchivalPolicy::ArchiveSafeLT();
+  if (name == "aontrs") return ArchivalPolicy::AontRs();
+  if (name == "potshards") return ArchivalPolicy::Potshards();
+  if (name == "vsr") return ArchivalPolicy::VsrArchive();
+  if (name == "lincos") return ArchivalPolicy::Lincos();
+  if (name == "hasdpss") return ArchivalPolicy::HasDpss();
+  throw InvalidArgument("unknown policy: " + name);
+}
+
+SchemeId scheme_by_name(const std::string& name) {
+  for (int i = 1; i < static_cast<int>(SchemeId::kMaxScheme); ++i) {
+    const auto id = static_cast<SchemeId>(i);
+    if (scheme_name(id) == name) return id;
+  }
+  throw InvalidArgument("unknown scheme: " + name +
+                        " (try AES-256-CTR, ChaCha20, ECDH-secp256k1...)");
+}
+
+void print_help() {
+  std::printf(
+      "commands:\n"
+      "  put <id> <text...>     archive a document\n"
+      "  get <id>               retrieve and print\n"
+      "  verify <id>            shard + timestamp-chain verification\n"
+      "  audit <id>             challenge nodes for proof of possession\n"
+      "  scrub                  audit + repair everything\n"
+      "  refresh                proactive share refresh (bumps generation)\n"
+      "  rewrap <scheme>        add a cascade layer (cascade policies)\n"
+      "  fail <node> | restore <node>   node availability\n"
+      "  corrupt <node>         flip a byte in one of the node's shards\n"
+      "  attack                 one mobile-adversary epoch (f=1 sweep)\n"
+      "  break <scheme>         cryptanalysis: scheme falls NOW\n"
+      "  epoch                  advance the clock one epoch\n"
+      "  exposure               what does the adversary hold?\n"
+      "  report                 storage + traffic accounting\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string policy_name = argc > 1 ? argv[1] : "potshards";
+  ArchivalPolicy policy;
+  try {
+    policy = policy_by_name(policy_name);
+  } catch (const Error& e) {
+    std::printf("%s\n", e.what());
+    return 1;
+  }
+
+  Cluster cluster(12, policy.channel, 20260705);
+  SchemeRegistry registry;
+  ChaChaRng rng(20260705);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, policy, registry, tsa, rng);
+  MobileAdversary adversary(1, CorruptionStrategy::kSweep, 31337);
+  SimRng chaos(4242);
+
+  std::printf("aegisctl — policy %s over %u nodes (%s transport). "
+              "'help' for commands.\n",
+              policy.name.c_str(), cluster.size(),
+              to_string(policy.channel));
+
+  std::string line;
+  while (std::printf("aegis> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        print_help();
+      } else if (cmd == "put") {
+        std::string id;
+        in >> id;
+        std::string text;
+        std::getline(in, text);
+        if (!text.empty() && text[0] == ' ') text.erase(0, 1);
+        archive.put(id, to_bytes(text));
+        std::printf("stored %zu bytes as %s (gen 0)\n", text.size(),
+                    to_string(policy.encoding));
+      } else if (cmd == "get") {
+        std::string id;
+        in >> id;
+        std::printf("\"%s\"\n", to_string(archive.get(id)).c_str());
+      } else if (cmd == "verify") {
+        std::string id;
+        in >> id;
+        const VerifyReport r = archive.verify(id);
+        std::printf("shards %u seen / %u bad; chain %s -> %s\n",
+                    r.shards_seen, r.shards_bad,
+                    to_string(r.chain_status), r.ok() ? "OK" : "FAILED");
+      } else if (cmd == "audit") {
+        std::string id;
+        in >> id;
+        const auto r = archive.audit(id);
+        std::printf("%u challenged: %u passed, %u failed, %u silent\n",
+                    r.challenges, r.passed, r.failed, r.silent);
+      } else if (cmd == "scrub") {
+        const auto r = archive.scrub();
+        std::printf("%u objects, %u shards repaired, %u unrecoverable\n",
+                    r.objects, r.shards_repaired, r.unrecoverable);
+      } else if (cmd == "refresh") {
+        archive.refresh();
+        std::printf("refreshed; refresh traffic so far: %llu bytes\n",
+                    static_cast<unsigned long long>(
+                        cluster.stats().refresh_bytes));
+      } else if (cmd == "rewrap") {
+        std::string s;
+        in >> s;
+        archive.rewrap(scheme_by_name(s));
+        std::printf("wrapped a new %s layer\n", s.c_str());
+      } else if (cmd == "fail" || cmd == "restore") {
+        unsigned node;
+        in >> node;
+        if (cmd == "fail")
+          cluster.fail_node(node);
+        else
+          cluster.restore_node(node);
+        std::printf("%u/%u nodes online\n", cluster.online_count(),
+                    cluster.size());
+      } else if (cmd == "corrupt") {
+        unsigned node;
+        in >> node;
+        auto blobs = cluster.node(node).all_blobs();
+        if (blobs.empty()) {
+          std::printf("node %u stores nothing\n", node);
+        } else {
+          StoredBlob bad = *blobs[chaos.uniform(blobs.size())];
+          if (!bad.data.empty())
+            bad.data[chaos.uniform(bad.data.size())] ^= 0xff;
+          cluster.node(node).put(bad);
+          std::printf("flipped a byte in %s#%u on node %u\n",
+                      bad.object.c_str(), bad.shard_index, node);
+        }
+      } else if (cmd == "attack") {
+        const auto touched = adversary.corrupt_epoch(cluster);
+        cluster.advance_epoch();
+        std::printf("epoch %u: corrupted node %u; harvest now %llu bytes "
+                    "from %zu nodes ever\n",
+                    cluster.now(), touched.empty() ? 0 : touched[0],
+                    static_cast<unsigned long long>(
+                        adversary.bytes_harvested()),
+                    adversary.nodes_ever_corrupted());
+      } else if (cmd == "break") {
+        std::string s;
+        in >> s;
+        registry.set_break_epoch(scheme_by_name(s), cluster.now());
+        std::printf("%s broken as of epoch %u\n", s.c_str(), cluster.now());
+      } else if (cmd == "epoch") {
+        cluster.advance_epoch();
+        std::printf("epoch %u\n", cluster.now());
+      } else if (cmd == "exposure") {
+        const ExposureAnalyzer analyzer(archive, registry);
+        const auto report = analyzer.analyze(
+            adversary.harvest(), cluster.wiretap(), cluster.now());
+        for (const auto& o : report.objects) {
+          std::printf("  %-16s %s%s\n", o.id.c_str(),
+                      o.content_exposed
+                          ? ("EXPOSED@" + std::to_string(o.exposed_at) +
+                             " (" + o.mechanism + ")")
+                                .c_str()
+                          : "confidential",
+                      o.ciphertext_held && !o.content_exposed
+                          ? " [ciphertext held]"
+                          : "");
+        }
+        if (report.objects.empty()) std::printf("  (archive empty)\n");
+      } else if (cmd == "report") {
+        const StorageReport s = archive.storage_report();
+        const NetworkStats& net = cluster.stats();
+        std::printf(
+            "objects %zu; %llu logical -> %llu stored (%.2fx); "
+            "up %llu B, down %llu B, refresh %llu B; wiretap %zu "
+            "conversations\n",
+            archive.manifests().size(),
+            static_cast<unsigned long long>(s.logical_bytes),
+            static_cast<unsigned long long>(s.stored_bytes), s.overhead(),
+            static_cast<unsigned long long>(net.bytes_up),
+            static_cast<unsigned long long>(net.bytes_down),
+            static_cast<unsigned long long>(net.refresh_bytes),
+            cluster.wiretap().size());
+      } else {
+        std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+      }
+    } catch (const Error& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// A century of archive operations — everything the library provides,
+// running together on one timeline the way an operator would schedule it:
+//
+//   yearly    mobile adversary strikes; proactive share refresh;
+//             scrub (audit + repair) over bit-rot; notary renews
+//             timestamp chains ahead of announced scheme breaks
+//   decade    providers churn: redistribute shares to a new (t, n)
+//   at 40     AES-256 and ECDH fall to cryptanalysis
+//   at 100    full health check + HNDL exposure verdict + the bill
+//
+// Run it:  ./archive_operations
+#include <cstdio>
+
+#include "archive/analyzer.h"
+#include "archive/archive.h"
+#include "archive/cost.h"
+#include "archive/workload.h"
+#include "crypto/chacha20.h"
+#include "node/adversary.h"
+
+int main() {
+  using namespace aegis;
+
+  // The LINCOS-shaped stack: refreshed Shamir 3-of-5 over QKD transport
+  // with Pedersen-commitment timestamping.
+  ArchivalPolicy policy = ArchivalPolicy::Lincos();
+
+  Cluster cluster(9, policy.channel, 2026);
+  SchemeRegistry registry;
+  registry.set_break_epoch(SchemeId::kAes256Ctr, 40);
+  registry.set_break_epoch(SchemeId::kEcdhSecp256k1, 40);
+  registry.set_break_epoch(SchemeId::kSigGenA, 35);
+  registry.set_break_epoch(SchemeId::kSigGenB, 70);
+
+  ChaChaRng rng(2026);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  Archive archive(cluster, policy, registry, tsa, rng);
+  NotaryService notary(tsa, registry, rng);
+  MobileAdversary adversary(1, CorruptionStrategy::kSweep, 13);
+  SimRng chaos(99);  // bit rot
+
+  // Ingest a realistic population.
+  WorkloadConfig wl;
+  wl.object_count = 12;
+  wl.median_size = 8192;
+  wl.max_size = 64 * 1024;
+  wl.seed = 5;
+  WorkloadGenerator gen(wl);
+  std::uint64_t logical = 0;
+  while (gen.remaining() > 0) {
+    const WorkloadItem item = gen.next();
+    logical += item.data.size();
+    archive.put(item.id, item.data);
+  }
+  archive.watch_timestamps(notary);
+  std::printf("year 0: ingested %u objects (%llu bytes) under %s\n",
+              wl.object_count, static_cast<unsigned long long>(logical),
+              policy.name.c_str());
+
+  unsigned repairs = 0, renewals = 0;
+  for (Epoch year = 0; year < 100; ++year) {
+    adversary.corrupt_epoch(cluster);
+
+    // Bit rot: a random stored shard decays every few years.
+    if (chaos.chance(0.3)) {
+      const NodeId victim = static_cast<NodeId>(chaos.uniform(9));
+      StorageNode& node = cluster.node(victim);
+      const auto blobs = node.all_blobs();
+      if (!blobs.empty()) {
+        StoredBlob bad = *blobs[chaos.uniform(blobs.size())];
+        if (!bad.data.empty()) {
+          bad.data[chaos.uniform(bad.data.size())] ^= 0x40;
+          node.put(bad);
+        }
+      }
+    }
+
+    archive.refresh();                      // proactive share renewal
+    repairs += archive.scrub().shards_repaired;  // audit + repair
+    renewals += notary.tick(year);          // integrity care
+
+    if (year > 0 && year % 25 == 0) {
+      // Provider churn: migrate to a fresh 4-of-7 layout and back.
+      const unsigned t2 = year % 50 == 0 ? 3 : 4;
+      const unsigned n2 = year % 50 == 0 ? 5 : 7;
+      archive.redistribute_nodes(t2, n2);
+      std::printf("year %u: redistributed to (%u,%u)\n", year, t2, n2);
+    }
+    cluster.advance_epoch();
+  }
+
+  // Final accounting.
+  unsigned healthy = 0, chains_valid = 0;
+  for (const auto& [id, m] : archive.manifests()) {
+    const VerifyReport r = archive.verify(id);
+    healthy += r.shards_bad == 0 && r.enough_shards;
+    chains_valid += r.chain_status == ChainStatus::kValid;
+  }
+
+  const ExposureAnalyzer analyzer(archive, registry);
+  const auto exposure =
+      analyzer.analyze(adversary.harvest(), cluster.wiretap(), cluster.now());
+
+  const StorageReport storage = archive.storage_report();
+  std::printf(
+      "\nyear 100 report\n"
+      "  objects healthy:        %u/%u (scrub repaired %u shards along "
+      "the way)\n"
+      "  timestamp chains valid: %u/%u (%u notary renewals across 2 "
+      "scheme breaks)\n"
+      "  adversary harvested:    %llu bytes from %zu provider "
+      "corruptions\n"
+      "  content exposed:        %u objects%s\n"
+      "  storage bill:           %.2fx logical; refresh traffic %llu MB "
+      "over the century\n",
+      healthy, wl.object_count, repairs, chains_valid, wl.object_count,
+      renewals,
+      static_cast<unsigned long long>(adversary.bytes_harvested()),
+      adversary.nodes_ever_corrupted(), exposure.exposed_count,
+      exposure.exposed_count == 0 ? " — HNDL defeated" : "",
+      storage.overhead(),
+      static_cast<unsigned long long>(cluster.stats().refresh_bytes /
+                                      1000000));
+
+  std::printf(
+      "\nEvery mechanism the paper surveys ran on this timeline: ITS "
+      "sharing,\nproactive refresh, verifiable redistribution, sentinel "
+      "audits + repair,\ncommitment timestamping with notarized renewal, "
+      "and an ITS transport —\nthe cost columns above are what the "
+      "paper's Figure 1 smiley face charges.\n");
+  return 0;
+}

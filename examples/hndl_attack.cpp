@@ -1,0 +1,134 @@
+// Harvest Now, Decrypt Later — executed end-to-end.
+//
+// 2026: a government archive stores classified records on a cloud-style
+//       AES-256 + Reed-Solomon policy. An adversary quietly copies three
+//       storage nodes' shards (below the erasure threshold is NOT
+//       required — k shards rebuild the ciphertext).
+// 2045: cryptanalysis (say, a cryptographically relevant quantum
+//       computer) breaks the cipher. The 2026 harvest — untouched for
+//       19 years — yields the plaintext.
+//
+// The demo reconstructs the ciphertext from the harvested shards alone,
+// shows it is garbage while AES stands, then invokes the break oracle
+// (emulated with the simulator's key escrow — a broken cipher means
+// ANYONE can invert Enc without the key) and prints the recovered
+// classified record. The same timeline against a LINCOS-style archive
+// recovers nothing.
+#include <cstdio>
+#include <map>
+
+#include "archive/analyzer.h"
+#include "archive/archive.h"
+#include "crypto/chacha20.h"
+#include "crypto/cipher.h"
+#include "erasure/reed_solomon.h"
+#include "node/adversary.h"
+
+namespace {
+
+using namespace aegis;
+
+const char* kSecret =
+    "TOP SECRET // REL 2126: agent roster for operation GLASSFJORD.";
+
+constexpr Epoch kHarvestYears = 3;   // 2026-2028
+constexpr Epoch kBreakYear = 19;     // "2045"
+
+void attack_cloud() {
+  ArchivalPolicy policy = ArchivalPolicy::CloudBaseline();  // AES+RS(6,9)
+  Cluster cluster(policy.n, policy.channel, 1);
+  SchemeRegistry registry;
+  ChaChaRng rng(1);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, policy, registry, tsa, rng);
+  MobileAdversary adversary(2, CorruptionStrategy::kSweep, 5);
+
+  archive.put("glassfjord", to_bytes(std::string_view(kSecret)));
+
+  // Harvest phase: 3 years, 2 nodes a year = 6 nodes = k shards.
+  for (Epoch y = 0; y < kHarvestYears; ++y) {
+    adversary.corrupt_epoch(cluster);
+    cluster.advance_epoch();
+  }
+
+  // Rebuild the ciphertext from the harvest alone.
+  const ObjectManifest& m = archive.manifest("glassfjord");
+  std::vector<std::optional<Bytes>> shards(m.n);
+  for (const auto& h : adversary.harvest()) {
+    if (h.blob.object == "glassfjord") shards[h.blob.shard_index] = h.blob.data;
+  }
+  const Bytes ciphertext =
+      ReedSolomon(m.k, m.n).decode(shards, m.size);
+
+  std::printf("2028: adversary reassembled the ciphertext from %u stolen "
+              "shards:\n      \"%.40s...\" (unreadable)\n",
+              m.k, hex_encode(ciphertext).c_str());
+
+  // Years pass; nothing about the stolen copy changes.
+  while (cluster.now() < kBreakYear) cluster.advance_epoch();
+  registry.set_break_epoch(SchemeId::kAes256Ctr, kBreakYear);
+
+  const ExposureAnalyzer analyzer(archive, registry);
+  const auto report =
+      analyzer.analyze(adversary.harvest(), cluster.wiretap(), cluster.now());
+  std::printf("2045: %s falls. analyzer: %u object(s) exposed (%s)\n",
+              scheme_name(SchemeId::kAes256Ctr).c_str(),
+              report.exposed_count,
+              report.objects[0].mechanism.c_str());
+
+  // Break oracle: with the cipher broken, Enc is invertible without the
+  // key; the simulator emulates the oracle via its key escrow.
+  const ObjectKey* key = archive.vault().find("glassfjord");
+  const SecureBytes lk = key->layer_key(SchemeId::kAes256Ctr, 0);
+  const Bytes iv = key->layer_iv(SchemeId::kAes256Ctr, 0);
+  const Bytes plaintext = cipher_apply(
+      SchemeId::kAes256Ctr, ByteView(lk.data(), lk.size()), iv, ciphertext);
+  std::printf("      decrypted 2026 harvest: \"%s\"\n\n",
+              to_string(plaintext).c_str());
+}
+
+void attack_lincos() {
+  ArchivalPolicy policy = ArchivalPolicy::Lincos();
+  Cluster cluster(policy.n, policy.channel, 2);
+  SchemeRegistry registry;
+  ChaChaRng rng(2);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, policy, registry, tsa, rng);
+  MobileAdversary adversary(2, CorruptionStrategy::kSweep, 6);
+
+  archive.put("glassfjord", to_bytes(std::string_view(kSecret)));
+
+  for (Epoch y = 0; y < kBreakYear; ++y) {
+    adversary.corrupt_epoch(cluster);
+    archive.refresh();
+    cluster.advance_epoch();
+  }
+  registry.set_break_epoch(SchemeId::kAes256Ctr, kBreakYear);
+  registry.set_break_epoch(SchemeId::kEcdhSecp256k1, kBreakYear);
+
+  const ExposureAnalyzer analyzer(archive, registry);
+  const auto report =
+      analyzer.analyze(adversary.harvest(), cluster.wiretap(), cluster.now());
+  const auto* x = report.find("glassfjord");
+  std::printf(
+      "Same 19-year campaign vs %s (refreshed Shamir + QKD transport):\n"
+      "  harvested %llu bytes across %zu providers; best same-generation "
+      "haul: %u of %u shares\n  verdict: %s\n\n",
+      policy.name.c_str(),
+      static_cast<unsigned long long>(adversary.bytes_harvested()),
+      adversary.nodes_ever_corrupted(), x->best_generation_shards, policy.t,
+      x->content_exposed ? "EXPOSED" : "nothing to decrypt, now or ever");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Harvest Now, Decrypt Later (paper Sec. 1/3.2), executed\n\n");
+  attack_cloud();
+  attack_lincos();
+  std::printf(
+      "Moral: re-encryption after 2045 cannot reach the 2026 harvest — "
+      "the only\ndefences are encodings with no cryptographic assumption "
+      "to break.\n");
+  return 0;
+}

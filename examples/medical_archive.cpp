@@ -1,0 +1,125 @@
+// A century of medical records vs. a mobile adversary.
+//
+// The scenario from the paper's introduction: records that must stay
+// confidential for a human lifetime, stored across independent providers,
+// attacked by an adversary that compromises one provider per year and
+// keeps everything it copies.
+//
+// Act 1 runs a static secret-shared archive (POTSHARDS-style): after t
+// years the adversary holds t shares of the SAME sharing and we
+// literally reconstruct the patient record from its harvest.
+// Act 2 runs the same archive with proactive refresh (VSR-style): stolen
+// shares go stale every year, and the same 100-year campaign yields
+// nothing — demonstrated by attempting the same reconstruction.
+#include <cstdio>
+#include <map>
+
+#include "archive/analyzer.h"
+#include "archive/archive.h"
+#include "crypto/chacha20.h"
+#include "node/adversary.h"
+#include "sharing/shamir.h"
+
+namespace {
+
+using namespace aegis;
+
+const char* kRecord =
+    "Patient 4711: hereditary condition XYZ; donor registry entry; "
+    "psychiatric history 1998-2004. RELEASE AFTER 2126.";
+
+// What an actual attacker does with its harvest: group stolen blobs of
+// the object by refresh generation and run Shamir reconstruction on the
+// best generation. Returns the recovered plaintext if any generation has
+// enough shares.
+bool try_reconstruct(const MobileAdversary& adv, const ObjectId& id,
+                     unsigned t, Bytes& out) {
+  std::map<std::uint32_t, std::map<std::uint32_t, Bytes>> by_gen;
+  for (const HarvestedBlob& h : adv.harvest()) {
+    if (h.blob.object == id)
+      by_gen[h.blob.generation][h.blob.shard_index] = h.blob.data;
+  }
+  for (const auto& [gen, shards] : by_gen) {
+    if (shards.size() < t) continue;
+    std::vector<Share> shares;
+    for (const auto& [idx, data] : shards) {
+      shares.push_back({static_cast<std::uint8_t>(idx + 1), data});
+      if (shares.size() == t) break;
+    }
+    out = shamir_recover(shares, t);
+    return true;
+  }
+  return false;
+}
+
+void run_century(bool proactive) {
+  ArchivalPolicy policy =
+      proactive ? ArchivalPolicy::VsrArchive() : ArchivalPolicy::Potshards();
+
+  Cluster cluster(policy.n, policy.channel, /*seed=*/77);
+  SchemeRegistry registry;  // no cryptanalysis needed in this story
+  ChaChaRng rng(77);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, policy, registry, tsa, rng);
+  MobileAdversary adversary(/*f=*/1, CorruptionStrategy::kSweep, 99);
+
+  archive.put("patient-4711", to_bytes(std::string_view(kRecord)));
+
+  for (unsigned year = 0; year < 100; ++year) {
+    adversary.corrupt_epoch(cluster);
+    if (policy.proactive_refresh) archive.refresh();
+    cluster.advance_epoch();
+  }
+
+  std::printf(
+      "--- %s (t=%u of n=%u, %s refresh) ---\n"
+      "100 years: adversary corrupted %zu distinct providers, harvested "
+      "%llu bytes\n",
+      policy.name.c_str(), policy.t, policy.n,
+      policy.proactive_refresh ? "yearly" : "no",
+      adversary.nodes_ever_corrupted(),
+      static_cast<unsigned long long>(adversary.bytes_harvested()));
+
+  Bytes stolen;
+  if (try_reconstruct(adversary, "patient-4711", policy.t, stolen)) {
+    std::printf("RECONSTRUCTED from harvest: \"%s\"\n",
+                to_string(stolen).c_str());
+  } else {
+    std::printf(
+        "reconstruction failed: no refresh generation ever yielded %u "
+        "shares\n",
+        policy.t);
+  }
+
+  // Cross-check with the analyzer's omniscient deduction.
+  const ExposureAnalyzer analyzer(archive, registry);
+  const auto report =
+      analyzer.analyze(adversary.harvest(), cluster.wiretap(), cluster.now());
+  std::printf("analyzer verdict: %s\n",
+              report.exposed_count > 0
+                  ? ("EXPOSED at year " +
+                     std::to_string(report.first_exposure))
+                        .c_str()
+                  : "confidential after 100 years");
+
+  // The patient can still read their own record.
+  const Bytes mine = archive.get("patient-4711");
+  std::printf("owner retrieval still works: %s\n\n",
+              to_string(mine) == kRecord ? "yes" : "NO (data lost!)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Century-scale medical archive vs a mobile adversary "
+      "(1 provider compromised per year)\n\n");
+  run_century(/*proactive=*/false);
+  run_century(/*proactive=*/true);
+  std::printf(
+      "Moral (paper Sec. 3.2): information-theoretic sharing alone is "
+      "not enough on\narchival timescales — the shares must be "
+      "proactively re-randomized so stolen\nones expire. The price is "
+      "the O(n^2) renewal traffic shown in bench/refresh_cost.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Crypto-agility drills: what does it cost to react when a cipher nears
+// obsolescence?
+//
+// Three responses on the same archive (ArchiveSafeLT-style cascade over
+// RS(6,9)):
+//   1. full re-encryption  — download, decrypt, re-encrypt, re-upload
+//                            (the §3.2 naive path);
+//   2. cascade re-wrap     — add an outer layer without decrypting
+//                            (ArchiveSafeLT's move; same I/O, no
+//                            plaintext exposure, key history grows);
+//   3. timestamp renewal   — integrity chains hop to a new signature
+//                            generation (cheap: metadata only).
+//
+// The example measures actual bytes moved on the simulated cluster for
+// each, then projects the I/O onto a real archive with the §3.2 cost
+// model.
+#include <cstdio>
+
+#include "archive/archive.h"
+#include "archive/cost.h"
+#include "crypto/chacha20.h"
+
+int main() {
+  using namespace aegis;
+
+  ArchivalPolicy policy = ArchivalPolicy::ArchiveSafeLT();
+  Cluster cluster(policy.n, policy.channel, 11);
+  SchemeRegistry registry;
+  ChaChaRng rng(11);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  Archive archive(cluster, policy, registry, tsa, rng);
+
+  // A small working set; per-object numbers scale linearly.
+  SimRng workload(3);
+  const unsigned kObjects = 8;
+  const std::size_t kSize = 32 * 1024;
+  std::uint64_t logical = 0;
+  for (unsigned i = 0; i < kObjects; ++i) {
+    archive.put("tape-" + std::to_string(i), workload.bytes(kSize));
+    logical += kSize;
+  }
+
+  const auto baseline = cluster.stats();
+  std::printf("archive: %u objects, %llu logical bytes, cascade depth %zu\n\n",
+              kObjects, static_cast<unsigned long long>(logical),
+              policy.ciphers.size());
+
+  // --- Response 1: full re-encryption. --------------------------------
+  archive.reencrypt({SchemeId::kChaCha20, SchemeId::kSpeck128Ctr});
+  const auto after_reenc = cluster.stats();
+  const std::uint64_t reenc_io =
+      (after_reenc.bytes_down - baseline.bytes_down) +
+      (after_reenc.bytes_up - baseline.bytes_up);
+  std::printf(
+      "full re-encryption : %10llu bytes moved (%.1fx logical) — and the "
+      "plaintext\n                     existed in memory during the pass\n",
+      static_cast<unsigned long long>(reenc_io),
+      static_cast<double>(reenc_io) / logical);
+
+  // --- Response 2: cascade re-wrap. ------------------------------------
+  archive.rewrap(SchemeId::kAes128Ctr);
+  const auto after_rewrap = cluster.stats();
+  const std::uint64_t rewrap_io =
+      (after_rewrap.bytes_down - after_reenc.bytes_down) +
+      (after_rewrap.bytes_up - after_reenc.bytes_up);
+  std::printf(
+      "cascade re-wrap    : %10llu bytes moved (%.1fx logical) — no "
+      "plaintext surfaced,\n                     stack is now %zu layers "
+      "(key history retained)\n",
+      static_cast<unsigned long long>(rewrap_io),
+      static_cast<double>(rewrap_io) / logical,
+      archive.manifest("tape-0").current_ciphers().size());
+
+  // --- Response 3: timestamp renewal. ----------------------------------
+  tsa.rotate(SchemeId::kSigGenB, rng);
+  archive.renew_timestamps();
+  std::printf(
+      "timestamp renewal  : %10u bytes moved — chains now %zu links, "
+      "metadata only\n\n",
+      0u, archive.manifest("tape-0").chain.length());
+
+  // Everything still reads back.
+  bool ok = true;
+  for (unsigned i = 0; i < kObjects; ++i)
+    ok = ok && !archive.get("tape-" + std::to_string(i)).empty();
+  std::printf("post-migration reads: %s\n\n", ok ? "all OK" : "FAILED");
+
+  // Project the measured I/O multiple onto real archives (Sec. 3.2).
+  const double io_multiple = static_cast<double>(reenc_io) / logical;
+  std::printf(
+      "projection: a pass that moves %.1fx the logical archive, at each "
+      "site's\naggregate bandwidth (x2 write/verify, x2 reserved "
+      "capacity):\n",
+      io_multiple);
+  for (const SiteModel& site : SiteModel::paper_sites()) {
+    const auto e = estimate_reencryption(site, 2.0, 2.0);
+    std::printf("  %-18s %7.1f months\n", site.name.c_str(),
+                e.practical_months * io_multiple / 2.0);
+    // io_multiple/2: the model's read+write already counts 2x.
+  }
+  std::printf(
+      "\nMoral: re-wrap beats re-encrypt on exposure but not on I/O — "
+      "both pay the\nfull read+write pass that Sec. 3.2 shows takes "
+      "months-to-years, and neither\nhelps data an adversary has already "
+      "harvested (see hndl_attack).\n");
+  return 0;
+}

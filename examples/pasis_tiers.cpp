@@ -1,0 +1,93 @@
+// "No one size fits all" (PASIS, §4): one archive, four protection
+// tiers, one bill.
+//
+// A university archive stores: course catalogs (public), payroll
+// (internal), research under embargo (secret), and a whistleblower
+// dossier (top-secret). Each tier rides a different policy over the same
+// 12-node cluster; the example prints what each tier costs and what a
+// decade of mobile-adversary pressure plus a future AES break does to
+// each.
+#include <cstdio>
+
+#include "archive/analyzer.h"
+#include "archive/multi.h"
+#include "crypto/chacha20.h"
+#include "node/adversary.h"
+
+int main() {
+  using namespace aegis;
+
+  Cluster cluster(12, ChannelKind::kTls, 314);
+  SchemeRegistry registry;
+  ChaChaRng rng(314);
+  TimestampAuthority tsa(rng);
+  MultiArchive archive(cluster, registry, tsa, rng);
+
+  // The default top-secret tier (refreshed Shamir over TLS) still loses
+  // to a transit-cipher break — recorded refresh traffic IS a full share
+  // set. Upgrade the tier to the LINCOS stack (QKD transport) so the
+  // dossier actually survives the timeline below.
+  archive.set_policy(Sensitivity::kTopSecret, ArchivalPolicy::Lincos());
+
+  struct Item {
+    const char* id;
+    const char* text;
+    Sensitivity tier;
+  };
+  const Item items[] = {
+      {"catalog-2026", "Course catalog, academic year 2026/27.",
+       Sensitivity::kPublic},
+      {"payroll-q2", "Payroll ledger Q2 2026 — salaries, bank details.",
+       Sensitivity::kInternal},
+      {"embargo-paper", "Embargoed results: room-temp superconductor.",
+       Sensitivity::kSecret},
+      {"dossier-17", "Whistleblower dossier #17. Seal for 90 years.",
+       Sensitivity::kTopSecret},
+  };
+
+  for (const Item& item : items)
+    archive.put(item.id, to_bytes(std::string_view(item.text)), item.tier);
+
+  std::printf("%-16s %-12s %-22s %10s %10s\n", "object", "tier", "policy",
+              "at-rest", "cost(x)");
+  for (const Item& item : items) {
+    const ArchivalPolicy& p = archive.policy(item.tier);
+    std::printf("%-16s %-12s %-22s %10s %9.1fx\n", item.id,
+                to_string(item.tier), p.name.c_str(),
+                confidentiality_label(classify(p).at_rest),
+                archive.storage_report(item.tier).overhead());
+  }
+
+  // A decade of pressure: mobile adversary, yearly refresh of the tiers
+  // that support it, then an AES break.
+  MobileAdversary adversary(1, CorruptionStrategy::kSweep, 999);
+  for (int year = 0; year < 10; ++year) {
+    adversary.corrupt_epoch(cluster);
+    archive.refresh();
+    cluster.advance_epoch();
+  }
+  registry.set_break_epoch(SchemeId::kAes256Ctr, cluster.now());
+
+  std::printf("\nafter 10 years of f=1 sweep corruption + AES-256 break:\n");
+  for (const Item& item : items) {
+    const ExposureAnalyzer analyzer(archive.archive_for(item.tier),
+                                    registry);
+    const auto report = analyzer.analyze(adversary.harvest(),
+                                         cluster.wiretap(), cluster.now());
+    const auto* x = report.find(item.id);
+    std::printf("  %-16s %s\n", item.id,
+                x->content_exposed
+                    ? ("EXPOSED (" + x->mechanism + ")").c_str()
+                    : "still confidential");
+  }
+
+  const StorageReport total = archive.storage_report();
+  std::printf(
+      "\ntotal: %llu logical bytes stored as %llu (%.2fx blended) — "
+      "paying the ITS\npremium only where the data warrants it is "
+      "PASIS's answer to Figure 1.\n",
+      static_cast<unsigned long long>(total.logical_bytes),
+      static_cast<unsigned long long>(total.stored_bytes),
+      total.overhead());
+  return 0;
+}

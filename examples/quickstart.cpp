@@ -1,0 +1,65 @@
+// Quickstart: store and retrieve a document with the aegis archive.
+//
+//   $ ./quickstart
+//
+// Builds a 5-node simulated cluster, archives a document under the
+// POTSHARDS-style secret-sharing policy, survives two node failures,
+// verifies integrity, and shows that the archive's guarantees are
+// information-theoretic (no cryptanalytic break schedule can matter).
+#include <cstdio>
+
+#include "archive/analyzer.h"
+#include "archive/archive.h"
+#include "crypto/chacha20.h"
+
+int main() {
+  using namespace aegis;
+
+  // 1. A policy: Shamir 3-of-5 sharing, TLS transport, one shard per node.
+  ArchivalPolicy policy = ArchivalPolicy::Potshards();
+  std::printf("policy: %s (encoding=%s, t=%u, n=%u)\n", policy.name.c_str(),
+              to_string(policy.encoding), policy.t, policy.n);
+
+  // 2. The substrate: cluster, break-timeline registry, timestamp
+  //    authority, and a cryptographic RNG.
+  Cluster cluster(5, policy.channel, /*seed=*/2024);
+  SchemeRegistry registry;
+  ChaChaRng rng(2024);
+  TimestampAuthority tsa(rng);
+
+  Archive archive(cluster, policy, registry, tsa, rng);
+
+  // 3. Store.
+  const Bytes document = to_bytes(std::string_view(
+      "Deed of ownership, recorded 2026-07-05. Keep for 100 years."));
+  archive.put("deed-0001", document);
+  std::printf("stored %zu bytes as %u shares (measured overhead %.2fx)\n",
+              document.size(), policy.n,
+              archive.storage_report().overhead());
+
+  // 4. Retrieve — even after losing n - t nodes.
+  cluster.fail_node(0);
+  cluster.fail_node(3);
+  const Bytes back = archive.get("deed-0001");
+  std::printf("retrieved after 2 node failures: \"%s\"\n",
+              to_string(back).c_str());
+
+  // 5. Verify integrity (shard hashes + timestamp chain).
+  cluster.restore_node(0);
+  cluster.restore_node(3);
+  const VerifyReport report = archive.verify("deed-0001");
+  std::printf("verify: %u shards seen, %u bad, chain=%s -> %s\n",
+              report.shards_seen, report.shards_bad,
+              to_string(report.chain_status),
+              report.ok() ? "OK" : "FAILED");
+
+  // 6. The long-term point: classification of what you just used.
+  const PolicyClassification c = classify(policy);
+  std::printf(
+      "confidentiality: at rest = %s, in transit = %s\n"
+      "(at-rest secrecy here cannot be broken by future cryptanalysis;\n"
+      " the trade-off is the %.1fx storage cost — see DESIGN.md)\n",
+      confidentiality_label(c.at_rest), confidentiality_label(c.in_transit),
+      c.nominal_overhead);
+  return 0;
+}

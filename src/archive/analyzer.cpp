@@ -1,0 +1,313 @@
+#include "archive/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aegis {
+
+const char* confidentiality_label(SecurityClass c) {
+  switch (c) {
+    case SecurityClass::kNone: return "None";
+    case SecurityClass::kComputational: return "Computational";
+    case SecurityClass::kEntropic: return "Entropic";
+    case SecurityClass::kInformationTheoretic: return "ITS";
+  }
+  return "?";
+}
+
+PolicyClassification classify(const ArchivalPolicy& policy) {
+  PolicyClassification c;
+  c.system = policy.name;
+  c.nominal_overhead = policy.nominal_overhead();
+  c.proactive = policy.proactive_refresh;
+  c.hiding_timestamps = policy.pedersen_timestamps;
+
+  switch (policy.encoding) {
+    case EncodingKind::kReplication:
+    case EncodingKind::kErasure:
+      c.at_rest = SecurityClass::kNone;
+      break;
+    case EncodingKind::kEncryptErasure:
+    case EncodingKind::kCascade:
+    case EncodingKind::kAontRs:
+      c.at_rest = SecurityClass::kComputational;
+      break;
+    case EncodingKind::kEntropicErasure:
+      c.at_rest = SecurityClass::kEntropic;
+      break;
+    case EncodingKind::kShamir:
+    case EncodingKind::kPacked:
+    case EncodingKind::kLrss:
+      c.at_rest = SecurityClass::kInformationTheoretic;
+      break;
+  }
+
+  switch (policy.channel) {
+    case ChannelKind::kPlain:
+      c.in_transit = SecurityClass::kNone;
+      break;
+    case ChannelKind::kTls:
+      c.in_transit = SecurityClass::kComputational;
+      break;
+    case ChannelKind::kQkd:
+    case ChannelKind::kBsm:
+      c.in_transit = SecurityClass::kInformationTheoretic;
+      break;
+  }
+  return c;
+}
+
+namespace {
+
+/// Per-(generation, shard) earliest acquisition epoch.
+struct Acquisitions {
+  // generation -> shard_index -> earliest epoch the adversary had it
+  std::map<std::uint32_t, std::map<std::uint32_t, Epoch>> by_gen;
+
+  void add(std::uint32_t gen, std::uint32_t shard, Epoch at) {
+    auto& m = by_gen[gen];
+    const auto it = m.find(shard);
+    if (it == m.end() || at < it->second) m[shard] = at;
+  }
+
+  /// Epoch at which `threshold` distinct shards of one generation were
+  /// first simultaneously held, minimized over generations; kNever if no
+  /// generation reaches it. Also reports the best same-gen shard count.
+  Epoch reach(unsigned threshold, unsigned* best_count = nullptr) const {
+    Epoch best = kNever;
+    unsigned best_n = 0;
+    for (const auto& [gen, shards] : by_gen) {
+      best_n = std::max<unsigned>(best_n,
+                                  static_cast<unsigned>(shards.size()));
+      if (shards.size() < threshold) continue;
+      std::vector<Epoch> epochs;
+      epochs.reserve(shards.size());
+      for (const auto& [idx, e] : shards) epochs.push_back(e);
+      std::nth_element(epochs.begin(), epochs.begin() + (threshold - 1),
+                       epochs.end());
+      best = std::min(best, epochs[threshold - 1]);
+    }
+    if (best_count) *best_count = best_n;
+    return best;
+  }
+};
+
+}  // namespace
+
+const ObjectExposure* ExposureReport::find(const ObjectId& id) const {
+  for (const auto& o : objects) {
+    if (o.id == id) return &o;
+  }
+  return nullptr;
+}
+
+ExposureReport ExposureAnalyzer::analyze(
+    const std::vector<HarvestedBlob>& harvest,
+    const std::vector<WiretapRecord>& wiretap, Epoch now) const {
+  // 1. Fold node harvest and fallen wiretap payloads into one
+  //    acquisition table per object id (data objects and @key/ objects).
+  std::map<ObjectId, Acquisitions> acq;
+
+  for (const HarvestedBlob& h : harvest)
+    acq[h.blob.object].add(h.blob.generation, h.blob.shard_index,
+                           h.taken_at);
+
+  for (const WiretapRecord& w : wiretap) {
+    const Epoch falls = w.transcript.falls_at(registry_);
+    if (falls == kNever || falls > now) continue;
+    // The payload becomes adversary knowledge at the later of "recorded"
+    // and "channel broken".
+    const Epoch at = std::max(falls, w.recorded_at);
+    acq[w.payload.object].add(w.payload.generation, w.payload.shard_index,
+                              at);
+  }
+
+  const ArchivalPolicy& policy = archive_.policy();
+
+  // 2. Key exposure epochs for VSS-custody keys.
+  std::map<ObjectId, Epoch> key_exposed_at;  // data object id -> epoch
+  if (policy.key_custody == KeyCustody::kVssOnCluster) {
+    for (const auto& [id, m] : archive_.manifests()) {
+      const auto it = acq.find(Archive::key_object_id(id));
+      if (it == acq.end()) continue;
+      const Epoch e = it->second.reach(policy.vault_threshold);
+      if (e != kNever) key_exposed_at[id] = e;
+    }
+  }
+
+  // 3. Per-object verdicts.
+  ExposureReport report;
+  for (const auto& [id, m] : archive_.manifests()) {
+    ObjectExposure x;
+    x.id = id;
+
+    const auto it = acq.find(id);
+    const Acquisitions empty;
+    const Acquisitions& a = it == acq.end() ? empty : it->second;
+
+    auto expose = [&](Epoch at, std::string how) {
+      if (at == kNever || at > now) return;
+      if (!x.content_exposed || at < x.exposed_at) {
+        x.content_exposed = true;
+        x.exposed_at = at;
+        x.mechanism = std::move(how);
+      }
+    };
+
+    switch (m.encoding) {
+      case EncodingKind::kReplication:
+        expose(a.reach(1, &x.best_generation_shards), "replica stolen");
+        break;
+
+      case EncodingKind::kErasure:
+        // Full reassembly needs k shards, but systematic RS data shards
+        // ARE plaintext fragments — one stolen shard is already content.
+        expose(a.reach(1, &x.best_generation_shards),
+               "systematic erasure shard is a plaintext fragment");
+        break;
+
+      case EncodingKind::kEncryptErasure:
+      case EncodingKind::kEntropicErasure:
+      case EncodingKind::kCascade: {
+        // Ciphertext per generation; stack in force at that generation.
+        for (const auto& [gen, shards] : a.by_gen) {
+          x.best_generation_shards = std::max<unsigned>(
+              x.best_generation_shards,
+              static_cast<unsigned>(shards.size()));
+          if (shards.size() < m.k) continue;
+          std::vector<Epoch> epochs;
+          for (const auto& [idx, e] : shards) epochs.push_back(e);
+          std::nth_element(epochs.begin(), epochs.begin() + (m.k - 1),
+                           epochs.end());
+          const Epoch ct_at = epochs[m.k - 1];
+          if (!x.ciphertext_held || ct_at < x.ciphertext_at) {
+            x.ciphertext_held = true;
+            x.ciphertext_at = ct_at;
+          }
+
+          if (m.encoding == EncodingKind::kEntropicErasure) {
+            // Unconditionally hiding for high-entropy content. For
+            // measurably low-entropy content the guarantee is void:
+            // escalate to exposure instead of a caveat.
+            constexpr double kRiskBitsPerByte = 1.0;
+            if (m.est_entropy_per_byte < kRiskBitsPerByte) {
+              expose(ct_at,
+                     "entropic encoding over low-entropy content "
+                     "(estimated " +
+                         std::to_string(m.est_entropy_per_byte) +
+                         " bits/byte)");
+            } else {
+              x.entropy_caveat = true;
+            }
+            continue;
+          }
+
+          // The stack for this generation; exposed when the LAST cipher
+          // falls (cascade semantics) — a single-cipher stack is the
+          // degenerate cascade.
+          const auto& stack = m.cipher_history[std::min<std::size_t>(
+              gen, m.cipher_history.size() - 1)];
+          Epoch all_broken = 0;
+          bool breaks_ever = true;
+          for (SchemeId c : stack) {
+            const auto b = registry_.break_epoch(c);
+            if (!b) {
+              breaks_ever = false;
+              break;
+            }
+            all_broken = std::max(all_broken, *b);
+          }
+          if (breaks_ever && !stack.empty())
+            expose(std::max(ct_at, all_broken),
+                   "ciphertext harvested; cipher stack broken");
+          if (stack.empty()) expose(ct_at, "unencrypted shards");
+
+          // Key theft route (VSS custody).
+          const auto ke = key_exposed_at.find(id);
+          if (ke != key_exposed_at.end())
+            expose(std::max(ct_at, ke->second),
+                   "ciphertext harvested; vaulted key shares reached "
+                   "threshold");
+        }
+
+        // Partial route: even ONE ciphertext shard becomes a plaintext
+        // fragment once that generation's stack breaks (or the key
+        // leaks) — sub-threshold harvests never protected the
+        // fragments, only the whole object.
+        if (m.encoding != EncodingKind::kEntropicErasure) {
+          for (const auto& [gen, shards] : a.by_gen) {
+            if (shards.empty()) continue;
+            Epoch one = kNever;
+            for (const auto& [idx, e] : shards) one = std::min(one, e);
+            const auto& stack = m.cipher_history[std::min<std::size_t>(
+                gen, m.cipher_history.size() - 1)];
+            Epoch all_broken = 0;
+            bool breaks_ever = !stack.empty();
+            for (SchemeId c : stack) {
+              const auto b = registry_.break_epoch(c);
+              if (!b) {
+                breaks_ever = false;
+                break;
+              }
+              all_broken = std::max(all_broken, *b);
+            }
+            if (breaks_ever)
+              expose(std::max(one, all_broken),
+                     "shard fragments decrypted after stack break");
+            const auto ke = key_exposed_at.find(id);
+            if (ke != key_exposed_at.end())
+              expose(std::max(one, ke->second),
+                     "shard fragments decrypted with stolen key shares");
+          }
+        }
+        break;
+      }
+
+      case EncodingKind::kAontRs: {
+        // Route 1: full package from any k shards — keyless decode.
+        expose(a.reach(m.k, &x.best_generation_shards),
+               "k AONT-RS shards: full package, keyless decode");
+        if (a.reach(m.k) != kNever) {
+          x.ciphertext_held = true;
+          x.ciphertext_at = a.reach(m.k);
+        }
+        // Route 2: any single shard + broken package cipher/hash.
+        const Epoch one = a.reach(1);
+        if (one != kNever) {
+          const SchemeId cipher = m.current_ciphers()[0];
+          const Epoch b = registry_.earliest_break(
+              {cipher, SchemeId::kSha256});
+          if (b != kNever)
+            expose(std::max(one, b),
+                   "AONT package primitive broken: key recoverable from "
+                   "any shard");
+        }
+        break;
+      }
+
+      case EncodingKind::kShamir:
+      case EncodingKind::kLrss:
+        expose(a.reach(m.t, &x.best_generation_shards),
+               "secrecy threshold of same-generation shares reached");
+        break;
+
+      case EncodingKind::kPacked: {
+        expose(a.reach(m.t + m.k, &x.best_generation_shards),
+               "packed reconstruction threshold reached");
+        if (!x.content_exposed && a.reach(m.t + 1) != kNever &&
+            a.reach(m.t + 1) <= now)
+          x.partial_leak = true;  // above privacy, below reconstruction
+        break;
+      }
+    }
+
+    if (x.content_exposed) {
+      ++report.exposed_count;
+      report.first_exposure = std::min(report.first_exposure, x.exposed_at);
+    }
+    report.objects.push_back(std::move(x));
+  }
+  return report;
+}
+
+}  // namespace aegis

@@ -1,0 +1,102 @@
+// Security analysis: Table 1 classification and the Harvest-Now-
+// Decrypt-Later deduction engine.
+//
+// The analyzer answers two questions:
+//   1. classify(policy): the long-term confidentiality class of a policy
+//      at rest and in transit, plus its nominal storage cost — the three
+//      columns of the paper's Table 1.
+//   2. ExposureAnalyzer::analyze(...): given everything a mobile
+//      adversary harvested (node blobs + wiretapped conversations) and a
+//      break timeline, which objects' *content* does the adversary hold,
+//      since when, and through which mechanism? This is the deduction an
+//      actual attacker would run; the simulator runs it omnisciently so
+//      experiments can report ground truth.
+//
+// Deduction rules (per object, per refresh generation — shares from
+// different generations never combine):
+//   replication        1 shard                       -> content
+//   erasure            1 systematic shard            -> content fragment
+//                      (counted as exposure: the encoding has no secrecy)
+//   encrypt+erasure    k shards -> ciphertext; content when every cipher
+//                      in that generation's stack is broken, or when the
+//                      key is exposed (VSS custody: vault_threshold key
+//                      shares of one key generation). Even ONE shard
+//                      becomes a plaintext fragment at the same break —
+//                      sub-threshold harvests are only safe while the
+//                      stack holds.
+//   AONT-RS            k shards -> the whole package -> content with NO
+//                      break needed (keyless design); or >=1 shard plus a
+//                      broken package cipher/hash
+//   entropic+erasure   k shards -> content only for low-entropy messages
+//                      (reported as a caveat, not an exposure)
+//   shamir/LRSS        t same-generation shares      -> content (ITS:
+//                      breaks never matter)
+//   packed             t+k same-generation shares -> content; more than t
+//                      but fewer than t+k is flagged partial
+//   wiretap            a conversation's payload joins the harvest at the
+//                      epoch its channel falls (TLS: min break of ECDH /
+//                      AES; QKD: never; cleartext: immediately)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "node/adversary.h"
+
+namespace aegis {
+
+/// One row of Table 1, computed from a policy.
+struct PolicyClassification {
+  std::string system;
+  SecurityClass at_rest;
+  SecurityClass in_transit;
+  double nominal_overhead;
+  bool proactive;
+  bool hiding_timestamps;  // LINCOS-style commitment chains
+};
+
+PolicyClassification classify(const ArchivalPolicy& policy);
+
+/// Printable label for a confidentiality class ("Computational", "ITS"..).
+const char* confidentiality_label(SecurityClass c);
+
+/// Verdict for one object.
+struct ObjectExposure {
+  ObjectId id;
+  bool content_exposed = false;
+  Epoch exposed_at = kNever;
+  std::string mechanism;      // human-readable cause
+  bool ciphertext_held = false;   // adversary can rebuild the ciphertext
+  Epoch ciphertext_at = kNever;
+  bool partial_leak = false;      // packed sharing above privacy threshold
+  bool entropy_caveat = false;    // entropic encoding: low-entropy risk
+  unsigned best_generation_shards = 0;  // max same-gen distinct shards
+};
+
+/// Aggregate over an archive.
+struct ExposureReport {
+  std::vector<ObjectExposure> objects;
+  unsigned exposed_count = 0;
+  Epoch first_exposure = kNever;
+
+  const ObjectExposure* find(const ObjectId& id) const;
+};
+
+/// Runs the HNDL deduction for one archive against one adversary haul.
+class ExposureAnalyzer {
+ public:
+  ExposureAnalyzer(const Archive& archive, const SchemeRegistry& registry)
+      : archive_(archive), registry_(registry) {}
+
+  ExposureReport analyze(const std::vector<HarvestedBlob>& harvest,
+                         const std::vector<WiretapRecord>& wiretap,
+                         Epoch now) const;
+
+ private:
+  const Archive& archive_;
+  const SchemeRegistry& registry_;
+};
+
+}  // namespace aegis

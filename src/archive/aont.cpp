@@ -1,0 +1,125 @@
+#include "archive/aont.h"
+
+#include "crypto/cipher.h"
+#include "crypto/sha256.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+// Keystream pad for block index i (1-based): the cipher keyed with the
+// package key, IV derived from the block index — the "Enc_k(i+1)" of the
+// paper, generalized over our cipher facade.
+Bytes block_pad(SchemeId cipher, ByteView key, std::uint64_t index,
+                std::size_t len) {
+  const std::size_t iv_len = cipher_params(cipher).iv_size;
+  Bytes iv(iv_len, 0);
+  for (std::size_t b = 0; b < 8 && b < iv_len; ++b)
+    iv[iv_len - 1 - b] = static_cast<std::uint8_t>(index >> (8 * b));
+  const Bytes zeros(len, 0);
+  return cipher_apply(cipher, key, iv, zeros);
+}
+
+constexpr std::uint32_t kMagic = 0x414f4e54;  // "AONT"
+
+}  // namespace
+
+Bytes aont_package(ByteView data, SchemeId cipher, Rng& rng) {
+  const CipherParams params = cipher_params(cipher);
+  if (params.key_size == 0)
+    throw InvalidArgument("aont: needs a fixed-key cipher, not the OTP");
+
+  const SecureBytes key = rng.secure_bytes(params.key_size);
+
+  // Body: data XORed block-wise with Enc_k(i+1); 4 KiB blocks keep the
+  // IV-per-block overhead negligible while preserving the structure.
+  constexpr std::size_t kBlock = 4096;
+  Bytes body = to_bytes(data);
+  std::size_t off = 0;
+  std::uint64_t index = 1;
+  while (off < body.size()) {
+    const std::size_t take = std::min(kBlock, body.size() - off);
+    const Bytes pad = block_pad(cipher, ByteView(key.data(), key.size()),
+                                index + 1, take);
+    for (std::size_t i = 0; i < take; ++i) body[off + i] ^= pad[i];
+    off += take;
+    ++index;
+  }
+
+  // Canary: k xor h(body), padded/truncated to key size via HKDF-free
+  // trick — we hash, then xor the first key_size bytes (SHA-256 gives 32;
+  // all our cipher keys are <= 32 bytes).
+  const Bytes digest = Sha256::hash(body);
+  Bytes canary(key.begin(), key.end());
+  for (std::size_t i = 0; i < canary.size(); ++i)
+    canary[i] ^= digest[i % digest.size()];
+
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u16(static_cast<std::uint16_t>(cipher));
+  w.u64(data.size());
+  w.bytes(canary);
+  w.raw(body);
+  return std::move(w).take();
+}
+
+namespace {
+struct ParsedPackage {
+  SchemeId cipher;
+  std::uint64_t size;
+  Bytes canary;
+  Bytes body;
+};
+
+ParsedPackage parse(ByteView package) {
+  ByteReader r(package);
+  if (r.u32() != kMagic) throw ParseError("aont: bad magic");
+  ParsedPackage p;
+  p.cipher = static_cast<SchemeId>(r.u16());
+  p.size = r.u64();
+  p.canary = r.bytes();
+  p.body = r.raw(r.remaining());
+  if (p.body.size() != p.size)
+    throw ParseError("aont: body length mismatch");
+  return p;
+}
+}  // namespace
+
+SchemeId aont_package_cipher(ByteView package) {
+  return parse(package).cipher;
+}
+
+Bytes aont_unpackage(ByteView package) {
+  ParsedPackage p = parse(package);
+
+  // Recover the key from the canary — no stored key anywhere.
+  const Bytes digest = Sha256::hash(p.body);
+  Bytes key = p.canary;
+  for (std::size_t i = 0; i < key.size(); ++i)
+    key[i] ^= digest[i % digest.size()];
+
+  if (key.size() != cipher_params(p.cipher).key_size)
+    throw IntegrityError("aont: canary length inconsistent with cipher");
+
+  constexpr std::size_t kBlock = 4096;
+  Bytes out = std::move(p.body);
+  std::size_t off = 0;
+  std::uint64_t index = 1;
+  while (off < out.size()) {
+    const std::size_t take = std::min(kBlock, out.size() - off);
+    const Bytes pad = block_pad(p.cipher, key, index + 1, take);
+    for (std::size_t i = 0; i < take; ++i) out[off + i] ^= pad[i];
+    off += take;
+    ++index;
+  }
+  return out;
+}
+
+std::size_t aont_package_size(std::size_t data_size) {
+  // magic + scheme + size + canary(len-prefixed 32) + body
+  return 4 + 2 + 8 + 4 + 32 + data_size;
+}
+
+}  // namespace aegis

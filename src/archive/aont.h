@@ -1,0 +1,37 @@
+// All-Or-Nothing Transform packaging, per the paper's §3.2 description of
+// AONT-RS (Resch & Plank, FAST'11 — the Cleversafe scheme).
+//
+//   c_i     = m_i xor Enc_k(i+1)          for i in 1..s
+//   c_{s+1} = k xor h(c_1 || ... || c_s)
+//
+// The key k is random *per package* and never stored anywhere: whoever
+// holds the complete package recomputes it for free, and whoever misses
+// even one block learns (computationally) nothing. Dispersing the package
+// with systematic Reed-Solomon yields keyless encrypted dispersal — low
+// cost, good availability, but: (a) any k-of-n shards rebuild the whole
+// package, and (b) a broken Enc or h "gives the attacker the key", so a
+// single harvested shard becomes plaintext after a break. Both failure
+// modes are what the obsolescence analyzer charges this encoding for.
+#pragma once
+
+#include "crypto/scheme.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Applies the AONT: returns the self-contained package.
+/// `cipher` must be a keyed stream/block cipher scheme (not the OTP).
+Bytes aont_package(ByteView data, SchemeId cipher, Rng& rng);
+
+/// Inverts the AONT. Throws ParseError on malformed packages and
+/// IntegrityError if the embedded consistency check fails.
+Bytes aont_unpackage(ByteView package);
+
+/// The cipher scheme a package was built with (for break analysis).
+SchemeId aont_package_cipher(ByteView package);
+
+/// Package size for a given input size (for cost accounting).
+std::size_t aont_package_size(std::size_t data_size);
+
+}  // namespace aegis

@@ -1,0 +1,772 @@
+#include "archive/archive.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "archive/aont.h"
+#include "crypto/cipher.h"
+#include "crypto/sha256.h"
+#include "erasure/reed_solomon.h"
+#include "integrity/merkle.h"
+#include "integrity/notary.h"
+#include "sharing/lrss.h"
+#include "sharing/packed.h"
+#include "sharing/proactive.h"
+#include "sharing/redistribute.h"
+#include "sharing/shamir.h"
+#include "util/entropy.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+bool is_erasure_family(EncodingKind e) {
+  return e == EncodingKind::kReplication || e == EncodingKind::kErasure ||
+         e == EncodingKind::kEncryptErasure ||
+         e == EncodingKind::kCascade || e == EncodingKind::kAontRs ||
+         e == EncodingKind::kEntropicErasure;
+}
+
+bool uses_cipher_stack(EncodingKind e) {
+  return e == EncodingKind::kEncryptErasure ||
+         e == EncodingKind::kCascade ||
+         e == EncodingKind::kEntropicErasure;
+}
+
+/// Pre-dispersal payload size for erasure-family encodings.
+std::size_t payload_size(const ObjectManifest& m) {
+  return m.encoding == EncodingKind::kAontRs ? aont_package_size(m.size)
+                                             : m.size;
+}
+
+}  // namespace
+
+Bytes ObjectManifest::serialize() const {
+  ByteWriter w;
+  w.str(id);
+  w.u64(size);
+  w.u8(static_cast<std::uint8_t>(encoding));
+  w.u32(n);
+  w.u32(k);
+  w.u32(t);
+  w.u32(generation);
+
+  w.u32(static_cast<std::uint32_t>(cipher_history.size()));
+  for (const auto& stack : cipher_history) {
+    w.u32(static_cast<std::uint32_t>(stack.size()));
+    for (SchemeId c : stack) w.u16(static_cast<std::uint16_t>(c));
+  }
+
+  w.bytes(lrss_seed);
+  w.u32(static_cast<std::uint32_t>(shard_hashes.size()));
+  for (const Bytes& h : shard_hashes) w.bytes(h);
+  w.bytes(merkle_root);
+
+  w.u32(static_cast<std::uint32_t>(audit_challenges.size()));
+  for (const auto& pool : audit_challenges) {
+    w.u32(static_cast<std::uint32_t>(pool.size()));
+    for (const auto& ch : pool) {
+      w.bytes(ch.nonce);
+      w.bytes(ch.expected);
+    }
+  }
+  w.u32(audit_round);
+
+  std::uint64_t entropy_bits;
+  static_assert(sizeof entropy_bits == sizeof est_entropy_per_byte);
+  std::memcpy(&entropy_bits, &est_entropy_per_byte, 8);
+  w.u64(entropy_bits);
+
+  w.u8(has_commitment ? 1 : 0);
+  if (has_commitment) {
+    w.bytes(commitment.encode());
+    w.raw(opening.value.to_bytes_be());
+    w.raw(opening.blind.to_bytes_be());
+  }
+  w.bytes(chain.serialize());
+  w.u32(created_at);
+  return std::move(w).take();
+}
+
+ObjectManifest ObjectManifest::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  ObjectManifest m;
+  m.id = r.str();
+  m.size = r.u64();
+  m.encoding = static_cast<EncodingKind>(r.u8());
+  m.n = r.u32();
+  m.k = r.u32();
+  m.t = r.u32();
+  m.generation = r.u32();
+
+  const std::uint32_t stacks = r.count(4);
+  for (std::uint32_t s = 0; s < stacks; ++s) {
+    std::vector<SchemeId> stack(r.count(2));
+    for (auto& c : stack) c = static_cast<SchemeId>(r.u16());
+    m.cipher_history.push_back(std::move(stack));
+  }
+
+  m.lrss_seed = r.bytes();
+  const std::uint32_t hashes = r.count(4);
+  for (std::uint32_t i = 0; i < hashes; ++i)
+    m.shard_hashes.push_back(r.bytes());
+  m.merkle_root = r.bytes();
+
+  const std::uint32_t pools = r.count(4);
+  m.audit_challenges.resize(pools);
+  for (std::uint32_t i = 0; i < pools; ++i) {
+    const std::uint32_t count = r.count(8);
+    for (std::uint32_t c = 0; c < count; ++c) {
+      ShardChallenge ch;
+      ch.nonce = r.bytes();
+      ch.expected = r.bytes();
+      m.audit_challenges[i].push_back(std::move(ch));
+    }
+  }
+  m.audit_round = r.u32();
+
+  const std::uint64_t entropy_bits = r.u64();
+  std::memcpy(&m.est_entropy_per_byte, &entropy_bits, 8);
+
+  m.has_commitment = r.u8() != 0;
+  if (m.has_commitment) {
+    m.commitment = PedersenCommitment::decode(r.bytes());
+    m.opening.value = U256::from_bytes_be(r.raw(32));
+    m.opening.blind = U256::from_bytes_be(r.raw(32));
+  }
+  m.chain = TimestampChain::deserialize(r.bytes());
+  m.created_at = r.u32();
+  r.expect_done();
+  return m;
+}
+
+Archive::Archive(Cluster& cluster, ArchivalPolicy policy,
+                 const SchemeRegistry& registry, TimestampAuthority& tsa,
+                 Rng& rng)
+    : cluster_(cluster),
+      policy_(std::move(policy)),
+      registry_(registry),
+      tsa_(tsa),
+      rng_(rng),
+      vault_(rng) {
+  policy_.validate();
+  if (policy_.n > cluster_.size())
+    throw InvalidArgument(
+        "Archive: policy needs more nodes than the cluster has");
+}
+
+NodeId Archive::shard_node(std::uint32_t shard_index) const {
+  // One shard per node; policies never exceed the cluster size.
+  return shard_index % cluster_.size();
+}
+
+Bytes Archive::apply_ciphers(const ObjectId& id, ByteView data,
+                             const std::vector<SchemeId>& stack) const {
+  const ObjectKey* key = vault_.find(id);
+  if (key == nullptr && !stack.empty())
+    throw InvalidArgument("Archive: no key for encrypted object " + id);
+  Bytes cur = to_bytes(data);
+  for (unsigned layer = 0; layer < stack.size(); ++layer) {
+    const SchemeId c = stack[layer];
+    const SecureBytes lk = key->layer_key(c, layer);
+    const Bytes iv = key->layer_iv(c, layer);
+    cur = cipher_apply(c, ByteView(lk.data(), lk.size()), iv, cur);
+  }
+  return cur;
+}
+
+std::vector<Bytes> Archive::encode(const ObjectId& id, ByteView data,
+                                   ObjectManifest& m) {
+  switch (m.encoding) {
+    case EncodingKind::kReplication:
+      return std::vector<Bytes>(m.n, to_bytes(data));
+
+    case EncodingKind::kErasure:
+      return ReedSolomon(m.k, m.n).encode(data);
+
+    case EncodingKind::kEncryptErasure:
+    case EncodingKind::kEntropicErasure:
+    case EncodingKind::kCascade: {
+      const Bytes ct = apply_ciphers(id, data, m.current_ciphers());
+      return ReedSolomon(m.k, m.n).encode(ct);
+    }
+
+    case EncodingKind::kAontRs: {
+      const Bytes package =
+          aont_package(data, m.current_ciphers()[0], rng_);
+      return ReedSolomon(m.k, m.n).encode(package);
+    }
+
+    case EncodingKind::kShamir: {
+      const auto shares = shamir_split(data, m.t, m.n, rng_);
+      std::vector<Bytes> out;
+      out.reserve(shares.size());
+      for (const auto& s : shares) out.push_back(s.data);
+      return out;
+    }
+
+    case EncodingKind::kPacked: {
+      const PackedSharing ps(m.t, m.k, m.n);
+      const auto shares = ps.split(data, rng_);
+      std::vector<Bytes> out;
+      out.reserve(shares.size());
+      for (const auto& s : shares) out.push_back(s.data);
+      return out;
+    }
+
+    case EncodingKind::kLrss: {
+      const Lrss lrss(m.t, m.n, policy_.lrss_leak_bits);
+      LrssSharing sharing = lrss.split(data, rng_);
+      m.lrss_seed = sharing.seed;
+      std::vector<Bytes> out;
+      out.reserve(sharing.shares.size());
+      for (const auto& s : sharing.shares) out.push_back(s.serialize());
+      return out;
+    }
+  }
+  throw InvalidArgument("Archive: unknown encoding");
+}
+
+Bytes Archive::decode(const ObjectManifest& m,
+                      std::vector<std::optional<Bytes>> shards) const {
+  switch (m.encoding) {
+    case EncodingKind::kReplication: {
+      for (auto& s : shards) {
+        if (s) return std::move(*s);
+      }
+      throw UnrecoverableError("Archive: no replica of " + m.id +
+                               " survives");
+    }
+
+    case EncodingKind::kErasure:
+      return ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+
+    case EncodingKind::kEncryptErasure:
+    case EncodingKind::kEntropicErasure:
+    case EncodingKind::kCascade: {
+      const Bytes ct =
+          ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+      // XOR-stream ciphers invert by re-application, outermost first.
+      std::vector<SchemeId> stack = m.current_ciphers();
+      const ObjectKey* key = vault_.find(m.id);
+      if (key == nullptr)
+        throw UnrecoverableError("Archive: key lost for " + m.id);
+      Bytes cur = ct;
+      for (unsigned layer = static_cast<unsigned>(stack.size()); layer-- > 0;) {
+        const SchemeId c = stack[layer];
+        const SecureBytes lk = key->layer_key(c, layer);
+        const Bytes iv = key->layer_iv(c, layer);
+        cur = cipher_apply(c, ByteView(lk.data(), lk.size()), iv, cur);
+      }
+      return cur;
+    }
+
+    case EncodingKind::kAontRs: {
+      const Bytes package =
+          ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+      return aont_unpackage(package);
+    }
+
+    case EncodingKind::kShamir: {
+      std::vector<Share> have;
+      for (std::uint32_t i = 0; i < shards.size(); ++i) {
+        if (shards[i])
+          have.push_back(
+              {static_cast<std::uint8_t>(i + 1), std::move(*shards[i])});
+        if (have.size() == m.t) break;
+      }
+      return shamir_recover(have, m.t);
+    }
+
+    case EncodingKind::kPacked: {
+      const PackedSharing ps(m.t, m.k, m.n);
+      std::vector<PackedShare> have;
+      for (std::uint32_t i = 0; i < shards.size(); ++i) {
+        if (shards[i])
+          have.push_back({static_cast<std::uint16_t>(i + 1),
+                          std::move(*shards[i])});
+        if (have.size() == ps.recover_threshold()) break;
+      }
+      return ps.recover(have, m.size);
+    }
+
+    case EncodingKind::kLrss: {
+      const Lrss lrss(m.t, m.n, policy_.lrss_leak_bits);
+      std::vector<LrssShare> have;
+      for (std::uint32_t i = 0; i < shards.size(); ++i) {
+        if (shards[i]) have.push_back(LrssShare::deserialize(*shards[i]));
+        if (have.size() == m.t) break;
+      }
+      return lrss.recover(have, m.lrss_seed);
+    }
+  }
+  throw InvalidArgument("Archive: unknown encoding");
+}
+
+namespace {
+constexpr unsigned kAuditChallengesPerShard = 4;
+}
+
+void Archive::disperse(ObjectManifest& m, const std::vector<Bytes>& shards) {
+  m.shard_hashes.clear();
+  m.audit_challenges.assign(shards.size(), {});
+  m.audit_round = 0;
+  std::vector<Bytes> leaves;
+  leaves.reserve(shards.size());
+  for (std::uint32_t i = 0; i < shards.size(); ++i) {
+    m.shard_hashes.push_back(Sha256::hash(shards[i]));
+    for (unsigned c = 0; c < kAuditChallengesPerShard; ++c) {
+      ObjectManifest::ShardChallenge ch;
+      ch.nonce = rng_.bytes(16);
+      ch.expected = Sha256::hash_concat({shards[i], ch.nonce});
+      m.audit_challenges[i].push_back(std::move(ch));
+    }
+    leaves.push_back(shards[i]);
+
+    StoredBlob blob;
+    blob.object = m.id;
+    blob.shard_index = i;
+    blob.generation = m.generation;
+    blob.data = shards[i];
+    blob.stored_at = cluster_.now();
+    cluster_.upload(shard_node(i), std::move(blob), policy_.channel);
+  }
+  m.merkle_root = MerkleTree(leaves).root();
+}
+
+void Archive::put(const ObjectId& id, ByteView data) {
+  if (manifests_.count(id) > 0)
+    throw InvalidArgument("Archive: duplicate object id " + id);
+
+  ObjectManifest m;
+  m.id = id;
+  m.size = data.size();
+  m.encoding = policy_.encoding;
+  m.n = policy_.n;
+  m.k = policy_.k;
+  m.t = policy_.t;
+  m.created_at = cluster_.now();
+  m.est_entropy_per_byte = estimate_entropy_per_byte(data);
+  m.cipher_history.push_back(
+      uses_cipher_stack(m.encoding) || m.encoding == EncodingKind::kAontRs
+          ? policy_.ciphers
+          : std::vector<SchemeId>{});
+
+  if (uses_cipher_stack(m.encoding)) {
+    vault_.create(id);
+    if (policy_.key_custody == KeyCustody::kVssOnCluster) {
+      vault_.share_one(id, policy_.vault_threshold, policy_.n);
+      upload_key_shares(id);
+    }
+  }
+
+  const std::vector<Bytes> shards = encode(id, data, m);
+  disperse(m, shards);
+
+  // Integrity stamping.
+  if (policy_.pedersen_timestamps) {
+    CommittedStamp stamp = commit_and_stamp(tsa_, data, cluster_.now(), rng_);
+    m.has_commitment = true;
+    m.commitment = stamp.commitment;
+    m.opening = stamp.opening;
+    m.chain = std::move(stamp.chain);
+  } else {
+    m.chain = TimestampChain::begin(tsa_, Sha256::hash(data),
+                                    SchemeId::kSha256, cluster_.now());
+  }
+
+  manifests_[id] = std::move(m);
+}
+
+std::vector<std::optional<Bytes>> Archive::gather(const ObjectManifest& m,
+                                                  unsigned want,
+                                                  unsigned* bad_count) {
+  std::vector<std::optional<Bytes>> shards(m.n);
+  unsigned have = 0;
+  for (std::uint32_t i = 0; i < m.n && have < want; ++i) {
+    auto blob = cluster_.download(shard_node(i), m.id, i, policy_.channel);
+    if (!blob) continue;
+    if (blob->generation != m.generation) continue;  // stale share
+    if (!ct_equal(Sha256::hash(blob->data), m.shard_hashes[i])) {
+      if (bad_count) ++*bad_count;
+      continue;  // corrupted shard: skip, do not crash the read path
+    }
+    shards[i] = std::move(blob->data);
+    ++have;
+  }
+  return shards;
+}
+
+Bytes Archive::get(const ObjectId& id) {
+  const ObjectManifest& m = manifest(id);
+  const unsigned want = policy_.reconstruction_threshold();
+  auto shards = gather(m, want);
+  return decode(m, std::move(shards));
+}
+
+void Archive::remove(const ObjectId& id) {
+  const ObjectManifest& m = manifest(id);
+  for (std::uint32_t i = 0; i < m.n; ++i)
+    cluster_.node(shard_node(i)).erase(id, i);
+  vault_.erase(id);
+  manifests_.erase(id);
+}
+
+VerifyReport Archive::verify(const ObjectId& id) {
+  const ObjectManifest& m = manifest(id);
+  VerifyReport r;
+  auto shards = gather(m, m.n, &r.shards_bad);
+  for (const auto& s : shards) r.shards_seen += s.has_value();
+  r.enough_shards = r.shards_seen >= policy_.reconstruction_threshold();
+
+  if (m.has_commitment) {
+    r.chain_status =
+        m.chain.verify(m.commitment.encode(), registry_, cluster_.now());
+  } else if (r.enough_shards) {
+    // Hash chains stamp H(data): re-derive it from the stored shards.
+    const Bytes data = decode(m, shards);
+    r.chain_status =
+        m.chain.verify(Sha256::hash(data), registry_, cluster_.now());
+  }
+  return r;
+}
+
+void Archive::refresh() {
+  for (auto& [id, m] : manifests_) {
+    switch (m.encoding) {
+      case EncodingKind::kShamir: {
+        // Herzberg refresh over the full share vector (no reconstruction).
+        auto stored = gather(m, m.n);
+        std::vector<Share> shares;
+        bool complete = true;
+        for (std::uint32_t i = 0; i < m.n; ++i) {
+          if (!stored[i]) {
+            complete = false;
+            break;
+          }
+          shares.push_back(
+              {static_cast<std::uint8_t>(i + 1), std::move(*stored[i])});
+        }
+        if (!complete) break;  // degraded: repair first, refresh next epoch
+        RefreshStats stats;
+        const auto fresh = proactive_refresh(shares, m.t, rng_, &stats);
+        cluster_.count_refresh_traffic(stats.messages, stats.bytes);
+        ++m.generation;
+        m.cipher_history.push_back(m.current_ciphers());
+        std::vector<Bytes> out;
+        out.reserve(fresh.size());
+        for (const auto& s : fresh) out.push_back(s.data);
+        disperse(m, out);
+        break;
+      }
+      case EncodingKind::kPacked:
+      case EncodingKind::kLrss: {
+        // Dealer-based re-share: recover and re-split. (No in-place
+        // proactive protocol exists for these encodings; the dealer is
+        // the data owner, which is the honest-but-costlier variant.)
+        Bytes data = get(id);
+        ++m.generation;
+        m.cipher_history.push_back(m.current_ciphers());
+        const auto shards = encode(id, data, m);
+        cluster_.count_refresh_traffic(m.n, data.size());
+        disperse(m, shards);
+        break;
+      }
+      default:
+        break;  // ciphertext cannot be proactively refreshed
+    }
+  }
+  if (vault_.is_shared()) {
+    vault_.refresh_shared(policy_.vault_threshold, policy_.n);
+    for (const auto& entry : vault_.shared())
+      upload_key_shares(entry.first);
+    // Herzberg traffic for the key plane: n dealers x (n-1) sub-shares
+    // of two scalars each, per key.
+    cluster_.count_refresh_traffic(
+        vault_.shared().size() * policy_.n * (policy_.n - 1),
+        vault_.shared().size() * policy_.n * (policy_.n - 1) * 64);
+  }
+}
+
+void Archive::upload_key_shares(const ObjectId& id) {
+  const auto it = vault_.shared().find(id);
+  if (it == vault_.shared().end()) return;
+  const KeyVault::SharedKey& sk = it->second;
+  for (std::uint32_t i = 0; i < sk.dealing.shares.size(); ++i) {
+    const VssShare& s = sk.dealing.shares[i];
+    ByteWriter w;
+    w.u32(s.index);
+    w.raw(s.value.to_bytes_be());
+    w.raw(s.blind.to_bytes_be());
+
+    StoredBlob blob;
+    blob.object = key_object_id(id);
+    blob.shard_index = i;
+    blob.generation = sk.generation;
+    blob.data = std::move(w).take();
+    blob.stored_at = cluster_.now();
+    cluster_.upload(shard_node(i), std::move(blob), policy_.channel);
+  }
+}
+
+std::string Archive::key_object_id(const ObjectId& id) {
+  return "@key/" + id;
+}
+
+void Archive::rewrap(SchemeId new_outer_cipher) {
+  if (policy_.encoding != EncodingKind::kCascade)
+    throw InvalidArgument("Archive::rewrap: policy is not a cascade");
+  if (scheme_info(new_outer_cipher).kind != SchemeKind::kCipher)
+    throw InvalidArgument("Archive::rewrap: not a cipher");
+
+  for (auto& [id, m] : manifests_) {
+    // Reconstruct the (layered) ciphertext — NOT the plaintext: the
+    // re-wrap adds a layer without ever removing the old ones.
+    auto shards = gather(m, m.k);
+    const Bytes ct = ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+
+    const ObjectKey* key = vault_.find(id);
+    const unsigned layer = static_cast<unsigned>(m.current_ciphers().size());
+    const SecureBytes lk = key->layer_key(new_outer_cipher, layer);
+    const Bytes iv = key->layer_iv(new_outer_cipher, layer);
+    const Bytes wrapped =
+        cipher_apply(new_outer_cipher, ByteView(lk.data(), lk.size()), iv, ct);
+
+    std::vector<SchemeId> stack = m.current_ciphers();
+    stack.push_back(new_outer_cipher);
+    ++m.generation;
+    m.cipher_history.push_back(std::move(stack));
+    disperse(m, ReedSolomon(m.k, m.n).encode(wrapped));
+  }
+  policy_.ciphers.push_back(new_outer_cipher);
+}
+
+void Archive::reencrypt(const std::vector<SchemeId>& fresh) {
+  if (!uses_cipher_stack(policy_.encoding))
+    throw InvalidArgument("Archive::reencrypt: policy has no cipher stack");
+  for (auto& [id, m] : manifests_) {
+    Bytes data = get(id);  // full read + decrypt
+    ++m.generation;
+    m.cipher_history.push_back(fresh);
+    const Bytes ct = apply_ciphers(id, data, fresh);
+    disperse(m, ReedSolomon(m.k, m.n).encode(ct));
+  }
+  policy_.ciphers = fresh;
+}
+
+void Archive::renew_timestamps() {
+  for (auto& [id, m] : manifests_) m.chain.renew(tsa_, cluster_.now());
+}
+
+void Archive::watch_timestamps(NotaryService& notary) {
+  // std::map node stability makes the chain addresses durable for the
+  // manifest's lifetime.
+  for (auto& [id, m] : manifests_) notary.watch(&m.chain);
+}
+
+unsigned Archive::repair(const ObjectId& id) {
+  auto it = manifests_.find(id);
+  if (it == manifests_.end())
+    throw InvalidArgument("Archive: unknown object " + id);
+  ObjectManifest& m = it->second;
+
+  // Identify damage: missing, stale-generation, or hash-mismatched.
+  std::vector<std::optional<Bytes>> shards(m.n);
+  std::vector<bool> damaged(m.n, false);
+  unsigned damage_count = 0;
+  for (std::uint32_t i = 0; i < m.n; ++i) {
+    auto blob = cluster_.download(shard_node(i), m.id, i, policy_.channel);
+    const bool ok = blob && blob->generation == m.generation &&
+                    ct_equal(Sha256::hash(blob->data), m.shard_hashes[i]);
+    if (ok) {
+      shards[i] = std::move(blob->data);
+    } else {
+      damaged[i] = true;
+      ++damage_count;
+    }
+  }
+  if (damage_count == 0) return 0;
+
+  if (is_erasure_family(m.encoding)) {
+    // Rebuild only the damaged shards; the survivors (same generation,
+    // same codeword) stay in place. Plaintext never surfaces.
+    std::vector<Bytes> full;
+    if (m.encoding == EncodingKind::kReplication) {
+      const Bytes* good = nullptr;
+      for (const auto& s : shards) {
+        if (s) {
+          good = &*s;
+          break;
+        }
+      }
+      if (good == nullptr)
+        throw UnrecoverableError("repair: no replica of " + id + " survives");
+      full.assign(m.n, *good);
+    } else {
+      full = ReedSolomon(m.k, m.n).reconstruct_shards(shards);
+    }
+    for (std::uint32_t i = 0; i < m.n; ++i) {
+      if (!damaged[i]) continue;
+      StoredBlob blob;
+      blob.object = m.id;
+      blob.shard_index = i;
+      blob.generation = m.generation;
+      blob.data = full[i];
+      blob.stored_at = cluster_.now();
+      cluster_.upload(shard_node(i), std::move(blob), policy_.channel);
+    }
+    return damage_count;
+  }
+
+  // Sharing encodings: a partially-new share set must not mix with the
+  // old polynomial, so repair is a dealer re-share at a new generation.
+  const Bytes data = decode(m, std::move(shards));
+  ++m.generation;
+  m.cipher_history.push_back(m.current_ciphers());
+  disperse(m, encode(id, data, m));
+  return m.n;
+}
+
+Archive::AuditReport Archive::audit(const ObjectId& id) {
+  auto it = manifests_.find(id);
+  if (it == manifests_.end())
+    throw InvalidArgument("Archive: unknown object " + id);
+  ObjectManifest& m = it->second;
+
+  AuditReport report;
+  const std::uint32_t round = m.audit_round++;
+  for (std::uint32_t i = 0; i < m.n; ++i) {
+    ++report.challenges;
+    const auto& pool = m.audit_challenges[i];
+    const ObjectManifest::ShardChallenge& ch = pool[round % pool.size()];
+
+    // The node computes the response locally; only 32 bytes transit.
+    const StoredBlob* blob = cluster_.node(shard_node(i)).get(m.id, i);
+    if (blob == nullptr || blob->generation != m.generation) {
+      ++report.silent;
+      continue;
+    }
+    const Bytes answer = Sha256::hash_concat({blob->data, ch.nonce});
+    if (ct_equal(answer, ch.expected)) {
+      ++report.passed;
+    } else {
+      ++report.failed;
+    }
+  }
+  return report;
+}
+
+Archive::ScrubReport Archive::scrub() {
+  ScrubReport report;
+  std::vector<ObjectId> ids;
+  ids.reserve(manifests_.size());
+  for (const auto& entry : manifests_) ids.push_back(entry.first);
+  for (const ObjectId& id : ids) {
+    ++report.objects;
+    const AuditReport a = audit(id);
+    if (a.clean()) continue;
+    try {
+      report.shards_repaired += repair(id);
+    } catch (const UnrecoverableError&) {
+      ++report.unrecoverable;
+    }
+  }
+  return report;
+}
+
+void Archive::redistribute_nodes(unsigned t2, unsigned n2) {
+  if (policy_.encoding != EncodingKind::kShamir)
+    throw InvalidArgument(
+        "Archive::redistribute_nodes: policy is not Shamir sharing");
+  if (t2 == 0 || t2 > n2 || n2 > cluster_.size())
+    throw InvalidArgument("Archive::redistribute_nodes: bad geometry");
+
+  for (auto& [id, m] : manifests_) {
+    auto stored = gather(m, m.n);
+    std::vector<Share> shares;
+    for (std::uint32_t i = 0; i < m.n; ++i) {
+      if (stored[i])
+        shares.push_back(
+            {static_cast<std::uint8_t>(i + 1), std::move(*stored[i])});
+    }
+    RefreshStats stats;
+    const auto fresh = redistribute(shares, m.t, t2, n2, rng_, &stats);
+    cluster_.count_refresh_traffic(stats.messages, stats.bytes);
+
+    // Clear the old layout (n may shrink), then disperse the new one.
+    for (std::uint32_t i = 0; i < m.n; ++i)
+      cluster_.node(shard_node(i)).erase(id, i);
+    m.t = t2;
+    m.n = n2;
+    ++m.generation;
+    m.cipher_history.push_back(m.current_ciphers());
+    std::vector<Bytes> out;
+    out.reserve(fresh.size());
+    for (const auto& s : fresh) out.push_back(s.data);
+    disperse(m, out);
+  }
+  policy_.t = t2;
+  policy_.n = n2;
+}
+
+const ObjectManifest& Archive::manifest(const ObjectId& id) const {
+  const auto it = manifests_.find(id);
+  if (it == manifests_.end())
+    throw InvalidArgument("Archive: unknown object " + id);
+  return it->second;
+}
+
+Bytes Archive::export_catalog() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(manifests_.size()));
+  for (const auto& [id, m] : manifests_) w.bytes(m.serialize());
+
+  // Vault masters for encrypted objects (secret material!).
+  std::uint32_t key_count = 0;
+  for (const auto& [id, m] : manifests_)
+    if (vault_.find(id) != nullptr) ++key_count;
+  w.u32(key_count);
+  for (const auto& [id, m] : manifests_) {
+    const ObjectKey* key = vault_.find(id);
+    if (key == nullptr) continue;
+    w.str(id);
+    w.bytes(ByteView(key->master.data(), key->master.size()));
+  }
+  return std::move(w).take();
+}
+
+void Archive::import_catalog(ByteView blob) {
+  ByteReader r(blob);
+  std::map<ObjectId, ObjectManifest> manifests;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ObjectManifest m = ObjectManifest::deserialize(r.bytes());
+    manifests.emplace(m.id, std::move(m));
+  }
+  const std::uint32_t keys = r.u32();
+  std::map<ObjectId, Bytes> masters;
+  for (std::uint32_t i = 0; i < keys; ++i) {
+    const ObjectId id = r.str();
+    masters[id] = r.bytes();
+  }
+  r.expect_done();
+
+  manifests_ = std::move(manifests);
+  for (const auto& [id, master] : masters) vault_.restore(id, master);
+}
+
+StorageReport Archive::storage_report() const {
+  StorageReport r;
+  for (const auto& [id, m] : manifests_) {
+    r.logical_bytes += m.size;
+    for (std::uint32_t i = 0; i < m.n; ++i) {
+      const StoredBlob* b = cluster_.node(shard_node(i)).get(m.id, i);
+      if (b != nullptr) r.stored_bytes += b->data.size();
+    }
+  }
+  return r;
+}
+
+}  // namespace aegis

@@ -1,0 +1,244 @@
+// The aegis Archive: a crypto-agile secure archival engine over a
+// simulated geo-dispersed cluster.
+//
+// One Archive instance runs one ArchivalPolicy end-to-end:
+//   put()    encode (encrypt/share/package) -> disperse over nodes,
+//            stamp integrity (hash chain or LINCOS commitment chain);
+//   get()    gather >= threshold shards -> decode -> verify;
+//   refresh()            proactive share renewal (bumps generations);
+//   rewrap()             add an outer cascade layer (ArchiveSafeLT);
+//   reencrypt()          full download-decrypt-encrypt-upload migration;
+//   renew_timestamps()   extend every object's timestamp chain;
+//   verify()             shard integrity + temporal chain verification.
+//
+// The manifest records everything the obsolescence analyzer needs to
+// judge what a harvest is worth, including the cipher stack *per
+// generation* — a re-wrapped object's previously harvested ciphertext
+// still carries only its old layers (re-wrapping cannot reach stolen
+// copies; §3.2's core point about HNDL).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "archive/keyvault.h"
+#include "archive/policy.h"
+#include "integrity/notary.h"
+#include "integrity/timestamp.h"
+#include "node/cluster.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Everything the archive remembers about one object.
+struct ObjectManifest {
+  ObjectId id;
+  std::size_t size = 0;          // logical bytes
+  EncodingKind encoding{};
+  unsigned n = 0, k = 0, t = 0;
+  std::uint32_t generation = 0;  // bumped by refresh/rewrap/reencrypt
+
+  /// Cipher stack (inner to outer) in force at each generation;
+  /// cipher_history[g] applies to shards harvested at generation g.
+  std::vector<std::vector<SchemeId>> cipher_history;
+
+  Bytes lrss_seed;                 // public extractor seed (LRSS only)
+  std::vector<Bytes> shard_hashes; // SHA-256 per current-generation shard
+  Bytes merkle_root;
+
+  /// Precomputed proof-of-possession challenges (Juels–Kaliski sentinel
+  /// style): per shard, a few (nonce, H(shard||nonce)) pairs minted at
+  /// dispersal time so audits can verify possession without holding the
+  /// shard. Consumed round-robin; regenerated whenever shards change.
+  struct ShardChallenge {
+    Bytes nonce;
+    Bytes expected;
+  };
+  std::vector<std::vector<ShardChallenge>> audit_challenges;
+  std::uint32_t audit_round = 0;
+
+  /// Measured entropy estimate of the content (bits/byte), stamped at
+  /// put time. Drives the entropic-encoding risk escalation: entropic
+  /// security is unconditional only for high-entropy messages.
+  double est_entropy_per_byte = 8.0;
+
+  bool has_commitment = false;     // LINCOS-style stamping?
+  PedersenCommitment commitment;
+  PedersenOpening opening;         // stays client-side
+  TimestampChain chain;
+
+  Epoch created_at = 0;
+
+  const std::vector<SchemeId>& current_ciphers() const {
+    return cipher_history.back();
+  }
+
+  /// Wire format for catalog persistence (the client's backup of
+  /// everything it needs besides keys to find and verify its data).
+  Bytes serialize() const;
+  static ObjectManifest deserialize(ByteView wire);
+};
+
+/// Outcome of Archive::verify.
+struct VerifyReport {
+  unsigned shards_seen = 0;
+  unsigned shards_bad = 0;
+  bool enough_shards = false;
+  ChainStatus chain_status = ChainStatus::kEmpty;
+  bool ok() const {
+    return shards_bad == 0 && enough_shards &&
+           chain_status == ChainStatus::kValid;
+  }
+};
+
+/// Measured storage accounting (Figure 1's cost axis, measured not
+/// nominal).
+struct StorageReport {
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+  double overhead() const {
+    return logical_bytes == 0
+               ? 0.0
+               : static_cast<double>(stored_bytes) / logical_bytes;
+  }
+};
+
+class Archive {
+ public:
+  /// `registry` is consulted for chain verification; `tsa` issues
+  /// timestamps. Both must outlive the archive.
+  Archive(Cluster& cluster, ArchivalPolicy policy,
+          const SchemeRegistry& registry, TimestampAuthority& tsa, Rng& rng);
+
+  const ArchivalPolicy& policy() const { return policy_; }
+  KeyVault& vault() { return vault_; }
+  const KeyVault& vault() const { return vault_; }
+
+  /// Stores an object. Throws InvalidArgument on duplicate ids.
+  void put(const ObjectId& id, ByteView data);
+
+  /// Retrieves an object from whatever nodes are still online. Shards
+  /// failing their manifest hash are skipped silently (they count as
+  /// erasures); throws UnrecoverableError when fewer than the
+  /// reconstruction threshold survive.
+  Bytes get(const ObjectId& id);
+
+  void remove(const ObjectId& id);
+
+  /// Integrity audit of one object at the cluster's current epoch.
+  VerifyReport verify(const ObjectId& id);
+
+  /// One proactive-refresh round over all refreshable material (sharing
+  /// encodings re-randomize shares; VSS'd vault keys refresh). Counts
+  /// traffic into the cluster stats. No-op for pure ciphertext policies.
+  void refresh();
+
+  /// Adds an outer cascade layer to every object (kCascade only).
+  void rewrap(SchemeId new_outer_cipher);
+
+  /// Full re-encryption migration: swaps the cipher stack for `fresh`
+  /// on every encrypted object (the §3.2 "naive re-encryption" path).
+  void reencrypt(const std::vector<SchemeId>& fresh);
+
+  /// Renews every object's timestamp chain under the TSA's current key.
+  void renew_timestamps();
+
+  /// Registers every object's chain with a notary for automated renewal
+  /// (call again after puts; chains of removed objects must not be
+  /// watched — re-register on a fresh notary after removals).
+  void watch_timestamps(NotaryService& notary);
+
+  /// Disaster recovery (the POTSHARDS story): detects missing or
+  /// corrupted shards of one object and rewrites them on their home
+  /// nodes. Erasure-family encodings repair from any k survivors without
+  /// touching plaintext; sharing encodings re-share through the dealer
+  /// (bumping the generation, since partially-new share sets must not
+  /// mix with old ones). Returns the number of shards rewritten.
+  /// Throws UnrecoverableError below the reconstruction threshold.
+  unsigned repair(const ObjectId& id);
+
+  /// Remote integrity audit: challenges every home node to prove it
+  /// still holds each shard, without transferring the shard — the node
+  /// answers H(shard || nonce) and the archive checks it against the
+  /// manifest hash chain. Returns per-object pass/fail counts.
+  struct AuditReport {
+    unsigned challenges = 0;
+    unsigned passed = 0;
+    unsigned failed = 0;   // wrong answer (corrupt shard)
+    unsigned silent = 0;   // node offline / shard missing
+    bool clean() const { return failed == 0 && silent == 0; }
+  };
+  AuditReport audit(const ObjectId& id);
+
+  /// Pergamum-style scrub pass: audits every object and repairs the
+  /// damage audits surface. Returns (objects audited, shards repaired).
+  struct ScrubReport {
+    unsigned objects = 0;
+    unsigned shards_repaired = 0;
+    unsigned unrecoverable = 0;  // objects beyond repair
+  };
+  ScrubReport scrub();
+
+  /// Migrates every object of a sharing policy to a new (t2, n2) access
+  /// structure (Wong et al. share redistribution) — e.g. when providers
+  /// join/leave over the decades. Updates the policy geometry. Only
+  /// valid for kShamir policies (the protocols for packed/LRSS would be
+  /// dealer re-shares, available via refresh()).
+  void redistribute_nodes(unsigned t2, unsigned n2);
+
+  /// Catalog persistence: the archive is only as durable as its client's
+  /// manifests and keys. export_catalog() captures both (manifests +
+  /// vault masters) in one blob that a client stores out of band;
+  /// import_catalog() restores a *fresh* Archive instance to full
+  /// operation against the same cluster. Secrets in the blob: the vault
+  /// masters — treat the export like a key backup.
+  Bytes export_catalog() const;
+  void import_catalog(ByteView blob);
+
+  const ObjectManifest& manifest(const ObjectId& id) const;
+  const std::map<ObjectId, ObjectManifest>& manifests() const {
+    return manifests_;
+  }
+
+  StorageReport storage_report() const;
+
+  /// The on-cluster object id carrying VSS key shares for `id` (HasDPSS
+  /// custody). Exposed for the analyzer, which must recognize harvested
+  /// key-share blobs.
+  static std::string key_object_id(const ObjectId& id);
+
+ private:
+  /// Uploads the current generation of VSS key shares for one object.
+  void upload_key_shares(const ObjectId& id);
+
+  /// Encoding pipeline: logical bytes -> per-node shard payloads.
+  std::vector<Bytes> encode(const ObjectId& id, ByteView data,
+                            ObjectManifest& m);
+  Bytes decode(const ObjectManifest& m,
+               std::vector<std::optional<Bytes>> shards) const;
+
+  /// Applies/removes the policy's cipher stack (empty stack = identity).
+  Bytes apply_ciphers(const ObjectId& id, ByteView data,
+                      const std::vector<SchemeId>& stack) const;
+
+  /// Gathers up to `want` shards for the object at current generation.
+  std::vector<std::optional<Bytes>> gather(const ObjectManifest& m,
+                                           unsigned want,
+                                           unsigned* bad_count = nullptr);
+
+  void disperse(ObjectManifest& m, const std::vector<Bytes>& shards);
+  NodeId shard_node(std::uint32_t shard_index) const;
+
+  Cluster& cluster_;
+  ArchivalPolicy policy_;
+  const SchemeRegistry& registry_;
+  TimestampAuthority& tsa_;
+  Rng& rng_;
+  KeyVault vault_;
+  std::map<ObjectId, ObjectManifest> manifests_;
+};
+
+}  // namespace aegis

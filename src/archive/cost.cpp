@@ -1,0 +1,118 @@
+#include "archive/cost.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aegis {
+
+// Media parameters assembled from the paper's citations: LTO tape
+// economics (Goodwin/IDC), Project Silica (glass), DNA synthesis costs
+// (Bornholt et al., scaled to trend), piql film. Absolute dollars are
+// order-of-magnitude; the *orderings* (tape cheap to keep but migrates
+// every decade; DNA brutal to write, nearly free to keep; glass no
+// migration) are what the §4 bench exercises.
+
+MediaModel MediaModel::Tape() {
+  return {"LTO tape", 0.35, 10.0, 25.0, 10.0, 6.6e-6};
+}
+MediaModel MediaModel::Hdd() {
+  return {"HDD", 1.60, 18.0, 180.0, 5.0, 8.0e-7};
+}
+MediaModel MediaModel::Glass() {
+  // Silica: write-once, no migration within a century, modest readout.
+  // Density: 429 TB/in^3 (Zhang et al.) = 2.62e-2 TB/mm^3.
+  return {"silica glass", 0.08, 40.0, 8.0, 1000.0, 2.62e-2};
+}
+MediaModel MediaModel::Dna() {
+  // Synthesis dominates: ~$1k/TB on optimistic 2030s trend lines; reads
+  // are slow sequencing runs. Density is the headline: 1 EB/mm^3.
+  return {"DNA", 0.01, 1000.0, 0.5, 500.0, 1.0e6};
+}
+MediaModel MediaModel::Film() {
+  return {"photosensitive film", 0.20, 60.0, 2.0, 200.0, 1.2e-7};
+}
+
+std::vector<MediaModel> MediaModel::all() {
+  return {Tape(), Hdd(), Glass(), Dna(), Film()};
+}
+
+double total_cost_usd(const MediaModel& media, double dataset_tb,
+                      double storage_overhead, double years) {
+  if (dataset_tb < 0 || storage_overhead < 1.0 || years <= 0)
+    throw InvalidArgument("total_cost_usd: bad parameters");
+  const double stored_tb = dataset_tb * storage_overhead;
+  // Initial write plus one full rewrite per expired media lifetime.
+  const double writes = 1.0 + std::floor(years / media.media_lifetime_years);
+  const double write_cost = writes * stored_tb * media.write_cost_per_tb;
+  const double keep_cost =
+      stored_tb * media.capacity_cost_per_tb_month * years * 12.0;
+  return write_cost + keep_cost;
+}
+
+SiteModel SiteModel::OakRidgeHpss() {
+  return {"Oak Ridge HPSS", 80000.0, 400.0};
+}
+SiteModel SiteModel::EcmwfMars() {
+  return {"ECMWF MARS", 37900.0, 120.0};
+}
+SiteModel SiteModel::CernEos() {
+  return {"CERN EOS", 230000.0, 909.0};
+}
+SiteModel SiteModel::Pergamum() {
+  // 10 PB at 5 GB/s aggregate = 432 TB/day.
+  return {"Pergamum (10PB)", 10000.0, 432.0};
+}
+SiteModel SiteModel::Exabyte() {
+  return {"hypothetical 1 EB", 1.0e6, 909.0};
+}
+SiteModel SiteModel::Zettabyte() {
+  return {"hypothetical 1 ZB", 1.0e9, 909.0};
+}
+
+std::vector<SiteModel> SiteModel::paper_sites() {
+  return {OakRidgeHpss(), EcmwfMars(), CernEos(), Pergamum()};
+}
+
+double days_to_months(double days) { return days / (365.25 / 12.0); }
+
+double mttdl_years(unsigned n, unsigned reconstruction_threshold,
+                   double annual_failure_rate, double repair_hours) {
+  if (n == 0 || reconstruction_threshold == 0 ||
+      reconstruction_threshold > n)
+    throw InvalidArgument("mttdl_years: bad geometry");
+  if (annual_failure_rate <= 0 || repair_hours <= 0)
+    throw InvalidArgument("mttdl_years: rates must be positive");
+
+  const unsigned r = n - reconstruction_threshold;  // tolerated failures
+  const double lambda = annual_failure_rate / 8766.0;  // per hour
+  const double mu = 1.0 / repair_hours;
+
+  // Path through r repairable degradations into the absorbing state.
+  double denominator = std::pow(lambda, r + 1);
+  for (unsigned i = 0; i <= r; ++i) denominator *= (n - i);
+  const double hours = std::pow(mu, r) / denominator;
+  return hours / 8766.0;
+}
+
+ReencryptionEstimate estimate_reencryption(const SiteModel& site,
+                                           double write_penalty,
+                                           double reserve_penalty,
+                                           double cipher_mb_per_s,
+                                           unsigned crypto_streams) {
+  if (site.read_tb_per_day <= 0)
+    throw InvalidArgument("estimate_reencryption: no read bandwidth");
+  ReencryptionEstimate e{};
+  e.read_days = site.capacity_tb / site.read_tb_per_day;
+  e.read_months = days_to_months(e.read_days);
+  e.practical_months = e.read_months * write_penalty * reserve_penalty;
+
+  if (cipher_mb_per_s > 0 && crypto_streams > 0) {
+    const double tb_per_day =
+        cipher_mb_per_s * crypto_streams * 86400.0 / 1.0e6;
+    e.cpu_bound_months = days_to_months(site.capacity_tb / tb_per_day);
+  }
+  return e;
+}
+
+}  // namespace aegis

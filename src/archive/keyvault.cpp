@@ -1,0 +1,92 @@
+#include "archive/keyvault.h"
+
+#include "crypto/cipher.h"
+#include "crypto/hmac.h"
+#include "sharing/proactive.h"
+#include "util/error.h"
+
+namespace aegis {
+
+SecureBytes ObjectKey::layer_key(SchemeId id, unsigned layer) const {
+  const std::string info =
+      "aegis/key/" + scheme_name(id) + "/" + std::to_string(layer);
+  const std::size_t len = cipher_params(id).key_size;
+  const Bytes okm = hkdf(ByteView(master.data(), master.size()), {},
+                         to_bytes(info), len == 0 ? 32 : len);
+  return to_secure(okm);
+}
+
+Bytes ObjectKey::layer_iv(SchemeId id, unsigned layer) const {
+  const std::string info =
+      "aegis/iv/" + scheme_name(id) + "/" + std::to_string(layer);
+  const std::size_t len = cipher_params(id).iv_size;
+  if (len == 0) return {};
+  return hkdf(ByteView(master.data(), master.size()), {}, to_bytes(info),
+              len);
+}
+
+const ObjectKey& KeyVault::create(const ObjectId& object) {
+  ObjectKey k;
+  k.master = rng_.secure_bytes(32);
+  auto [it, inserted] = keys_.insert_or_assign(object, std::move(k));
+  (void)inserted;
+  return it->second;
+}
+
+void KeyVault::restore(const ObjectId& object, ByteView master) {
+  ObjectKey k;
+  k.master = to_secure(master);
+  keys_.insert_or_assign(object, std::move(k));
+}
+
+const ObjectKey* KeyVault::find(const ObjectId& object) const {
+  const auto it = keys_.find(object);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+namespace {
+// A 32-byte key maps to a scalar below the group order by reduction; the
+// vault stores the reduced form so share-and-reconstruct round-trips.
+U256 key_to_scalar(const SecureBytes& master) {
+  return ec::Secp256k1::instance().scalar_from_hash(
+      Bytes(master.begin(), master.end()));
+}
+}  // namespace
+
+void KeyVault::share_one(const ObjectId& object, unsigned t, unsigned n) {
+  const auto it = keys_.find(object);
+  if (it == keys_.end())
+    throw InvalidArgument("KeyVault::share_one: unknown object " + object);
+  ObjectKey& key = it->second;
+
+  // Canonicalize the master to its scalar form so reconstruction from
+  // shares yields exactly the bytes the cipher layer uses.
+  const U256 scalar = key_to_scalar(key.master);
+  key.master = to_secure(scalar.to_bytes_be());
+
+  SharedKey sk;
+  sk.dealing = pedersen_deal(scalar, t, n, rng_);
+  sk.generation = 0;
+  shared_[object] = std::move(sk);
+}
+
+void KeyVault::share_all(unsigned t, unsigned n) {
+  for (const auto& entry : keys_) share_one(entry.first, t, n);
+}
+
+void KeyVault::refresh_shared(unsigned t, unsigned n) {
+  for (auto& [object, sk] : shared_) {
+    auto result = proactive_refresh_vss(sk.dealing, t, n, rng_);
+    sk.dealing.shares = std::move(result.shares);
+    sk.dealing.commitments = std::move(result.commitments);
+    ++sk.generation;
+  }
+}
+
+SecureBytes KeyVault::reconstruct_key(const std::vector<VssShare>& shares,
+                                      unsigned t) {
+  const U256 scalar = vss_recover(shares, t);
+  return to_secure(scalar.to_bytes_be());
+}
+
+}  // namespace aegis

@@ -1,0 +1,95 @@
+// Key management for encrypted archival policies.
+//
+// Two custody models (§4's key-management discussion, HasDPSS row of
+// Table 1):
+//   * client vault — keys live only with the data owner. Immune to node
+//     corruption, but a single point of loss and an operational burden
+//     over decades.
+//   * VSS on cluster — each object key is Pedersen-VSS-shared across the
+//     storage nodes with threshold t_v and proactively refreshed. The
+//     archive becomes self-contained; the mobile adversary must collect
+//     t_v key shares *within one refresh generation* to steal a key.
+//
+// Keys are 256-bit scalars (they key AES-256/ChaCha via HKDF), so the
+// scalar VSS machinery applies directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "node/node.h"
+#include "sharing/vss.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Per-object key material: one 32-byte master from which per-layer
+/// cipher keys and IVs are derived with HKDF.
+struct ObjectKey {
+  SecureBytes master;  // 32 bytes
+
+  /// Derives the key for cascade layer `layer` of cipher scheme `id`.
+  SecureBytes layer_key(SchemeId id, unsigned layer) const;
+  /// Derives the IV for that layer.
+  Bytes layer_iv(SchemeId id, unsigned layer) const;
+};
+
+/// Key custody + VSS sharing state for one archive.
+class KeyVault {
+ public:
+  explicit KeyVault(Rng& rng) : rng_(rng) {}
+
+  /// Creates and records a fresh key for `object`.
+  const ObjectKey& create(const ObjectId& object);
+
+  /// nullptr if unknown.
+  const ObjectKey* find(const ObjectId& object) const;
+
+  void erase(const ObjectId& object) { keys_.erase(object); }
+
+  /// Restores a key from a catalog backup (see Archive::import_catalog).
+  void restore(const ObjectId& object, ByteView master);
+
+  std::size_t size() const { return keys_.size(); }
+
+  // ---- VSS custody --------------------------------------------------
+  // When keys live on-cluster, each key is dealt as a Pedersen VSS among
+  // n virtual key-holders (the storage nodes). The vault retains the
+  // dealings so the simulation can refresh them and the analyzer can
+  // reason about share theft.
+
+  struct SharedKey {
+    VssDealing dealing;
+    std::uint32_t generation = 0;
+  };
+
+  /// Shares every key with threshold t among n holders.
+  void share_all(unsigned t, unsigned n);
+
+  /// Shares one key (used as objects arrive; existing dealings and their
+  /// generations are untouched).
+  void share_one(const ObjectId& object, unsigned t, unsigned n);
+
+  /// Proactively refreshes every shared key (bumps generations).
+  void refresh_shared(unsigned t, unsigned n);
+
+  const std::map<ObjectId, SharedKey>& shared() const { return shared_; }
+  bool is_shared() const { return !shared_.empty(); }
+
+  /// Reconstructs a key from >= t harvested shares — what the adversary
+  /// does after reaching the threshold (used by the analyzer to
+  /// demonstrate actual key recovery, not just claim it).
+  static SecureBytes reconstruct_key(const std::vector<VssShare>& shares,
+                                     unsigned t);
+
+ private:
+  Rng& rng_;
+  std::map<ObjectId, ObjectKey> keys_;
+  std::map<ObjectId, SharedKey> shared_;
+};
+
+}  // namespace aegis

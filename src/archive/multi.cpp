@@ -1,0 +1,116 @@
+#include "archive/multi.h"
+
+#include "util/error.h"
+
+namespace aegis {
+
+const char* to_string(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kPublic: return "public";
+    case Sensitivity::kInternal: return "internal";
+    case Sensitivity::kSecret: return "secret";
+    case Sensitivity::kTopSecret: return "top-secret";
+  }
+  return "?";
+}
+
+namespace {
+ArchivalPolicy default_policy(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kPublic: {
+      ArchivalPolicy p = ArchivalPolicy::FigErasure();
+      p.name = "pasis/public";
+      return p;
+    }
+    case Sensitivity::kInternal: {
+      ArchivalPolicy p = ArchivalPolicy::CloudBaseline();
+      p.name = "pasis/internal";
+      return p;
+    }
+    case Sensitivity::kSecret: {
+      ArchivalPolicy p = ArchivalPolicy::AontRs();
+      p.name = "pasis/secret";
+      return p;
+    }
+    case Sensitivity::kTopSecret: {
+      ArchivalPolicy p = ArchivalPolicy::VsrArchive();
+      p.name = "pasis/top-secret";
+      return p;
+    }
+  }
+  throw InvalidArgument("default_policy: bad sensitivity");
+}
+
+std::size_t idx(Sensitivity s) { return static_cast<std::size_t>(s); }
+}  // namespace
+
+MultiArchive::MultiArchive(Cluster& cluster, const SchemeRegistry& registry,
+                           TimestampAuthority& tsa, Rng& rng)
+    : cluster_(cluster), registry_(registry), tsa_(tsa), rng_(rng) {
+  for (unsigned s = 0; s < kSensitivityLevels; ++s) {
+    archives_[s] = std::make_unique<Archive>(
+        cluster_, default_policy(static_cast<Sensitivity>(s)), registry_,
+        tsa_, rng_);
+  }
+}
+
+void MultiArchive::set_policy(Sensitivity s, ArchivalPolicy policy) {
+  if (used_[idx(s)])
+    throw InvalidArgument(
+        "MultiArchive: class already has stored objects; policy is fixed");
+  archives_[idx(s)] = std::make_unique<Archive>(cluster_, std::move(policy),
+                                                registry_, tsa_, rng_);
+}
+
+const ArchivalPolicy& MultiArchive::policy(Sensitivity s) const {
+  return archives_[idx(s)]->policy();
+}
+
+void MultiArchive::put(const ObjectId& id, ByteView data, Sensitivity s) {
+  if (index_.count(id) > 0)
+    throw InvalidArgument("MultiArchive: duplicate object id " + id);
+  archives_[idx(s)]->put(id, data);
+  index_[id] = s;
+  used_[idx(s)] = true;
+}
+
+Sensitivity MultiArchive::sensitivity(const ObjectId& id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end())
+    throw InvalidArgument("MultiArchive: unknown object " + id);
+  return it->second;
+}
+
+Bytes MultiArchive::get(const ObjectId& id) {
+  return archives_[idx(sensitivity(id))]->get(id);
+}
+
+VerifyReport MultiArchive::verify(const ObjectId& id) {
+  return archives_[idx(sensitivity(id))]->verify(id);
+}
+
+void MultiArchive::refresh() {
+  for (auto& a : archives_) {
+    if (a->policy().proactive_refresh) a->refresh();
+  }
+}
+
+StorageReport MultiArchive::storage_report() const {
+  StorageReport total;
+  for (const auto& a : archives_) {
+    const StorageReport r = a->storage_report();
+    total.logical_bytes += r.logical_bytes;
+    total.stored_bytes += r.stored_bytes;
+  }
+  return total;
+}
+
+StorageReport MultiArchive::storage_report(Sensitivity s) const {
+  return archives_[idx(s)]->storage_report();
+}
+
+Archive& MultiArchive::archive_for(Sensitivity s) {
+  return *archives_[idx(s)];
+}
+
+}  // namespace aegis

@@ -1,0 +1,77 @@
+// PASIS-style multi-policy archive: "there is no one-size-fits-all
+// approach to secure archival" (§4, quoting the PASIS project) made into
+// an engine. Each sensitivity class maps to its own ArchivalPolicy —
+// public records ride cheap erasure coding, top-secret material rides
+// refreshed secret sharing — and one facade routes objects to the right
+// sub-archive over a shared cluster.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "archive/archive.h"
+
+namespace aegis {
+
+/// Data-sensitivity classes with escalating protection defaults.
+enum class Sensitivity : std::uint8_t {
+  kPublic = 0,    // availability only: erasure coding
+  kInternal,      // cloud baseline: AES + erasure
+  kSecret,        // AONT-RS dispersal (keyless, computational)
+  kTopSecret,     // proactively refreshed Shamir (ITS)
+};
+
+const char* to_string(Sensitivity s);
+constexpr unsigned kSensitivityLevels = 4;
+
+/// One archive facade over per-sensitivity sub-archives.
+class MultiArchive {
+ public:
+  /// Installs the default policy ladder (override with set_policy before
+  /// the first put of that class).
+  MultiArchive(Cluster& cluster, const SchemeRegistry& registry,
+               TimestampAuthority& tsa, Rng& rng);
+
+  /// Replaces the policy for a class. Throws InvalidArgument once
+  /// objects of that class exist (their encoding is already on disk).
+  void set_policy(Sensitivity s, ArchivalPolicy policy);
+
+  const ArchivalPolicy& policy(Sensitivity s) const;
+
+  /// Stores under the class's policy. Object ids are global across
+  /// classes (duplicates rejected).
+  void put(const ObjectId& id, ByteView data, Sensitivity s);
+
+  /// Retrieves regardless of class.
+  Bytes get(const ObjectId& id);
+
+  /// The class an object was stored under.
+  Sensitivity sensitivity(const ObjectId& id) const;
+
+  /// Refreshes every sub-archive whose policy asks for it.
+  void refresh();
+
+  /// Verify across classes.
+  VerifyReport verify(const ObjectId& id);
+
+  /// Aggregate storage accounting, and the per-class split (the
+  /// "Low-High" cost row PASIS gets in Table 1).
+  StorageReport storage_report() const;
+  StorageReport storage_report(Sensitivity s) const;
+
+  Archive& archive_for(Sensitivity s);
+
+ private:
+  std::array<std::unique_ptr<Archive>, kSensitivityLevels> archives_;
+  std::array<bool, kSensitivityLevels> used_{};
+  std::map<ObjectId, Sensitivity> index_;
+
+  Cluster& cluster_;
+  const SchemeRegistry& registry_;
+  TimestampAuthority& tsa_;
+  Rng& rng_;
+};
+
+}  // namespace aegis

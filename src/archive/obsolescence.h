@@ -1,0 +1,50 @@
+// The obsolescence timeline simulator: the paper's whole threat story in
+// one loop.
+//
+// Epoch by epoch: the archive serves its policy (refreshing if it says
+// to), the mobile adversary corrupts up to f nodes and harvests, the
+// passive eavesdropper's wiretap accumulates, and the scheduled
+// cryptanalytic breaks land. At the end the exposure analyzer decides,
+// per object, whether the adversary holds the content — the experiment
+// behind bench/hndl_timeline and the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/analyzer.h"
+#include "archive/archive.h"
+#include "node/adversary.h"
+
+namespace aegis {
+
+/// Timeline configuration shared across policies for fair comparison.
+struct TimelineConfig {
+  unsigned epochs = 40;            // ~decades at one refresh per epoch
+  unsigned node_count = 0;         // 0 = policy.n
+  unsigned object_count = 10;
+  std::size_t object_size = 2048;
+  unsigned adversary_budget = 1;   // f corruptions per epoch
+  CorruptionStrategy strategy = CorruptionStrategy::kSweep;
+  std::vector<std::pair<SchemeId, Epoch>> breaks;  // scheduled cryptanalysis
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one policy's run.
+struct TimelineResult {
+  std::string policy_name;
+  ExposureReport exposure;
+  StorageReport storage;
+  NetworkStats network;
+  std::uint64_t adversary_bytes = 0;
+  std::size_t nodes_ever_corrupted = 0;
+  Epoch epochs_run = 0;
+  bool all_objects_retrievable = true;  // honest availability at the end
+};
+
+/// Runs one policy through the timeline. Deterministic given the config.
+TimelineResult run_timeline(const ArchivalPolicy& policy,
+                            const TimelineConfig& config);
+
+}  // namespace aegis

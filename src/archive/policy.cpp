@@ -1,0 +1,268 @@
+#include "archive/policy.h"
+
+#include "util/error.h"
+
+namespace aegis {
+
+const char* to_string(EncodingKind k) {
+  switch (k) {
+    case EncodingKind::kReplication: return "replication";
+    case EncodingKind::kErasure: return "erasure";
+    case EncodingKind::kEncryptErasure: return "encrypt+erasure";
+    case EncodingKind::kCascade: return "cascade+erasure";
+    case EncodingKind::kAontRs: return "AONT-RS";
+    case EncodingKind::kEntropicErasure: return "entropic+erasure";
+    case EncodingKind::kShamir: return "shamir";
+    case EncodingKind::kPacked: return "packed-shamir";
+    case EncodingKind::kLrss: return "LRSS";
+  }
+  return "?";
+}
+
+unsigned ArchivalPolicy::reconstruction_threshold() const {
+  switch (encoding) {
+    case EncodingKind::kReplication:
+      return 1;
+    case EncodingKind::kErasure:
+    case EncodingKind::kEncryptErasure:
+    case EncodingKind::kCascade:
+    case EncodingKind::kAontRs:
+    case EncodingKind::kEntropicErasure:
+      return k;
+    case EncodingKind::kShamir:
+    case EncodingKind::kLrss:
+      return t;
+    case EncodingKind::kPacked:
+      return t + k;
+  }
+  return n;
+}
+
+double ArchivalPolicy::nominal_overhead() const {
+  switch (encoding) {
+    case EncodingKind::kReplication:
+      return static_cast<double>(n);
+    case EncodingKind::kErasure:
+    case EncodingKind::kEncryptErasure:
+    case EncodingKind::kCascade:
+    case EncodingKind::kAontRs:
+    case EncodingKind::kEntropicErasure:
+      return static_cast<double>(n) / k;
+    case EncodingKind::kShamir:
+      return static_cast<double>(n);
+    case EncodingKind::kPacked:
+      return static_cast<double>(n) / k;
+    case EncodingKind::kLrss:
+      // Shamir-level blowup plus the extractor sources; the archive
+      // reports the measured value, this is the floor.
+      return static_cast<double>(n);
+  }
+  return 1.0;
+}
+
+void ArchivalPolicy::validate() const {
+  if (n == 0) throw InvalidArgument("policy: n must be >= 1");
+  switch (encoding) {
+    case EncodingKind::kReplication:
+      break;
+    case EncodingKind::kErasure:
+    case EncodingKind::kEncryptErasure:
+    case EncodingKind::kCascade:
+    case EncodingKind::kAontRs:
+    case EncodingKind::kEntropicErasure:
+      if (k == 0 || k > n)
+        throw InvalidArgument("policy: need 1 <= k <= n for erasure");
+      break;
+    case EncodingKind::kShamir:
+    case EncodingKind::kLrss:
+      if (t == 0 || t > n)
+        throw InvalidArgument("policy: need 1 <= t <= n for sharing");
+      break;
+    case EncodingKind::kPacked:
+      if (t == 0 || k == 0 || t + k > n)
+        throw InvalidArgument("policy: need t,k >= 1 and t+k <= n");
+      break;
+  }
+  const bool needs_cipher = encoding == EncodingKind::kEncryptErasure ||
+                            encoding == EncodingKind::kCascade ||
+                            encoding == EncodingKind::kAontRs;
+  if (needs_cipher && ciphers.empty())
+    throw InvalidArgument("policy: encrypted encodings need a cipher");
+  for (SchemeId c : ciphers) {
+    if (scheme_info(c).kind != SchemeKind::kCipher)
+      throw InvalidArgument("policy: " + scheme_name(c) + " is not a cipher");
+  }
+}
+
+// ---- Table 1 presets ---------------------------------------------------
+
+ArchivalPolicy ArchivalPolicy::CloudBaseline() {
+  ArchivalPolicy p;
+  p.name = "AWS/Azure/GCP";
+  p.encoding = EncodingKind::kEncryptErasure;
+  p.n = 9;
+  p.k = 6;
+  p.ciphers = {SchemeId::kAes256Ctr};
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::ArchiveSafeLT() {
+  ArchivalPolicy p;
+  p.name = "ArchiveSafeLT";
+  p.encoding = EncodingKind::kCascade;
+  p.n = 9;
+  p.k = 6;
+  p.ciphers = {SchemeId::kAes256Ctr, SchemeId::kChaCha20,
+               SchemeId::kSpeck128Ctr};
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::AontRs() {
+  ArchivalPolicy p;
+  p.name = "AONT-RS";
+  p.encoding = EncodingKind::kAontRs;
+  p.n = 9;
+  p.k = 6;
+  p.ciphers = {SchemeId::kAes256Ctr};
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::Potshards() {
+  ArchivalPolicy p;
+  p.name = "POTSHARDS";
+  p.encoding = EncodingKind::kShamir;
+  p.n = 5;
+  p.t = 3;
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::VsrArchive() {
+  ArchivalPolicy p;
+  p.name = "VSR Archive";
+  p.encoding = EncodingKind::kShamir;
+  p.n = 5;
+  p.t = 3;
+  p.proactive_refresh = true;
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::Lincos() {
+  ArchivalPolicy p;
+  p.name = "LINCOS";
+  p.encoding = EncodingKind::kShamir;
+  p.n = 5;
+  p.t = 3;
+  p.proactive_refresh = true;
+  p.pedersen_timestamps = true;
+  p.channel = ChannelKind::kQkd;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::HasDpss() {
+  ArchivalPolicy p;
+  p.name = "HasDPSS";
+  p.encoding = EncodingKind::kEncryptErasure;
+  p.n = 9;
+  p.k = 6;
+  p.ciphers = {SchemeId::kAes256Ctr};
+  p.key_custody = KeyCustody::kVssOnCluster;
+  p.vault_threshold = 4;
+  p.proactive_refresh = true;  // refreshes the key shares
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::PasisReplication() {
+  ArchivalPolicy p;
+  p.name = "PASIS(repl+enc)";
+  p.encoding = EncodingKind::kEncryptErasure;
+  p.n = 4;
+  p.k = 1;  // replication of ciphertext
+  p.ciphers = {SchemeId::kAes256Ctr};
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::PasisSharing() {
+  ArchivalPolicy p;
+  p.name = "PASIS(sharing)";
+  p.encoding = EncodingKind::kShamir;
+  p.n = 4;
+  p.t = 2;
+  p.channel = ChannelKind::kTls;
+  return p;
+}
+
+// ---- Figure 1 encoding points ------------------------------------------
+
+ArchivalPolicy ArchivalPolicy::FigReplication() {
+  ArchivalPolicy p;
+  p.name = "replication";
+  p.encoding = EncodingKind::kReplication;
+  p.n = 3;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::FigErasure() {
+  ArchivalPolicy p;
+  p.name = "erasure-coding";
+  p.encoding = EncodingKind::kErasure;
+  p.n = 9;
+  p.k = 6;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::FigEncryption() {
+  ArchivalPolicy p;
+  p.name = "traditional-encryption";
+  p.encoding = EncodingKind::kEncryptErasure;
+  p.n = 9;
+  p.k = 6;
+  p.ciphers = {SchemeId::kAes256Ctr};
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::FigEntropic() {
+  ArchivalPolicy p;
+  p.name = "entropic-encryption";
+  p.encoding = EncodingKind::kEntropicErasure;
+  p.n = 9;
+  p.k = 6;
+  p.ciphers = {SchemeId::kEntropicXor};
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::FigShamir() {
+  ArchivalPolicy p;
+  p.name = "secret-sharing";
+  p.encoding = EncodingKind::kShamir;
+  p.n = 5;
+  p.t = 3;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::FigPacked() {
+  ArchivalPolicy p;
+  p.name = "packed-secret-sharing";
+  p.encoding = EncodingKind::kPacked;
+  p.n = 10;
+  p.k = 4;
+  p.t = 3;
+  return p;
+}
+
+ArchivalPolicy ArchivalPolicy::FigLrss() {
+  ArchivalPolicy p;
+  p.name = "leakage-resilient-SS";
+  p.encoding = EncodingKind::kLrss;
+  p.n = 5;
+  p.t = 3;
+  return p;
+}
+
+}  // namespace aegis

@@ -1,0 +1,103 @@
+// Archival policies: the encoding + protocol choices that distinguish the
+// systems in the paper's Table 1, expressed as one configuration type.
+//
+// A policy decides, for data at rest: the secrecy/availability encoding
+// and its geometry; for keys: where they live; for integrity: hash chains
+// vs. Pedersen-commitment chains; for data in transit: the channel; and
+// whether the shares are proactively refreshed. The named presets
+// reproduce the systems the paper surveys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/scheme.h"
+#include "node/cluster.h"
+
+namespace aegis {
+
+/// The at-rest encodings of Figure 1.
+enum class EncodingKind : std::uint8_t {
+  kReplication,     // n copies, no secrecy
+  kErasure,         // RS(k, n), no secrecy
+  kEncryptErasure,  // Enc under a vaulted key, then RS (cloud baseline)
+  kCascade,         // layered ciphers, then RS (ArchiveSafeLT)
+  kAontRs,          // all-or-nothing transform + RS (AONT-RS/Cleversafe)
+  kEntropicErasure, // entropically-secure XOR cipher, then RS
+  kShamir,          // Shamir (t, n) (POTSHARDS)
+  kPacked,          // packed secret sharing (t, k, n)
+  kLrss,            // leakage-resilient sharing (t, n)
+};
+
+const char* to_string(EncodingKind k);
+
+/// Where the decryption keys of encrypted encodings live.
+enum class KeyCustody : std::uint8_t {
+  kClientVault,   // keys never leave the data owner (cloud default)
+  kVssOnCluster,  // keys Pedersen-VSS-shared across the nodes (HasDPSS)
+};
+
+/// Full policy configuration.
+struct ArchivalPolicy {
+  std::string name = "custom";
+  EncodingKind encoding = EncodingKind::kEncryptErasure;
+
+  // Geometry. For kReplication: n copies. For erasure-based encodings:
+  // RS(k, n). For sharing encodings: threshold t out of n (packed adds
+  // pack factor k with recovery threshold t + k).
+  unsigned n = 5;
+  unsigned k = 3;         // erasure data shards / packed pack factor
+  unsigned t = 3;         // secrecy threshold for sharing encodings
+  unsigned lrss_leak_bits = 128;
+
+  // Ciphers for encrypted encodings. Single entry for kEncryptErasure /
+  // kAontRs; the full (inner-to-outer) stack for kCascade.
+  std::vector<SchemeId> ciphers = {SchemeId::kAes256Ctr};
+
+  KeyCustody key_custody = KeyCustody::kClientVault;
+  unsigned vault_threshold = 3;  // VSS threshold when keys live on-cluster
+
+  // Integrity: Pedersen-commitment timestamp chains (LINCOS) vs. plain
+  // hash-stamped chains.
+  bool pedersen_timestamps = false;
+
+  // Proactive refresh of at-rest shares each epoch (sharing encodings
+  // and VSS-vaulted keys only — ciphertext cannot be "refreshed").
+  bool proactive_refresh = false;
+
+  ChannelKind channel = ChannelKind::kTls;
+
+  /// Threshold an adversary must reach to reconstruct content from
+  /// at-rest material alone: shares-needed for sharing encodings,
+  /// data-shards-needed for erasure encodings, 1 for replication.
+  unsigned reconstruction_threshold() const;
+
+  /// Nominal storage blowup of the encoding (stored / logical).
+  double nominal_overhead() const;
+
+  /// Throws InvalidArgument on inconsistent geometry.
+  void validate() const;
+
+  // ---- Presets: the systems of Table 1 ------------------------------
+  static ArchivalPolicy CloudBaseline();   // AWS/Azure/GCP: AES + RS + TLS
+  static ArchivalPolicy ArchiveSafeLT();   // cascade ciphers + re-wrap
+  static ArchivalPolicy AontRs();          // Cleversafe dispersal
+  static ArchivalPolicy Potshards();       // Shamir to independent nodes
+  static ArchivalPolicy VsrArchive();      // Shamir + redistribution/refresh
+  static ArchivalPolicy Lincos();          // Shamir + QKD + Pedersen stamps
+  static ArchivalPolicy HasDpss();         // enc data + VSS'd keys, refresh
+  static ArchivalPolicy PasisReplication();// PASIS low-cost variant
+  static ArchivalPolicy PasisSharing();    // PASIS high-security variant
+
+  // ---- Figure 1 encoding points (pure encodings, default transport) --
+  static ArchivalPolicy FigReplication();
+  static ArchivalPolicy FigErasure();
+  static ArchivalPolicy FigEncryption();
+  static ArchivalPolicy FigEntropic();
+  static ArchivalPolicy FigShamir();
+  static ArchivalPolicy FigPacked();
+  static ArchivalPolicy FigLrss();
+};
+
+}  // namespace aegis

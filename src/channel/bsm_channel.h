@@ -1,0 +1,55 @@
+// The Bounded Storage Model as a *transport*: §4 proposes the BSM as an
+// alternative to QKD for information-theoretic channels; this adapter
+// turns repeated BSM key agreements into the pad supply of an OTP
+// channel with the same frame format as QkdChannel.
+//
+// The practicality question the paper raises shows up as two numbers the
+// channel tracks: how many bytes had to be *streamed* from the beacon
+// per byte of pad distilled, and how many agreement rounds ran. Expect
+// thousands of streamed bytes per pad byte — the measured answer to
+// "are the costs low enough in practice?".
+#pragma once
+
+#include "channel/bsm.h"
+#include "channel/channel.h"
+
+namespace aegis {
+
+/// One endpoint of a BSM-keyed OTP channel.
+class BsmChannel final : public Channel {
+ public:
+  struct Result {
+    std::unique_ptr<BsmChannel> left, right;
+    std::uint64_t bytes_streamed = 0;  // total beacon traffic consumed
+    unsigned rounds = 0;               // agreement rounds run
+  };
+
+  /// Establishes a pair holding `pad_budget` bytes of shared pad,
+  /// distilled from as many BSM rounds as needed. `params.key_bytes` is
+  /// the per-round yield. Rounds whose sample sets fail to intersect
+  /// contribute nothing and are retried (counted in `rounds`).
+  static Result establish(std::size_t pad_budget, const BsmParams& params,
+                          Rng& rng);
+
+  std::size_t pad_remaining() const { return pad_.size() - pad_pos_; }
+
+  Bytes seal(ByteView plaintext) override;
+  Bytes open(ByteView frame) override;
+
+  SecurityClass security() const override {
+    return SecurityClass::kInformationTheoretic;
+  }
+  SchemeId key_agreement_scheme() const override {
+    return SchemeId::kOneTimePad;
+  }
+  SchemeId cipher_scheme() const override { return SchemeId::kOneTimePad; }
+
+ private:
+  explicit BsmChannel(SecureBytes pad);
+  SecureBytes take_pad(std::size_t n);
+
+  SecureBytes pad_;
+  std::size_t pad_pos_ = 0;
+};
+
+}  // namespace aegis

@@ -1,0 +1,39 @@
+#include "channel/channel.h"
+
+namespace aegis {
+
+Epoch ChannelTranscript::falls_at(const SchemeRegistry& reg) const {
+  // The transcript yields once EITHER the key agreement or the bulk
+  // cipher breaks (whichever first). ITS channels have neither.
+  Epoch e = kNever;
+  if (key_agreement != SchemeId::kNone &&
+      scheme_info(key_agreement).breakable) {
+    if (const auto b = reg.break_epoch(key_agreement); b && *b < e) e = *b;
+  }
+  if (cipher != SchemeId::kNone && scheme_info(cipher).breakable) {
+    if (const auto b = reg.break_epoch(cipher); b && *b < e) e = *b;
+  }
+  // A cleartext channel yields immediately.
+  if (key_agreement == SchemeId::kNone && cipher == SchemeId::kNone) e = 0;
+  return e;
+}
+
+void Channel::record(ByteView frame, std::size_t plaintext_len) {
+  transcript_.frames.push_back(to_bytes(frame));
+  transcript_.plaintext_bytes += plaintext_len;
+}
+
+PlainChannel::PlainChannel() {
+  transcript_.key_agreement = SchemeId::kNone;
+  transcript_.cipher = SchemeId::kNone;
+}
+
+Bytes PlainChannel::seal(ByteView plaintext) {
+  Bytes frame = to_bytes(plaintext);
+  record(frame, plaintext.size());
+  return frame;
+}
+
+Bytes PlainChannel::open(ByteView frame) { return to_bytes(frame); }
+
+}  // namespace aegis

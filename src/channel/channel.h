@@ -1,0 +1,73 @@
+// Secure-channel abstraction for data in transit.
+//
+// §3.2's closing observation: a secret-shared datastore with
+// information-theoretic protection *at rest* can still lose everything to
+// an adversary who records TLS traffic and decrypts it after the key
+// exchange falls — HNDL on the wire. Channels therefore carry the same
+// SchemeId/security-class metadata as at-rest encodings, and every frame
+// they emit can be tapped into a transcript for the HNDL simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/scheme.h"
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// What an eavesdropper records from one protected conversation.
+struct ChannelTranscript {
+  SchemeId key_agreement = SchemeId::kNone;  // what must break first
+  SchemeId cipher = SchemeId::kNone;         // ... or this
+  std::vector<Bytes> frames;                 // every on-wire frame
+  std::uint64_t plaintext_bytes = 0;         // how much was protected
+
+  /// The epoch at which a harvested copy of this transcript yields its
+  /// plaintext (kNever for information-theoretic channels).
+  Epoch falls_at(const SchemeRegistry& reg) const;
+};
+
+/// A bidirectional secure pipe. seal() on one endpoint produces a frame
+/// that open() on the peer endpoint accepts; both endpoints share state
+/// established by the constructor/handshake.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Protects a message for the wire.
+  virtual Bytes seal(ByteView plaintext) = 0;
+
+  /// Recovers a message from the wire. Throws IntegrityError on
+  /// tampered frames.
+  virtual Bytes open(ByteView frame) = 0;
+
+  /// Long-term confidentiality class of the channel.
+  virtual SecurityClass security() const = 0;
+
+  /// Scheme metadata for the HNDL analyzer.
+  virtual SchemeId key_agreement_scheme() const = 0;
+  virtual SchemeId cipher_scheme() const = 0;
+
+  /// The eavesdropper's view so far (frames recorded by seal()).
+  const ChannelTranscript& transcript() const { return transcript_; }
+
+ protected:
+  void record(ByteView frame, std::size_t plaintext_len);
+
+  ChannelTranscript transcript_;
+};
+
+/// No protection at all: frames are the plaintext.
+class PlainChannel final : public Channel {
+ public:
+  PlainChannel();
+  Bytes seal(ByteView plaintext) override;
+  Bytes open(ByteView frame) override;
+  SecurityClass security() const override { return SecurityClass::kNone; }
+  SchemeId key_agreement_scheme() const override { return SchemeId::kNone; }
+  SchemeId cipher_scheme() const override { return SchemeId::kNone; }
+};
+
+}  // namespace aegis

@@ -1,0 +1,68 @@
+#include "channel/otp_framing.h"
+
+#include <cstring>
+
+#include "crypto/entropic.h"  // gf64_mul
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+// Wegman-Carter one-time MAC: polynomial hash of the message under key r,
+// masked with one-time key s. Unconditionally unforgeable for one use.
+std::uint64_t poly_mac(ByteView msg, std::uint64_t r, std::uint64_t s) {
+  std::uint64_t acc = 0;
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    std::uint64_t word = 0;
+    const std::size_t take = std::min<std::size_t>(8, msg.size() - off);
+    std::memcpy(&word, msg.data() + off, take);
+    acc = gf64_mul(acc ^ word, r);
+    off += take;
+  }
+  // Mixing the length in defeats padding/extension ambiguity.
+  acc = gf64_mul(acc ^ static_cast<std::uint64_t>(msg.size()), r);
+  return acc ^ s;
+}
+
+void mac_keys(ByteView mac_pad, std::uint64_t& r, std::uint64_t& s) {
+  if (mac_pad.size() != kOtpMacPadSize)
+    throw InvalidArgument("otp_framing: mac pad must be 24 bytes");
+  std::memcpy(&r, mac_pad.data(), 8);
+  std::memcpy(&s, mac_pad.data() + 8, 8);
+  if (r == 0) r = 1;
+}
+
+}  // namespace
+
+Bytes otp_seal_frame(ByteView plaintext, ByteView body_pad,
+                     ByteView mac_pad) {
+  Bytes ct = xor_bytes(plaintext, body_pad);
+  std::uint64_t r, s;
+  mac_keys(mac_pad, r, s);
+  const std::uint64_t tag = poly_mac(ct, r, s);
+
+  ByteWriter w;
+  w.bytes(ct);
+  w.u64(tag);
+  return std::move(w).take();
+}
+
+OtpFrame otp_parse_frame(ByteView frame) {
+  ByteReader rd(frame);
+  OtpFrame f;
+  f.ct = rd.bytes();
+  f.tag = rd.u64();
+  rd.expect_done();
+  return f;
+}
+
+bool otp_check_tag(ByteView ct, std::uint64_t tag, ByteView mac_pad) {
+  std::uint64_t r, s;
+  mac_keys(mac_pad, r, s);
+  return poly_mac(ct, r, s) == tag;
+}
+
+}  // namespace aegis

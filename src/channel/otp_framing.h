@@ -1,0 +1,34 @@
+// Shared one-time-pad frame format for ITS channels (QKD- and BSM-keyed):
+// length-prefixed OTP ciphertext plus a Wegman-Carter one-time MAC
+// (polynomial hash over GF(2^64), tag masked with fresh pad).
+//
+// Pad discipline is the caller's job: every frame consumes
+// |plaintext| + kMacPadSize bytes of pad on BOTH endpoints, in lockstep.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+constexpr std::size_t kOtpMacPadSize = 24;  // r, s, spare
+
+/// Builds a frame: OTP-encrypts `plaintext` with `body_pad` and tags it
+/// with the one-time MAC keys in `mac_pad` (kOtpMacPadSize bytes).
+Bytes otp_seal_frame(ByteView plaintext, ByteView body_pad,
+                     ByteView mac_pad);
+
+/// Parsed frame: ciphertext + tag.
+struct OtpFrame {
+  Bytes ct;
+  std::uint64_t tag = 0;
+};
+
+/// Parses a frame (throws ParseError on malformed input).
+OtpFrame otp_parse_frame(ByteView frame);
+
+/// Verifies the one-time MAC.
+bool otp_check_tag(ByteView ct, std::uint64_t tag, ByteView mac_pad);
+
+}  // namespace aegis

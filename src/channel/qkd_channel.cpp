@@ -1,0 +1,65 @@
+#include "channel/qkd_channel.h"
+
+#include "channel/otp_framing.h"
+#include "util/error.h"
+
+namespace aegis {
+
+QkdChannel::QkdChannel(SecureBytes pad) : pad_(std::move(pad)) {
+  transcript_.key_agreement = SchemeId::kOneTimePad;
+  transcript_.cipher = SchemeId::kOneTimePad;
+}
+
+QkdChannel::Result QkdChannel::establish(std::size_t key_budget, Rng& rng,
+                                         bool eavesdropper_present,
+                                         unsigned sample_bits) {
+  Result res;
+  if (eavesdropper_present) {
+    // Intercept-resend gives each sampled check bit a 25% flip chance;
+    // the endpoints detect the eavesdropper unless every sampled bit
+    // happens to survive.
+    bool detected = false;
+    for (unsigned i = 0; i < sample_bits && !detected; ++i)
+      detected = rng.chance(0.25);
+    if (detected) {
+      res.eavesdropper_detected = true;
+      return res;  // abort: no key material is ever used
+    }
+  }
+  SecureBytes pad = rng.secure_bytes(key_budget);
+  res.left = std::unique_ptr<QkdChannel>(new QkdChannel(pad));
+  res.right = std::unique_ptr<QkdChannel>(new QkdChannel(std::move(pad)));
+  return res;
+}
+
+SecureBytes QkdChannel::take_pad(std::size_t n) {
+  if (pad_remaining() < n)
+    throw UnrecoverableError(
+        "QkdChannel: one-time-pad budget exhausted (key rate limit)");
+  SecureBytes out(pad_.begin() + pad_pos_, pad_.begin() + pad_pos_ + n);
+  pad_pos_ += n;
+  return out;
+}
+
+Bytes QkdChannel::seal(ByteView plaintext) {
+  const SecureBytes body_pad = take_pad(plaintext.size());
+  const SecureBytes mac_pad = take_pad(kOtpMacPadSize);
+
+  Bytes frame = otp_seal_frame(plaintext,
+                               ByteView(body_pad.data(), body_pad.size()),
+                               ByteView(mac_pad.data(), mac_pad.size()));
+  record(frame, plaintext.size());
+  return frame;
+}
+
+Bytes QkdChannel::open(ByteView frame) {
+  const OtpFrame f = otp_parse_frame(frame);
+  const SecureBytes body_pad = take_pad(f.ct.size());
+  const SecureBytes mac_pad = take_pad(kOtpMacPadSize);
+
+  if (!otp_check_tag(f.ct, f.tag, ByteView(mac_pad.data(), mac_pad.size())))
+    throw IntegrityError("QkdChannel: one-time MAC verification failed");
+  return xor_bytes(f.ct, ByteView(body_pad.data(), body_pad.size()));
+}
+
+}  // namespace aegis

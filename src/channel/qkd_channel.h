@@ -1,0 +1,66 @@
+// Simulated Quantum Key Distribution channel (the LINCOS transport).
+//
+// What the paper needs from QKD is a *property*, not photons: two parties
+// obtain a stream of shared one-time-pad key material such that (a) the
+// key is information-theoretically secret, and (b) an eavesdropper on the
+// quantum link is *detected* (disturbance raises the qubit error rate
+// above threshold) rather than merely resisted. We simulate exactly that
+// interface, with a configurable key rate — QKD's practical weakness
+// (§3.2: "specialized infrastructure... engineering challenges") shows up
+// as a hard budget of pad bytes per epoch.
+//
+// Frames are OTP-encrypted and authenticated with a Wegman–Carter
+// one-time MAC (polynomial universal hash over GF(2^64), tag masked by
+// fresh pad) — authentication is information-theoretic too.
+#pragma once
+
+#include "channel/channel.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// One endpoint of a QKD-keyed OTP channel.
+class QkdChannel final : public Channel {
+ public:
+  /// Establishes a pair sharing `key_budget` bytes of QKD-derived pad.
+  /// If `eavesdropper_present`, the quantum-bit error rate check fails
+  /// with probability 1 - 0.75^sample_bits (intercept-resend raises QBER
+  /// to 25%); on detection the endpoints refuse to come up and this
+  /// returns {nullptr, nullptr, true}.
+  struct Result {
+    std::unique_ptr<QkdChannel> left, right;
+    bool eavesdropper_detected = false;
+  };
+  static Result establish(std::size_t key_budget, Rng& rng,
+                          bool eavesdropper_present = false,
+                          unsigned sample_bits = 128);
+
+  /// Remaining pad bytes (each sealed byte consumes pad; each frame also
+  /// consumes 24 bytes of MAC keying).
+  std::size_t pad_remaining() const { return pad_.size() - pad_pos_; }
+
+  /// Throws UnrecoverableError when the pad budget is exhausted — the
+  /// paper's "QKD key rate" constraint surfacing as a hard error.
+  Bytes seal(ByteView plaintext) override;
+  Bytes open(ByteView frame) override;
+
+  SecurityClass security() const override {
+    return SecurityClass::kInformationTheoretic;
+  }
+  SchemeId key_agreement_scheme() const override {
+    return SchemeId::kOneTimePad;  // ITS; never breaks
+  }
+  SchemeId cipher_scheme() const override { return SchemeId::kOneTimePad; }
+
+ private:
+  explicit QkdChannel(SecureBytes pad);
+
+  /// Consumes n pad bytes (both endpoints stay in lockstep because every
+  /// seal has a matching open).
+  SecureBytes take_pad(std::size_t n);
+
+  SecureBytes pad_;
+  std::size_t pad_pos_ = 0;
+};
+
+}  // namespace aegis

@@ -1,0 +1,103 @@
+#include "channel/tls_channel.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/secp256k1.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+constexpr std::size_t kTagSize = 32;
+constexpr std::size_t kIvSize = 16;
+}  // namespace
+
+TlsChannel::TlsChannel(SecureBytes enc_key, SecureBytes mac_key)
+    : enc_key_(std::move(enc_key)), mac_key_(std::move(mac_key)) {
+  transcript_.key_agreement = SchemeId::kEcdhSecp256k1;
+  transcript_.cipher = SchemeId::kAes256Ctr;
+}
+
+std::pair<std::unique_ptr<TlsChannel>, std::unique_ptr<TlsChannel>>
+TlsChannel::handshake(Rng& rng) {
+  const auto& curve = ec::Secp256k1::instance();
+
+  // Ephemeral ECDH: shared point = a * (b*G) = b * (a*G).
+  const U256 a = curve.random_scalar(rng);
+  const U256 b = curve.random_scalar(rng);
+  const ec::Point pa = curve.mul_gen(a);
+  const ec::Point pb = curve.mul_gen(b);
+  const ec::Point shared = curve.mul(pb, a);
+
+  U256 x, y;
+  curve.to_affine(shared, x, y);
+  const Bytes ikm = x.to_bytes_be();
+
+  // Derive directional keys; both endpoints get both (the pair is an
+  // in-process simulation of one full-duplex session).
+  const Bytes okm =
+      hkdf(ikm, /*salt=*/{}, to_bytes(std::string_view("aegis/tls/v1")), 64);
+  SecureBytes enc_key(okm.begin(), okm.begin() + 32);
+  SecureBytes mac_key(okm.begin() + 32, okm.end());
+
+  auto left = std::unique_ptr<TlsChannel>(
+      new TlsChannel(enc_key, mac_key));
+  auto right = std::unique_ptr<TlsChannel>(
+      new TlsChannel(std::move(enc_key), std::move(mac_key)));
+
+  // Eavesdropper sees both ephemeral public keys fly by.
+  const Bytes hs = concat({curve.encode(pa), curve.encode(pb)});
+  left->record(hs, 0);
+  right->record(hs, 0);
+  return {std::move(left), std::move(right)};
+}
+
+Bytes TlsChannel::seal(ByteView plaintext) {
+  ByteWriter w;
+  w.u64(send_seq_);
+
+  Bytes iv(kIvSize, 0);
+  // Deterministic per-sequence IV: sequence number in the low 8 bytes.
+  for (int i = 0; i < 8; ++i)
+    iv[8 + i] = static_cast<std::uint8_t>(send_seq_ >> (8 * i));
+  ++send_seq_;
+
+  const Bytes ct =
+      aes_ctr(ByteView(enc_key_.data(), enc_key_.size()), iv, plaintext);
+  w.bytes(ct);
+
+  const Bytes tag =
+      hmac_sha256(ByteView(mac_key_.data(), mac_key_.size()), w.data());
+  w.raw(tag);
+
+  Bytes frame = std::move(w).take();
+  record(frame, plaintext.size());
+  return frame;
+}
+
+Bytes TlsChannel::open(ByteView frame) {
+  if (frame.size() < 8 + 4 + kTagSize)
+    throw IntegrityError("TlsChannel: truncated frame");
+
+  const ByteView body = frame.subspan(0, frame.size() - kTagSize);
+  const ByteView tag = frame.subspan(frame.size() - kTagSize);
+  const Bytes expect =
+      hmac_sha256(ByteView(mac_key_.data(), mac_key_.size()), body);
+  if (!ct_equal(tag, expect))
+    throw IntegrityError("TlsChannel: MAC verification failed");
+
+  ByteReader r(body);
+  const std::uint64_t seq = r.u64();
+  if (seq != recv_seq_)
+    throw IntegrityError("TlsChannel: bad sequence (replay or drop)");
+  ++recv_seq_;
+
+  const Bytes ct = r.bytes();
+  Bytes iv(kIvSize, 0);
+  for (int i = 0; i < 8; ++i)
+    iv[8 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  return aes_ctr(ByteView(enc_key_.data(), enc_key_.size()), iv, ct);
+}
+
+}  // namespace aegis

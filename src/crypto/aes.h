@@ -1,0 +1,45 @@
+// AES-128 / AES-256 (FIPS 197) block cipher and CTR mode.
+//
+// Only the forward cipher is implemented because every mode we use (CTR)
+// needs only encryption. This is a straightforward byte-oriented
+// implementation — clarity over speed; the archive's throughput models
+// calibrate against whatever this measures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// AES block cipher context (128- or 256-bit key).
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Expands a 16- or 32-byte key. Throws InvalidArgument otherwise.
+  explicit Aes(ByteView key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[16]) const;
+
+  std::size_t key_size() const { return key_size_; }
+
+ private:
+  std::size_t key_size_;
+  int rounds_;
+  std::array<std::uint32_t, 60> round_keys_{};  // max for AES-256
+};
+
+/// AES-CTR keystream XOR: out = data ^ keystream(key, iv).
+/// Encryption and decryption are the same operation. `iv` is 16 bytes
+/// (12-byte nonce + 4-byte counter is the convention used here; the
+/// counter occupies the last 4 bytes big-endian and starts at the value
+/// embedded in the IV).
+Bytes aes_ctr(ByteView key, ByteView iv, ByteView data);
+
+/// In-place variant for large buffers.
+void aes_ctr_inplace(ByteView key, ByteView iv, MutByteView data);
+
+}  // namespace aegis

@@ -1,0 +1,128 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <cstring>
+
+#include "crypto/sha256.h"
+#include "util/error.h"
+
+namespace aegis {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = std::uint8_t(v);
+  p[1] = std::uint8_t(v >> 8);
+  p[2] = std::uint8_t(v >> 16);
+  p[3] = std::uint8_t(v >> 24);
+}
+
+// Produces one 64-byte keystream block.
+void chacha_block(const std::uint8_t key[32], const std::uint8_t nonce[12],
+                  std::uint32_t counter, std::uint8_t out[64]) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce + 4 * i);
+
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_le32(out + 4 * i, x[i] + state[i]);
+}
+
+}  // namespace
+
+void chacha20_inplace(ByteView key, ByteView nonce, MutByteView data,
+                      std::uint32_t counter) {
+  if (key.size() != 32)
+    throw InvalidArgument("chacha20: key must be 32 bytes");
+  if (nonce.size() != 12)
+    throw InvalidArgument("chacha20: nonce must be 12 bytes");
+
+  std::uint8_t ks[64];
+  std::size_t off = 0;
+  while (off < data.size()) {
+    chacha_block(key.data(), nonce.data(), counter++, ks);
+    const std::size_t take = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= ks[i];
+    off += take;
+  }
+}
+
+Bytes chacha20(ByteView key, ByteView nonce, ByteView data,
+               std::uint32_t counter) {
+  Bytes out(data.begin(), data.end());
+  chacha20_inplace(key, nonce, MutByteView(out.data(), out.size()), counter);
+  return out;
+}
+
+ChaChaRng::ChaChaRng(ByteView seed) {
+  Bytes k = Sha256::hash(seed);
+  std::copy(k.begin(), k.end(), key_.begin());
+}
+
+ChaChaRng::ChaChaRng(std::uint64_t seed)
+    : ChaChaRng(ByteView(reinterpret_cast<const std::uint8_t*>(&seed), 8)) {}
+
+void ChaChaRng::refill() {
+  // 96-bit nonce carries the high bits of the block index; the 32-bit
+  // counter carries the low bits. Together they never repeat.
+  std::uint8_t nonce[12] = {};
+  const std::uint64_t hi = block_ >> 32;
+  std::memcpy(nonce, &hi, 8);
+  std::uint8_t zero[64] = {};
+  std::memcpy(buf_.data(), zero, 64);
+  chacha20_inplace(ByteView(key_.data(), 32), ByteView(nonce, 12),
+                   MutByteView(buf_.data(), 64),
+                   static_cast<std::uint32_t>(block_));
+  ++block_;
+  buf_pos_ = 0;
+}
+
+void ChaChaRng::fill(MutByteView out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (buf_pos_ == 64) refill();
+    const std::size_t take = std::min(out.size() - off, 64 - buf_pos_);
+    std::memcpy(out.data() + off, buf_.data() + buf_pos_, take);
+    buf_pos_ += take;
+    off += take;
+  }
+}
+
+std::uint64_t ChaChaRng::next_u64() {
+  std::uint8_t b[8];
+  fill(MutByteView(b, 8));
+  std::uint64_t v;
+  std::memcpy(&v, b, 8);
+  return v;
+}
+
+}  // namespace aegis

@@ -1,0 +1,72 @@
+#include "crypto/cipher.h"
+
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/entropic.h"
+#include "crypto/speck.h"
+#include "util/error.h"
+
+namespace aegis {
+
+CipherParams cipher_params(SchemeId id) {
+  switch (id) {
+    case SchemeId::kAes128Ctr:
+      return {16, 16};
+    case SchemeId::kAes256Ctr:
+      return {32, 16};
+    case SchemeId::kChaCha20:
+      return {32, 12};
+    case SchemeId::kSpeck128Ctr:
+      return {16, 16};
+    case SchemeId::kOneTimePad:
+      return {0, 0};  // key length == message length
+    case SchemeId::kEntropicXor:
+      return {EntropicXor::kKeySize, 0};
+    default:
+      throw InvalidArgument("cipher_params: " + scheme_name(id) +
+                            " is not a cipher");
+  }
+}
+
+Bytes cipher_apply(SchemeId id, ByteView key, ByteView iv, ByteView data) {
+  const CipherParams p = cipher_params(id);
+  if (p.key_size != 0 && key.size() != p.key_size)
+    throw InvalidArgument("cipher_apply: wrong key size for " +
+                          scheme_name(id));
+  if (iv.size() != p.iv_size)
+    throw InvalidArgument("cipher_apply: wrong IV size for " +
+                          scheme_name(id));
+
+  switch (id) {
+    case SchemeId::kAes128Ctr:
+    case SchemeId::kAes256Ctr:
+      return aes_ctr(key, iv, data);
+    case SchemeId::kChaCha20:
+      return chacha20(key, iv, data);
+    case SchemeId::kSpeck128Ctr:
+      return speck_ctr(key, iv, data);
+    case SchemeId::kOneTimePad:
+      if (key.size() != data.size())
+        throw InvalidArgument("one-time pad: key must equal message length");
+      return xor_bytes(data, key);
+    case SchemeId::kEntropicXor:
+      return EntropicXor(key).apply(data);
+    default:
+      throw InvalidArgument("cipher_apply: unsupported scheme");
+  }
+}
+
+SecureBytes generate_key(SchemeId id, Rng& rng, std::size_t message_size) {
+  const CipherParams p = cipher_params(id);
+  const std::size_t n = p.key_size == 0 ? message_size : p.key_size;
+  if (n == 0)
+    throw InvalidArgument(
+        "generate_key: one-time pad needs the message size");
+  return rng.secure_bytes(n);
+}
+
+Bytes generate_iv(SchemeId id, Rng& rng) {
+  return rng.bytes(cipher_params(id).iv_size);
+}
+
+}  // namespace aegis

@@ -1,0 +1,39 @@
+// Uniform facade over the symmetric ciphers, keyed by SchemeId.
+//
+// Crypto agility demands that archive code never hardcode a cipher: an
+// ArchivalPolicy names a SchemeId, and encode/decode paths route through
+// this facade. All our ciphers are XOR-stream constructions, so apply()
+// is an involution (encrypt == decrypt), which the cascade module
+// exploits to peel layers in any order consistent with its IV bookkeeping.
+#pragma once
+
+#include "crypto/scheme.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Key/IV geometry for a cipher scheme.
+struct CipherParams {
+  std::size_t key_size;  // 0 means "same as message" (one-time pad)
+  std::size_t iv_size;
+};
+
+/// Returns the geometry for a cipher SchemeId.
+/// Throws InvalidArgument if `id` is not a cipher.
+CipherParams cipher_params(SchemeId id);
+
+/// Applies the keystream of cipher `id` to `data` (encrypts or decrypts —
+/// identical for stream ciphers). Key and IV sizes must match
+/// cipher_params(id); the one-time pad requires key.size()==data.size()
+/// and an empty IV.
+Bytes cipher_apply(SchemeId id, ByteView key, ByteView iv, ByteView data);
+
+/// Generates a fresh random key of the right size for `id` (for the OTP
+/// this is `message_size` bytes of pad).
+SecureBytes generate_key(SchemeId id, Rng& rng, std::size_t message_size = 0);
+
+/// Generates a fresh random IV of the right size for `id`.
+Bytes generate_iv(SchemeId id, Rng& rng);
+
+}  // namespace aegis

@@ -1,0 +1,129 @@
+#include "crypto/combiner.h"
+
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+void check_cipher(SchemeId id) {
+  if (scheme_info(id).kind != SchemeKind::kCipher ||
+      id == SchemeId::kOneTimePad) {
+    throw InvalidArgument("combiner: " + scheme_name(id) +
+                          " is not a fixed-key cipher");
+  }
+}
+}  // namespace
+
+CascadeCombiner::CascadeCombiner(std::vector<SchemeId> components)
+    : components_(std::move(components)) {
+  if (components_.empty())
+    throw InvalidArgument("CascadeCombiner: need at least one component");
+  for (SchemeId c : components_) check_cipher(c);
+}
+
+CombinerKeys CascadeCombiner::keygen(Rng& rng) const {
+  CombinerKeys out;
+  for (SchemeId c : components_) {
+    out.keys.push_back(generate_key(c, rng));
+    out.ivs.push_back(generate_iv(c, rng));
+  }
+  return out;
+}
+
+Bytes CascadeCombiner::seal(ByteView plaintext,
+                            const CombinerKeys& keys) const {
+  if (keys.keys.size() != components_.size())
+    throw InvalidArgument("CascadeCombiner: key count mismatch");
+  Bytes cur = to_bytes(plaintext);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    cur = cipher_apply(components_[i],
+                       ByteView(keys.keys[i].data(), keys.keys[i].size()),
+                       keys.ivs[i], cur);
+  }
+  return cur;
+}
+
+Bytes CascadeCombiner::open(ByteView ciphertext,
+                            const CombinerKeys& keys) const {
+  if (keys.keys.size() != components_.size())
+    throw InvalidArgument("CascadeCombiner: key count mismatch");
+  Bytes cur = to_bytes(ciphertext);
+  for (std::size_t i = components_.size(); i-- > 0;) {
+    cur = cipher_apply(components_[i],
+                       ByteView(keys.keys[i].data(), keys.keys[i].size()),
+                       keys.ivs[i], cur);
+  }
+  return cur;
+}
+
+Epoch CascadeCombiner::falls_at(const SchemeRegistry& reg) const {
+  Epoch latest = 0;
+  for (SchemeId c : components_) {
+    const auto b = reg.break_epoch(c);
+    if (!b) return kNever;
+    latest = std::max(latest, *b);
+  }
+  return latest;
+}
+
+XorCombiner::XorCombiner(SchemeId first, SchemeId second)
+    : first_(first), second_(second) {
+  check_cipher(first);
+  check_cipher(second);
+}
+
+CombinerKeys XorCombiner::keygen(Rng& rng) const {
+  CombinerKeys out;
+  out.keys.push_back(generate_key(first_, rng));
+  out.keys.push_back(generate_key(second_, rng));
+  out.ivs.push_back(generate_iv(first_, rng));
+  out.ivs.push_back(generate_iv(second_, rng));
+  return out;
+}
+
+Bytes XorCombiner::seal(ByteView plaintext, const CombinerKeys& keys,
+                        Rng& rng) const {
+  if (keys.keys.size() != 2)
+    throw InvalidArgument("XorCombiner: need exactly two keys");
+  const Bytes r = rng.bytes(plaintext.size());
+  const Bytes half1 = xor_bytes(plaintext, r);
+
+  const Bytes c1 =
+      cipher_apply(first_, ByteView(keys.keys[0].data(), keys.keys[0].size()),
+                   keys.ivs[0], half1);
+  const Bytes c2 = cipher_apply(
+      second_, ByteView(keys.keys[1].data(), keys.keys[1].size()),
+      keys.ivs[1], r);
+
+  ByteWriter w;
+  w.bytes(c1);
+  w.bytes(c2);
+  return std::move(w).take();
+}
+
+Bytes XorCombiner::open(ByteView ciphertext, const CombinerKeys& keys) const {
+  if (keys.keys.size() != 2)
+    throw InvalidArgument("XorCombiner: need exactly two keys");
+  ByteReader rd(ciphertext);
+  const Bytes c1 = rd.bytes();
+  const Bytes c2 = rd.bytes();
+  rd.expect_done();
+
+  const Bytes half1 =
+      cipher_apply(first_, ByteView(keys.keys[0].data(), keys.keys[0].size()),
+                   keys.ivs[0], c1);
+  const Bytes r = cipher_apply(
+      second_, ByteView(keys.keys[1].data(), keys.keys[1].size()),
+      keys.ivs[1], c2);
+  return xor_bytes(half1, r);
+}
+
+Epoch XorCombiner::falls_at(const SchemeRegistry& reg) const {
+  const auto b1 = reg.break_epoch(first_);
+  const auto b2 = reg.break_epoch(second_);
+  if (!b1 || !b2) return kNever;
+  return std::max(*b1, *b2);
+}
+
+}  // namespace aegis

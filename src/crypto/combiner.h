@@ -1,0 +1,92 @@
+// Robust combiners for encryption (Herzberg; the paper's §3.2 backdrop
+// for ArchiveSafeLT's cascade).
+//
+// A (1, k)-robust combiner stays secure as long as at least one of its k
+// component ciphers is secure. Two classical constructions with very
+// different small print:
+//
+//   * CascadeCombiner — E_k(...E_2(E_1(m))). With independent keys a
+//     cascade is at least as secure as its FIRST cipher in general, and
+//     as secure as the BEST cipher against attackers that cannot exploit
+//     ordering (Maurer–Massey's "importance of being first"). Cost: no
+//     ciphertext expansion; keys grow linearly.
+//
+//   * XorCombiner — split m into one-time-pad-style halves:
+//     c = (E_1(m xor r), E_2(r)). Recovering m requires breaking BOTH
+//     components (a clean (1,2)-robust combiner with no ordering
+//     caveat). Cost: 2x ciphertext expansion — storage the archive must
+//     pay, which is why ArchiveSafeLT chose the cascade.
+//
+// Both report their composite break epoch against a SchemeRegistry so
+// the obsolescence machinery can reason about them.
+#pragma once
+
+#include <vector>
+
+#include "crypto/cipher.h"
+#include "crypto/scheme.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Keys + IVs for one combiner instance (one entry per component).
+struct CombinerKeys {
+  std::vector<SecureBytes> keys;
+  std::vector<Bytes> ivs;
+};
+
+/// Cascade of stream ciphers (inner first).
+class CascadeCombiner {
+ public:
+  /// Components must all be keyed ciphers; throws InvalidArgument on an
+  /// empty list or a non-cipher scheme.
+  explicit CascadeCombiner(std::vector<SchemeId> components);
+
+  const std::vector<SchemeId>& components() const { return components_; }
+
+  /// Generates fresh independent keys/IVs for every layer.
+  CombinerKeys keygen(Rng& rng) const;
+
+  /// Applies all layers, inner (components()[0]) first.
+  Bytes seal(ByteView plaintext, const CombinerKeys& keys) const;
+
+  /// Peels all layers, outer first.
+  Bytes open(ByteView ciphertext, const CombinerKeys& keys) const;
+
+  /// Ciphertext expansion factor (cascades: exactly 1.0).
+  double expansion() const { return 1.0; }
+
+  /// The epoch at which harvested ciphertext falls: when the LAST
+  /// component breaks (kNever if any component never breaks).
+  Epoch falls_at(const SchemeRegistry& reg) const;
+
+ private:
+  std::vector<SchemeId> components_;
+};
+
+/// XOR-split two-cipher combiner.
+class XorCombiner {
+ public:
+  XorCombiner(SchemeId first, SchemeId second);
+
+  CombinerKeys keygen(Rng& rng) const;
+
+  /// c = E1(m xor r) || E2(r), r fresh per message from `rng`.
+  Bytes seal(ByteView plaintext, const CombinerKeys& keys, Rng& rng) const;
+
+  Bytes open(ByteView ciphertext, const CombinerKeys& keys) const;
+
+  double expansion() const { return 2.0; }
+
+  /// Falls only when BOTH components are broken.
+  Epoch falls_at(const SchemeRegistry& reg) const;
+
+  SchemeId first() const { return first_; }
+  SchemeId second() const { return second_; }
+
+ private:
+  SchemeId first_, second_;
+};
+
+}  // namespace aegis

@@ -1,0 +1,53 @@
+// Entropically-secure encryption (Figure 1's "Entropically Secure
+// Encryption" quadrant point).
+//
+// Russell–Wang / Dodis–Smith: if the message has min-entropy ≥ t, one can
+// encrypt with a key of only ~(n - t) + 2 log(1/eps) bits and achieve
+// *information-theoretic* indistinguishability for that message class —
+// a middle ground between the one-time pad (key == message) and
+// computational ciphers (short key, breakable assumptions).
+//
+// We instantiate the standard construction: C = M xor G(K), where G is a
+// small-bias (epsilon-biased) generator. Our G is the "powering"
+// construction of Alon–Goldreich–Håstad–Peralta over GF(2^64):
+//     pad word i = a^(i+1) * b   in GF(2^64),  key K = (a, b).
+// Every nonzero linear combination of pad bits has bias ≤ (#words)/2^64,
+// which is what entropic security needs. The key is 16 bytes regardless
+// of message length, and security is unconditional *given message
+// entropy* — there is nothing for future cryptanalysis to break, but a
+// low-entropy message (all zeros) is NOT protected. This is exactly the
+// trade-off the paper's Figure 1 places between traditional encryption
+// and secret sharing.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Entropically-secure XOR cipher with a 16-byte key.
+class EntropicXor {
+ public:
+  static constexpr std::size_t kKeySize = 16;  // (a, b) in GF(2^64)^2
+
+  /// Throws InvalidArgument unless key is 16 bytes with a != 0.
+  explicit EntropicXor(ByteView key);
+
+  /// Encrypts/decrypts (involution): data xor G(key).
+  Bytes apply(ByteView data) const;
+
+  /// Bias bound of the underlying generator for a given message length:
+  /// eps = ceil(len/8) / 2^64. Reported by the Figure 1 bench.
+  static double bias_bound(std::size_t message_len);
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// Carry-less (GF(2)[x]) multiplication reduced mod
+/// x^64 + x^4 + x^3 + x + 1 — GF(2^64) multiply, exposed for tests.
+std::uint64_t gf64_mul(std::uint64_t a, std::uint64_t b);
+
+}  // namespace aegis

@@ -1,0 +1,54 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+#include "util/error.h"
+
+namespace aegis {
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    Bytes kh = Sha256::hash(key);
+    std::copy(kh.begin(), kh.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Bytes inner = Sha256::hash_concat({ipad, data});
+  return Sha256::hash_concat({opad, inner});
+}
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  static const Bytes kZeroSalt(Sha256::kDigestSize, 0);
+  return hmac_sha256(salt.empty() ? ByteView(kZeroSalt) : salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  if (length == 0 || length > 255 * Sha256::kDigestSize)
+    throw InvalidArgument("hkdf_expand: length out of range");
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = concat({t, info, ByteView(&counter, 1)});
+    t = hmac_sha256(prk, block);
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+    ++counter;
+  }
+  return out;
+}
+
+Bytes hkdf(ByteView ikm, ByteView salt, ByteView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace aegis

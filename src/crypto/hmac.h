@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC provides integrity tags for channel messages; HKDF derives
+// per-layer cascade keys and per-object keys from archive master secrets.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// HMAC-SHA256 of `data` under `key`. Returns a 32-byte tag.
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes (<= 255*32) from a PRK and info
+/// string. Throws InvalidArgument if length is out of range.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// One-shot extract-then-expand.
+Bytes hkdf(ByteView ikm, ByteView salt, ByteView info, std::size_t length);
+
+}  // namespace aegis

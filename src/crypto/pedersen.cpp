@@ -1,0 +1,64 @@
+#include "crypto/pedersen.h"
+
+#include "crypto/sha256.h"
+
+namespace aegis {
+
+using ec::Secp256k1;
+
+Bytes PedersenCommitment::encode() const {
+  return Secp256k1::instance().encode(point);
+}
+
+PedersenCommitment PedersenCommitment::decode(ByteView enc) {
+  return PedersenCommitment{Secp256k1::instance().decode(enc)};
+}
+
+bool PedersenCommitment::operator==(const PedersenCommitment& o) const {
+  return Secp256k1::instance().eq(point, o.point);
+}
+
+PedersenCommitment pedersen_commit(const U256& value, const U256& blind) {
+  const Secp256k1& curve = Secp256k1::instance();
+  const ec::Point gv = curve.mul_gen(value);
+  const ec::Point hr = curve.mul(curve.pedersen_h(), blind);
+  return PedersenCommitment{curve.add(gv, hr)};
+}
+
+PedersenCommitment pedersen_commit(const U256& value, Rng& rng,
+                                   PedersenOpening& opening_out) {
+  const Secp256k1& curve = Secp256k1::instance();
+  opening_out.value = value;
+  opening_out.blind = curve.random_scalar(rng);
+  return pedersen_commit(opening_out.value, opening_out.blind);
+}
+
+PedersenCommitment pedersen_commit_bytes(ByteView message, Rng& rng,
+                                         PedersenOpening& opening_out) {
+  const Secp256k1& curve = Secp256k1::instance();
+  const U256 v = curve.scalar_from_hash(Sha256::hash(message));
+  return pedersen_commit(v, rng, opening_out);
+}
+
+bool pedersen_verify(const PedersenCommitment& c, const PedersenOpening& o) {
+  return pedersen_commit(o.value, o.blind) == c;
+}
+
+bool pedersen_verify_bytes(const PedersenCommitment& c, ByteView message,
+                           const U256& blind) {
+  const Secp256k1& curve = Secp256k1::instance();
+  const U256 v = curve.scalar_from_hash(Sha256::hash(message));
+  return pedersen_commit(v, blind) == c;
+}
+
+PedersenCommitment pedersen_add(const PedersenCommitment& a,
+                                const PedersenCommitment& b) {
+  return PedersenCommitment{Secp256k1::instance().add(a.point, b.point)};
+}
+
+PedersenCommitment pedersen_scale(const PedersenCommitment& c,
+                                  const U256& k) {
+  return PedersenCommitment{Secp256k1::instance().mul(c.point, k)};
+}
+
+}  // namespace aegis

@@ -1,0 +1,66 @@
+// Pedersen commitments over secp256k1.
+//
+// C = g^v · h^r where nobody knows log_g(h). Hiding is
+// *information-theoretic* (C is uniform over the group for random r);
+// binding is computational (discrete log). The paper (§3.3, LINCOS)
+// relies on exactly this asymmetry: a timestamp chain built from Pedersen
+// commitments keeps long-term confidentiality even after the binding
+// assumption falls, because the commitment string itself never leaks the
+// committed value.
+//
+// The homomorphism commit(a,r)·commit(b,s) = commit(a+b, r+s) is what
+// Pedersen VSS and proactive share-refresh verification are built on.
+#pragma once
+
+#include "crypto/secp256k1.h"
+#include "gf/u256.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// An opened commitment: the value/blinding pair.
+struct PedersenOpening {
+  U256 value;  // scalar mod n
+  U256 blind;  // scalar mod n
+};
+
+/// A Pedersen commitment (a curve point).
+struct PedersenCommitment {
+  ec::Point point;
+
+  /// Compressed wire encoding.
+  Bytes encode() const;
+  static PedersenCommitment decode(ByteView enc);
+
+  bool operator==(const PedersenCommitment& o) const;
+};
+
+/// Commits to a scalar value with the given blinding factor.
+PedersenCommitment pedersen_commit(const U256& value, const U256& blind);
+
+/// Commits to a scalar with a fresh random blinding; returns the opening.
+PedersenCommitment pedersen_commit(const U256& value, Rng& rng,
+                                   PedersenOpening& opening_out);
+
+/// Commits to an arbitrary byte string by first reducing SHA-256(m) to a
+/// scalar. Hiding remains information-theoretic; binding additionally
+/// assumes collision resistance of SHA-256 (as in LINCOS).
+PedersenCommitment pedersen_commit_bytes(ByteView message, Rng& rng,
+                                         PedersenOpening& opening_out);
+
+/// Verifies an opening against a commitment.
+bool pedersen_verify(const PedersenCommitment& c, const PedersenOpening& o);
+
+/// Verifies a byte-string opening (recomputes the scalar from m).
+bool pedersen_verify_bytes(const PedersenCommitment& c, ByteView message,
+                           const U256& blind);
+
+/// Homomorphic combination: commit(a,r) + commit(b,s) = commit(a+b, r+s).
+PedersenCommitment pedersen_add(const PedersenCommitment& a,
+                                const PedersenCommitment& b);
+
+/// Scalar multiple: k * commit(v, r) = commit(k·v, k·r).
+PedersenCommitment pedersen_scale(const PedersenCommitment& c, const U256& k);
+
+}  // namespace aegis

@@ -1,0 +1,125 @@
+#include "crypto/scheme.h"
+
+#include <array>
+
+namespace aegis {
+
+namespace {
+
+constexpr std::array<SchemeInfo, static_cast<std::size_t>(SchemeId::kMaxScheme)>
+    kInfos = {{
+        {SchemeId::kNone, "none", SchemeKind::kCipher, SecurityClass::kNone,
+         false},
+
+        {SchemeId::kAes128Ctr, "AES-128-CTR", SchemeKind::kCipher,
+         SecurityClass::kComputational, true},
+        {SchemeId::kAes256Ctr, "AES-256-CTR", SchemeKind::kCipher,
+         SecurityClass::kComputational, true},
+        {SchemeId::kChaCha20, "ChaCha20", SchemeKind::kCipher,
+         SecurityClass::kComputational, true},
+        {SchemeId::kSpeck128Ctr, "Speck128-CTR", SchemeKind::kCipher,
+         SecurityClass::kComputational, true},
+
+        {SchemeId::kOneTimePad, "One-Time-Pad", SchemeKind::kCipher,
+         SecurityClass::kInformationTheoretic, false},
+        {SchemeId::kShamirGf256, "Shamir-GF256", SchemeKind::kSharing,
+         SecurityClass::kInformationTheoretic, false},
+        {SchemeId::kPackedGf65536, "Packed-Shamir-GF65536",
+         SchemeKind::kSharing, SecurityClass::kInformationTheoretic, false},
+        {SchemeId::kLrssGf256, "LRSS-GF256", SchemeKind::kSharing,
+         SecurityClass::kInformationTheoretic, false},
+
+        {SchemeId::kEntropicXor, "Entropic-XOR", SchemeKind::kCipher,
+         SecurityClass::kEntropic, false},
+
+        {SchemeId::kSha256, "SHA-256", SchemeKind::kHash,
+         SecurityClass::kComputational, true},
+        {SchemeId::kSha512, "SHA-512", SchemeKind::kHash,
+         SecurityClass::kComputational, true},
+        {SchemeId::kSha3_256, "SHA3-256", SchemeKind::kHash,
+         SecurityClass::kComputational, true},
+        {SchemeId::kHmacSha256, "HMAC-SHA256", SchemeKind::kMac,
+         SecurityClass::kComputational, true},
+
+        {SchemeId::kSchnorrSecp256k1, "Schnorr-secp256k1",
+         SchemeKind::kSignature, SecurityClass::kComputational, true},
+        {SchemeId::kEcdhSecp256k1, "ECDH-secp256k1",
+         SchemeKind::kKeyAgreement, SecurityClass::kComputational, true},
+
+        {SchemeId::kSigGenA, "Signature-GenA", SchemeKind::kSignature,
+         SecurityClass::kComputational, true},
+        {SchemeId::kSigGenB, "Signature-GenB", SchemeKind::kSignature,
+         SecurityClass::kComputational, true},
+        {SchemeId::kSigGenC, "Signature-GenC", SchemeKind::kSignature,
+         SecurityClass::kComputational, true},
+
+        {SchemeId::kHashCommit, "Hash-Commitment", SchemeKind::kCommitment,
+         SecurityClass::kComputational, true},
+        {SchemeId::kPedersenCommit, "Pedersen-Commitment",
+         SchemeKind::kCommitment, SecurityClass::kInformationTheoretic,
+         // Pedersen is ITS-*hiding*; its binding is computational. For
+         // confidentiality purposes (our axis here) it never breaks.
+         false},
+
+        {SchemeId::kReedSolomon, "Reed-Solomon", SchemeKind::kErasure,
+         SecurityClass::kNone, false},
+        {SchemeId::kReplication, "Replication", SchemeKind::kErasure,
+         SecurityClass::kNone, false},
+    }};
+
+}  // namespace
+
+const SchemeInfo& scheme_info(SchemeId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= kInfos.size())
+    throw InvalidArgument("scheme_info: unknown SchemeId");
+  return kInfos[idx];
+}
+
+std::string scheme_name(SchemeId id) { return scheme_info(id).name; }
+
+void SchemeRegistry::set_break_epoch(SchemeId id, Epoch epoch) {
+  const SchemeInfo& info = scheme_info(id);
+  if (!info.breakable) {
+    throw InvalidArgument("SchemeRegistry: " + std::string(info.name) +
+                          " is information-theoretic and cannot break");
+  }
+  breaks_[id] = epoch;
+}
+
+void SchemeRegistry::clear_break(SchemeId id) { breaks_.erase(id); }
+
+bool SchemeRegistry::is_broken(SchemeId id, Epoch now) const {
+  const auto it = breaks_.find(id);
+  return it != breaks_.end() && it->second <= now;
+}
+
+std::optional<Epoch> SchemeRegistry::break_epoch(SchemeId id) const {
+  const auto it = breaks_.find(id);
+  if (it == breaks_.end()) return std::nullopt;
+  return it->second;
+}
+
+Epoch SchemeRegistry::earliest_break(
+    std::initializer_list<SchemeId> ids) const {
+  Epoch e = kNever;
+  for (SchemeId id : ids) {
+    const auto b = break_epoch(id);
+    if (b && *b < e) e = *b;
+  }
+  return e;
+}
+
+Epoch SchemeRegistry::latest_break(std::initializer_list<SchemeId> ids) const {
+  // "Latest" means the cascade survives until all fall; if any member has
+  // no scheduled break, the cascade never falls.
+  Epoch e = 0;
+  for (SchemeId id : ids) {
+    const auto b = break_epoch(id);
+    if (!b) return kNever;
+    if (*b > e) e = *b;
+  }
+  return e;
+}
+
+}  // namespace aegis

@@ -1,0 +1,154 @@
+// Crypto-agility metadata: scheme identifiers, security classification and
+// the break-epoch registry.
+//
+// The paper's central thesis is that every *computationally* secure
+// primitive must be assumed breakable on archival timescales (§3.1), while
+// information-theoretic constructions are immune. To make that measurable,
+// every primitive in aegis carries a SchemeId, and a SchemeRegistry maps
+// scheme -> the epoch at which cryptanalysis "breaks" it. The mobile
+// adversary consults the registry: harvested ciphertext under a broken
+// scheme is treated as plaintext (Harvest Now, Decrypt Later).
+//
+// Information-theoretic schemes (one-time pad, Shamir sharing below
+// threshold, Pedersen hiding) have no break epoch by construction; the
+// registry refuses to assign one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/error.h"
+
+namespace aegis {
+
+/// Simulation epoch. One epoch ≈ one proactive-refresh period (think
+/// "one year"); breaks, corruptions and refreshes are all epoch-indexed.
+using Epoch = std::uint32_t;
+
+/// Sentinel for "never".
+constexpr Epoch kNever = 0xffffffff;
+
+/// Identifies a cryptographic scheme/primitive instance family.
+enum class SchemeId : std::uint16_t {
+  kNone = 0,
+
+  // Symmetric ciphers (computational).
+  kAes128Ctr,
+  kAes256Ctr,
+  kChaCha20,
+  kSpeck128Ctr,
+
+  // Information-theoretic encodings.
+  kOneTimePad,
+  kShamirGf256,
+  kPackedGf65536,
+  kLrssGf256,
+
+  // Entropic security: information-theoretic *for high-entropy messages*.
+  kEntropicXor,
+
+  // Hashes / MACs (computational).
+  kSha256,
+  kSha512,
+  kSha3_256,
+  kHmacSha256,
+
+  // Public-key (computational).
+  kSchnorrSecp256k1,
+  kEcdhSecp256k1,
+
+  // Signature-scheme *generations* for timestamp chains: all instantiated
+  // by Schnorr in this simulator, but registered as independent schemes
+  // so a timeline can break generation A while generation B (the
+  // "post-quantum successor" a real archive would migrate to) survives.
+  kSigGenA,
+  kSigGenB,
+  kSigGenC,
+
+  // Commitments.
+  kHashCommit,      // binding computational+, hiding computational
+  kPedersenCommit,  // hiding information-theoretic, binding computational
+
+  // Erasure codes / replication — availability encodings, no secrecy.
+  kReedSolomon,
+  kReplication,
+
+  kMaxScheme
+};
+
+/// Long-term confidentiality classification (Definition 2.1 vs 2.2).
+enum class SecurityClass : std::uint8_t {
+  /// No secrecy at all (replication, plain erasure coding).
+  kNone,
+  /// Secure only against PPT adversaries; assumed broken eventually.
+  kComputational,
+  /// Secure for high-min-entropy inputs regardless of compute power.
+  kEntropic,
+  /// Secure against unbounded adversaries (Definition 2.1, eps ~ 0).
+  kInformationTheoretic,
+};
+
+/// What role the scheme plays; used by the analyzer when deducing what a
+/// break yields to the adversary.
+enum class SchemeKind : std::uint8_t {
+  kCipher,
+  kSharing,
+  kHash,
+  kMac,
+  kSignature,
+  kKeyAgreement,
+  kCommitment,
+  kErasure,
+};
+
+/// Static metadata about a scheme.
+struct SchemeInfo {
+  SchemeId id;
+  const char* name;
+  SchemeKind kind;
+  SecurityClass confidentiality;  // what it offers for secrecy
+  bool breakable;                 // computational => true
+};
+
+/// Returns static metadata (table lookup, never fails for valid ids).
+const SchemeInfo& scheme_info(SchemeId id);
+
+/// Human-readable scheme name.
+std::string scheme_name(SchemeId id);
+
+/// Registry of cryptanalytic break events for a simulated timeline.
+///
+/// A scheme is "broken at epoch e": from e onward, any artifact whose
+/// confidentiality/integrity rests on that scheme yields to the adversary
+/// — including artifacts *harvested before e* (the HNDL attack).
+class SchemeRegistry {
+ public:
+  SchemeRegistry() = default;
+
+  /// Declares that `id` falls to cryptanalysis at `epoch`.
+  /// Throws InvalidArgument for information-theoretic schemes: the whole
+  /// point of ITS is that no such epoch can exist.
+  void set_break_epoch(SchemeId id, Epoch epoch);
+
+  /// Removes a scheduled break (for what-if analyses).
+  void clear_break(SchemeId id);
+
+  /// True if `id` is broken at (or before) `now`.
+  bool is_broken(SchemeId id, Epoch now) const;
+
+  /// The break epoch, if one is scheduled.
+  std::optional<Epoch> break_epoch(SchemeId id) const;
+
+  /// Earliest epoch at which *any* of the given schemes is broken
+  /// (kNever if none are scheduled). A cascade survives until its last
+  /// cipher falls, a single-cipher object until its first.
+  Epoch earliest_break(std::initializer_list<SchemeId> ids) const;
+  Epoch latest_break(std::initializer_list<SchemeId> ids) const;
+
+ private:
+  std::map<SchemeId, Epoch> breaks_;
+};
+
+}  // namespace aegis

@@ -1,0 +1,77 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/error.h"
+
+namespace aegis {
+
+using ec::Secp256k1;
+
+SchnorrKeyPair schnorr_keygen(Rng& rng) {
+  const Secp256k1& curve = Secp256k1::instance();
+  SchnorrKeyPair kp;
+  kp.secret = curve.random_scalar(rng);
+  kp.public_key = curve.encode(curve.mul_gen(kp.secret));
+  return kp;
+}
+
+namespace {
+// Challenge e = H(R || P || m) reduced mod n (key-prefixed Schnorr).
+U256 challenge(const Bytes& r_enc, ByteView pub, ByteView msg) {
+  const Bytes e = Sha256::hash_concat({r_enc, pub, msg});
+  return Secp256k1::instance().scalar_from_hash(e);
+}
+}  // namespace
+
+SchnorrSignature schnorr_sign(const SchnorrKeyPair& key, ByteView message) {
+  const Secp256k1& curve = Secp256k1::instance();
+
+  // Deterministic nonce: k = HMAC(secret, message) reduced mod n,
+  // re-derived with a counter in the (cosmically unlikely) zero case.
+  const Bytes sk = key.secret.to_bytes_be();
+  U256 k;
+  for (std::uint8_t ctr = 0;; ++ctr) {
+    Bytes mac = hmac_sha256(sk, concat({message, ByteView(&ctr, 1)}));
+    k = curve.scalar_from_hash(mac);
+    if (!k.is_zero()) break;
+  }
+
+  const ec::Point r_pt = curve.mul_gen(k);
+  const Bytes r_enc = curve.encode(r_pt);
+  const U256 e = challenge(r_enc, key.public_key, message);
+
+  // s = k + e*x mod n
+  const MontgomeryCtx& fn = curve.fn();
+  const U256 ex =
+      fn.from_mont(fn.mul(fn.to_mont(e), fn.to_mont(key.secret)));
+  const U256 s = fn.add(k, ex);
+
+  SchnorrSignature sig;
+  sig.bytes = concat({r_enc, s.to_bytes_be()});
+  return sig;
+}
+
+bool schnorr_verify(ByteView public_key, ByteView message,
+                    const SchnorrSignature& sig) {
+  if (sig.bytes.size() != SchnorrSignature::kSize) return false;
+  const Secp256k1& curve = Secp256k1::instance();
+  try {
+    const ByteView r_enc = ByteView(sig.bytes).subspan(0, 33);
+    const ec::Point r_pt = curve.decode(r_enc);
+    const U256 s = U256::from_bytes_be(ByteView(sig.bytes).subspan(33, 32));
+    if (s >= curve.order()) return false;
+    const ec::Point pub = curve.decode(public_key);
+    if (curve.is_infinity(pub) || curve.is_infinity(r_pt)) return false;
+
+    const U256 e = challenge(to_bytes(r_enc), public_key, message);
+    // Check s·G == R + e·P.
+    const ec::Point lhs = curve.mul_gen(s);
+    const ec::Point rhs = curve.add(r_pt, curve.mul(pub, e));
+    return curve.eq(lhs, rhs);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace aegis

@@ -1,0 +1,38 @@
+// Schnorr signatures over secp256k1 (key-prefixed, Fiat–Shamir).
+//
+// The computationally secure signature used by timestamp chains (§3.3)
+// and node identities. Nonces are derived deterministically from the key
+// and message (RFC 6979 flavour, via HMAC) so signing never consumes
+// entropy and replays are bit-identical in simulations.
+#pragma once
+
+#include "crypto/secp256k1.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// A Schnorr key pair.
+struct SchnorrKeyPair {
+  U256 secret;      // x in [1, n-1]
+  Bytes public_key; // compressed point P = x·G
+};
+
+/// A signature (R, s) in wire form: 33-byte R || 32-byte s.
+struct SchnorrSignature {
+  Bytes bytes;  // 65 bytes
+
+  static constexpr std::size_t kSize = 65;
+};
+
+/// Generates a key pair from the given RNG.
+SchnorrKeyPair schnorr_keygen(Rng& rng);
+
+/// Signs a message. Deterministic given (secret, message).
+SchnorrSignature schnorr_sign(const SchnorrKeyPair& key, ByteView message);
+
+/// Verifies a signature against a compressed public key.
+bool schnorr_verify(ByteView public_key, ByteView message,
+                    const SchnorrSignature& sig);
+
+}  // namespace aegis

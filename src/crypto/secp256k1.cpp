@@ -1,0 +1,237 @@
+#include "crypto/secp256k1.h"
+
+#include "crypto/sha256.h"
+#include "util/error.h"
+
+namespace aegis::ec {
+
+namespace {
+const char* kP =
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+const char* kN =
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141";
+const char* kGx =
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798";
+const char* kGy =
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8";
+}  // namespace
+
+const Secp256k1& Secp256k1::instance() {
+  static const Secp256k1 curve;
+  return curve;
+}
+
+Secp256k1::Secp256k1()
+    : p_(U256::from_hex(kP)),
+      n_(U256::from_hex(kN)),
+      fp_(p_),
+      fn_(n_),
+      seven_mont_(fp_.to_mont(U256(7))) {
+  g_ = from_affine(U256::from_hex(kGx), U256::from_hex(kGy));
+  h_ = hash_to_point(to_bytes("aegis/pedersen/generator-H/v1"));
+}
+
+Point Secp256k1::from_affine(const U256& x, const U256& y) const {
+  Point p;
+  p.x = fp_.to_mont(x);
+  p.y = fp_.to_mont(y);
+  p.z = fp_.one_mont();
+  p.inf = false;
+  return p;
+}
+
+Point Secp256k1::neg(const Point& p) const {
+  if (p.inf) return p;
+  Point r = p;
+  r.y = fp_.sub(U256(), p.y);  // 0 - y mod p
+  return r;
+}
+
+Point Secp256k1::dbl(const Point& p) const {
+  if (p.inf || p.y.is_zero()) return Point{};  // identity
+
+  const MontgomeryCtx& f = fp_;
+  const U256 y2 = f.sqr(p.y);            // Y^2
+  const U256 s0 = f.mul(p.x, y2);        // X*Y^2
+  const U256 s = f.add(f.add(s0, s0), f.add(s0, s0));  // 4*X*Y^2
+  const U256 x2 = f.sqr(p.x);
+  const U256 m = f.add(f.add(x2, x2), x2);  // 3*X^2 (a = 0)
+  Point r;
+  r.inf = false;
+  r.x = f.sub(f.sqr(m), f.add(s, s));    // M^2 - 2S
+  const U256 y4 = f.sqr(y2);
+  U256 y4_8 = f.add(y4, y4);             // 2
+  y4_8 = f.add(y4_8, y4_8);              // 4
+  y4_8 = f.add(y4_8, y4_8);              // 8*Y^4
+  r.y = f.sub(f.mul(m, f.sub(s, r.x)), y4_8);
+  const U256 yz = f.mul(p.y, p.z);
+  r.z = f.add(yz, yz);                   // 2*Y*Z
+  return r;
+}
+
+Point Secp256k1::add(const Point& p, const Point& q) const {
+  if (p.inf) return q;
+  if (q.inf) return p;
+
+  const MontgomeryCtx& f = fp_;
+  const U256 z1z1 = f.sqr(p.z);
+  const U256 z2z2 = f.sqr(q.z);
+  const U256 u1 = f.mul(p.x, z2z2);
+  const U256 u2 = f.mul(q.x, z1z1);
+  const U256 s1 = f.mul(p.y, f.mul(z2z2, q.z));
+  const U256 s2 = f.mul(q.y, f.mul(z1z1, p.z));
+
+  if (u1 == u2) {
+    if (s1 == s2) return dbl(p);
+    return Point{};  // P + (-P) = identity
+  }
+
+  const U256 h = f.sub(u2, u1);
+  const U256 r0 = f.sub(s2, s1);
+  const U256 h2 = f.sqr(h);
+  const U256 h3 = f.mul(h2, h);
+  const U256 u1h2 = f.mul(u1, h2);
+
+  Point r;
+  r.inf = false;
+  r.x = f.sub(f.sub(f.sqr(r0), h3), f.add(u1h2, u1h2));
+  r.y = f.sub(f.mul(r0, f.sub(u1h2, r.x)), f.mul(s1, h3));
+  r.z = f.mul(h, f.mul(p.z, q.z));
+  return r;
+}
+
+Point Secp256k1::mul(const Point& p, const U256& k) const {
+  // Reduce k mod n so callers can pass raw hash outputs.
+  U256 scalar = k;
+  if (scalar >= n_) {
+    U256 t;
+    sub_borrow(scalar, n_, t);
+    scalar = t;
+  }
+  Point acc;  // identity
+  const unsigned bits = scalar.bit_length();
+  for (unsigned i = bits; i-- > 0;) {
+    acc = dbl(acc);
+    if (scalar.bit(i)) acc = add(acc, p);
+  }
+  return acc;
+}
+
+bool Secp256k1::eq(const Point& p, const Point& q) const {
+  if (p.inf || q.inf) return p.inf == q.inf;
+  // Cross-multiplied Jacobian comparison avoids inversions:
+  // X1*Z2^2 == X2*Z1^2 and Y1*Z2^3 == Y2*Z1^3.
+  const MontgomeryCtx& f = fp_;
+  const U256 z1z1 = f.sqr(p.z);
+  const U256 z2z2 = f.sqr(q.z);
+  if (!(f.mul(p.x, z2z2) == f.mul(q.x, z1z1))) return false;
+  return f.mul(p.y, f.mul(z2z2, q.z)) == f.mul(q.y, f.mul(z1z1, p.z));
+}
+
+void Secp256k1::to_affine(const Point& p, U256& x, U256& y) const {
+  if (p.inf) throw InvalidArgument("to_affine: point at infinity");
+  const MontgomeryCtx& f = fp_;
+  const U256 zinv = f.inv(p.z);
+  const U256 zinv2 = f.sqr(zinv);
+  x = f.from_mont(f.mul(p.x, zinv2));
+  y = f.from_mont(f.mul(p.y, f.mul(zinv2, zinv)));
+}
+
+Bytes Secp256k1::encode(const Point& p) const {
+  if (p.inf) return Bytes{0x00};
+  U256 x, y;
+  to_affine(p, x, y);
+  Bytes out;
+  out.reserve(33);
+  out.push_back(y.is_odd() ? 0x03 : 0x02);
+  Bytes xb = x.to_bytes_be();
+  out.insert(out.end(), xb.begin(), xb.end());
+  return out;
+}
+
+bool Secp256k1::sqrt_fp(const U256& a_mont, U256& out) const {
+  // p ≡ 3 (mod 4): sqrt(a) = a^((p+1)/4).
+  U256 e = p_;  // (p+1)/4 == (p-3)/4 + 1; compute via shift of p+1
+  U256 one(1);
+  U256 pp1;
+  add_carry(e, one, pp1);  // p+1 (no overflow: p < 2^256-1)
+  shr1(pp1);
+  shr1(pp1);
+  const U256 r = fp_.pow(a_mont, pp1);
+  if (!(fp_.sqr(r) == a_mont)) return false;
+  out = r;
+  return true;
+}
+
+Point Secp256k1::decode(ByteView enc) const {
+  if (enc.size() == 1 && enc[0] == 0x00) return Point{};
+  if (enc.size() != 33 || (enc[0] != 0x02 && enc[0] != 0x03))
+    throw ParseError("Secp256k1::decode: malformed point encoding");
+  const U256 x = U256::from_bytes_be(enc.subspan(1));
+  if (x >= p_) throw ParseError("Secp256k1::decode: x out of range");
+
+  const U256 xm = fp_.to_mont(x);
+  const U256 rhs = fp_.add(fp_.mul(fp_.sqr(xm), xm), seven_mont_);
+  U256 ym;
+  if (!sqrt_fp(rhs, ym)) throw ParseError("Secp256k1::decode: not on curve");
+
+  U256 y = fp_.from_mont(ym);
+  const bool want_odd = enc[0] == 0x03;
+  if (y.is_odd() != want_odd) {
+    U256 t;
+    sub_borrow(p_, y, t);
+    y = t;
+  }
+  Point p;
+  p.x = xm;
+  p.y = fp_.to_mont(y);
+  p.z = fp_.one_mont();
+  p.inf = false;
+  return p;
+}
+
+Point Secp256k1::hash_to_point(ByteView label) const {
+  // Try-and-increment: hash(label || ctr) as candidate x until the cubic
+  // has a root. Expected ~2 attempts; deterministic for a fixed label.
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    std::uint8_t ctr_le[4] = {
+        std::uint8_t(ctr), std::uint8_t(ctr >> 8), std::uint8_t(ctr >> 16),
+        std::uint8_t(ctr >> 24)};
+    Bytes digest = Sha256::hash_concat({label, ByteView(ctr_le, 4)});
+    U256 x = U256::from_bytes_be(digest);
+    if (x >= p_ || x.is_zero()) continue;
+    const U256 xm = fp_.to_mont(x);
+    const U256 rhs = fp_.add(fp_.mul(fp_.sqr(xm), xm), seven_mont_);
+    U256 ym;
+    if (!sqrt_fp(rhs, ym)) continue;
+    Point p;
+    p.x = xm;
+    p.y = ym;
+    p.z = fp_.one_mont();
+    p.inf = false;
+    return p;
+  }
+}
+
+U256 Secp256k1::random_scalar(Rng& rng) const {
+  // Rejection-sample 32-byte strings until one lands in [1, n-1].
+  for (;;) {
+    Bytes b = rng.bytes(32);
+    const U256 k = U256::from_bytes_be(b);
+    if (!k.is_zero() && k < n_) return k;
+  }
+}
+
+U256 Secp256k1::scalar_from_hash(ByteView digest32) const {
+  if (digest32.size() != 32)
+    throw InvalidArgument("scalar_from_hash: need 32 bytes");
+  U256 k = U256::from_bytes_be(digest32);
+  while (k >= n_) {
+    U256 t;
+    sub_borrow(k, n_, t);
+    k = t;
+  }
+  return k;
+}
+
+}  // namespace aegis::ec

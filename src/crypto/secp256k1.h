@@ -1,0 +1,106 @@
+// secp256k1 elliptic-curve group, implemented from scratch on top of the
+// Montgomery field arithmetic in gf/mont.h.
+//
+// This group backs every discrete-log-based construction in the library:
+//   * Pedersen commitments (information-theoretically hiding) — the
+//     LINCOS trick for confidentiality-preserving timestamping and the
+//     verification layer of Pedersen VSS;
+//   * Feldman VSS commitments;
+//   * Schnorr signatures for timestamp chains;
+//   * ECDH for the TLS-like (computationally secure) channel.
+//
+// Points are held in Jacobian coordinates with field elements in
+// Montgomery form; conversion happens only at the encode/decode boundary.
+// This is a simulator, not a production signer: we do not attempt
+// constant-time execution.
+#pragma once
+
+#include "gf/mont.h"
+#include "gf/u256.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis::ec {
+
+/// A curve point in Jacobian coordinates (X/Z^2, Y/Z^3), Montgomery form.
+struct Point {
+  U256 x, y, z;
+  bool inf = true;  // default-constructed point is the identity
+};
+
+/// The secp256k1 group: y^2 = x^3 + 7 over F_p, prime order n.
+class Secp256k1 {
+ public:
+  /// Returns the process-wide instance (construction precomputes the
+  /// Montgomery contexts and the Pedersen generator H).
+  static const Secp256k1& instance();
+
+  /// Field modulus context (mod p).
+  const MontgomeryCtx& fp() const { return fp_; }
+  /// Scalar/order context (mod n).
+  const MontgomeryCtx& fn() const { return fn_; }
+  /// Group order n as an integer.
+  const U256& order() const { return n_; }
+
+  /// The standard base point G.
+  const Point& generator() const { return g_; }
+
+  /// A second generator H with unknown discrete log w.r.t. G, derived by
+  /// hash-to-curve from a fixed label — the Pedersen generator.
+  const Point& pedersen_h() const { return h_; }
+
+  bool is_infinity(const Point& p) const { return p.inf; }
+
+  /// Group law.
+  Point add(const Point& p, const Point& q) const;
+  Point dbl(const Point& p) const;
+  Point neg(const Point& p) const;
+
+  /// Scalar multiplication k*P (double-and-add; k taken mod n).
+  Point mul(const Point& p, const U256& k) const;
+
+  /// k*G.
+  Point mul_gen(const U256& k) const { return mul(g_, k); }
+
+  /// Constant-free equality (compares the underlying affine points).
+  bool eq(const Point& p, const Point& q) const;
+
+  /// Converts to affine (x, y) as plain integers. Precondition: !p.inf.
+  void to_affine(const Point& p, U256& x, U256& y) const;
+
+  /// Compressed SEC1 encoding: 33 bytes (0x02/0x03 || x). The identity
+  /// encodes as a single 0x00 byte.
+  Bytes encode(const Point& p) const;
+
+  /// Inverse of encode. Throws ParseError on invalid encodings or points
+  /// not on the curve.
+  Point decode(ByteView enc) const;
+
+  /// Deterministic try-and-increment hash-to-curve (for Pedersen H and
+  /// test fixtures). Never returns the identity.
+  Point hash_to_point(ByteView label) const;
+
+  /// Uniform scalar in [1, n-1].
+  U256 random_scalar(Rng& rng) const;
+
+  /// Reduces an arbitrary 32-byte string to a scalar mod n (for
+  /// Fiat-Shamir challenges).
+  U256 scalar_from_hash(ByteView digest32) const;
+
+ private:
+  Secp256k1();
+
+  /// Makes an affine point from plain (non-Montgomery) coordinates.
+  Point from_affine(const U256& x, const U256& y) const;
+
+  /// Square root mod p (p ≡ 3 mod 4). Input/output Montgomery form.
+  /// Returns false if the input is a non-residue.
+  bool sqrt_fp(const U256& a_mont, U256& out) const;
+
+  U256 p_, n_;
+  MontgomeryCtx fp_, fn_;
+  U256 seven_mont_;  // curve b coefficient in Montgomery form
+  Point g_, h_;
+};
+
+}  // namespace aegis::ec

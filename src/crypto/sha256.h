@@ -1,0 +1,66 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for Merkle trees, timestamp chains, HMAC/HKDF, the AONT-RS key
+// blinding step and hash-to-point for the Pedersen generator. The
+// incremental interface supports streaming large archive objects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input; may be called any number of times.
+  void update(ByteView data);
+
+  /// Finalizes and returns the 32-byte digest. The hasher must not be
+  /// used again afterwards (reconstruct for a new message).
+  Bytes finish();
+
+  /// One-shot convenience.
+  static Bytes hash(ByteView data);
+
+  /// One-shot over a concatenation (avoids an intermediate buffer).
+  static Bytes hash_concat(std::initializer_list<ByteView> parts);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Incremental SHA-512 hasher (FIPS 180-4). Used where a wider digest is
+/// wanted (key vault fingerprints, BSM extractor seeds).
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512();
+  void update(ByteView data);
+  Bytes finish();
+  static Bytes hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;  // bytes; < 2^61 is plenty here
+};
+
+}  // namespace aegis

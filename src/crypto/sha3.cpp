@@ -1,0 +1,108 @@
+#include "crypto/sha3.h"
+
+#include <bit>
+#include <cstring>
+
+namespace aegis {
+
+namespace {
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRho[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                          25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+}  // namespace
+
+void Sha3_256::keccak_f() {
+  auto& a = state_;
+  for (int round = 0; round < 24; ++round) {
+    // theta
+    std::uint64_t c[5], d[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    for (int x = 0; x < 5; ++x)
+      d[x] = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d[x];
+
+    // rho + pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] =
+            std::rotl(a[x + 5 * y], kRho[x + 5 * y]);
+      }
+    }
+
+    // chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] = b[x + 5 * y] ^
+                       (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+
+    // iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+void Sha3_256::absorb_block(const std::uint8_t* block) {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane;
+    std::memcpy(&lane, block + 8 * i, 8);
+    state_[i] ^= lane;  // little-endian lanes (x86 layout matches FIPS)
+  }
+  keccak_f();
+}
+
+void Sha3_256::update(ByteView data) {
+  std::size_t off = 0;
+  if (buf_len_ > 0) {
+    const std::size_t take = std::min(kRate - buf_len_, data.size());
+    std::memcpy(buf_.data() + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off = take;
+    if (buf_len_ == kRate) {
+      absorb_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (off + kRate <= data.size()) {
+    absorb_block(data.data() + off);
+    off += kRate;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_.data(), data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+}
+
+Bytes Sha3_256::finish() {
+  // SHA-3 padding: message || 0b01 || 10*1 over the rate block.
+  std::memset(buf_.data() + buf_len_, 0, kRate - buf_len_);
+  buf_[buf_len_] = 0x06;
+  buf_[kRate - 1] |= 0x80;
+  absorb_block(buf_.data());
+
+  Bytes digest(kDigestSize);
+  std::memcpy(digest.data(), state_.data(), kDigestSize);
+  return digest;
+}
+
+Bytes Sha3_256::hash(ByteView data) {
+  Sha3_256 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace aegis

@@ -1,0 +1,42 @@
+// SHA3-256 (FIPS 202, Keccak-f[1600]), implemented from scratch.
+//
+// Why a second hash: hash *generations* matter to timestamp chains the
+// same way cipher generations matter to cascades — renewing a chain onto
+// a structurally independent hash family hedges against cryptanalysis of
+// the old one. SHA-2 (Merkle–Damgård/ARX) and SHA-3 (sponge/Keccak) are
+// the canonical independent pair; the SchemeRegistry can break one while
+// the other stands.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Incremental SHA3-256 hasher.
+class Sha3_256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kRate = 136;  // 1088-bit rate
+
+  Sha3_256() = default;
+
+  void update(ByteView data);
+
+  /// Finalizes (pad10*1 with SHA-3 domain bits) and returns the digest.
+  Bytes finish();
+
+  static Bytes hash(ByteView data);
+
+ private:
+  void absorb_block(const std::uint8_t* block);
+  void keccak_f();
+
+  std::array<std::uint64_t, 25> state_{};
+  std::array<std::uint8_t, kRate> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace aegis

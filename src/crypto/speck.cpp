@@ -1,0 +1,67 @@
+#include "crypto/speck.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace aegis {
+
+namespace {
+inline void speck_round(std::uint64_t& x, std::uint64_t& y, std::uint64_t k) {
+  x = std::rotr(x, 8);
+  x += y;
+  x ^= k;
+  y = std::rotl(y, 3);
+  y ^= x;
+}
+}  // namespace
+
+Speck128::Speck128(ByteView key) {
+  if (key.size() != 16)
+    throw InvalidArgument("Speck128: key must be 16 bytes");
+  std::uint64_t a, b;
+  std::memcpy(&a, key.data(), 8);      // little-endian word order
+  std::memcpy(&b, key.data() + 8, 8);
+  round_keys_[0] = a;
+  for (int i = 0; i < kRounds - 1; ++i) {
+    speck_round(b, a, static_cast<std::uint64_t>(i));
+    round_keys_[i + 1] = a;
+  }
+}
+
+void Speck128::encrypt_block(std::uint64_t& x, std::uint64_t& y) const {
+  for (int i = 0; i < kRounds; ++i) speck_round(x, y, round_keys_[i]);
+}
+
+void speck_ctr_inplace(ByteView key, ByteView iv, MutByteView data) {
+  if (iv.size() != Speck128::kBlockSize)
+    throw InvalidArgument("speck_ctr: IV must be 16 bytes");
+  const Speck128 cipher(key);
+
+  std::uint64_t n0, n1;
+  std::memcpy(&n0, iv.data(), 8);
+  std::memcpy(&n1, iv.data() + 8, 8);
+
+  std::size_t off = 0;
+  std::uint64_t ctr = 0;
+  while (off < data.size()) {
+    std::uint64_t x = n0 ^ ctr, y = n1;
+    cipher.encrypt_block(x, y);
+    std::uint8_t ks[16];
+    std::memcpy(ks, &x, 8);
+    std::memcpy(ks + 8, &y, 8);
+    const std::size_t take = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= ks[i];
+    off += take;
+    ++ctr;
+  }
+}
+
+Bytes speck_ctr(ByteView key, ByteView iv, ByteView data) {
+  Bytes out(data.begin(), data.end());
+  speck_ctr_inplace(key, iv, MutByteView(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace aegis

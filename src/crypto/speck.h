@@ -1,0 +1,38 @@
+// Speck128/128 block cipher (NSA lightweight cipher, 2013 specification)
+// in CTR mode.
+//
+// Speck is the library's *third* independent cipher family. Three
+// structurally distinct designs (SPN AES, ARX-stream ChaCha20, ARX-block
+// Speck) let cascade experiments model "one cipher family falls" events
+// realistically — exactly the hedge ArchiveSafeLT's cascades rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Speck128/128: 128-bit blocks, 128-bit keys, 32 rounds.
+class Speck128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr int kRounds = 32;
+
+  /// Expands a 16-byte key; throws InvalidArgument otherwise.
+  explicit Speck128(ByteView key);
+
+  /// Encrypts a block given as two little-endian 64-bit words.
+  void encrypt_block(std::uint64_t& x, std::uint64_t& y) const;
+
+ private:
+  std::uint64_t round_keys_[kRounds];
+};
+
+/// Speck128/128-CTR keystream XOR (16-byte key, 16-byte IV).
+Bytes speck_ctr(ByteView key, ByteView iv, ByteView data);
+
+/// In-place variant.
+void speck_ctr_inplace(ByteView key, ByteView iv, MutByteView data);
+
+}  // namespace aegis

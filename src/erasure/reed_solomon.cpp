@@ -1,0 +1,212 @@
+#include "erasure/reed_solomon.h"
+
+#include <algorithm>
+
+#include "gf/gf256.h"
+#include "util/error.h"
+
+namespace aegis {
+
+namespace {
+
+// Inverts a k×k matrix over GF(2^8) by Gauss-Jordan elimination.
+// Throws InvalidArgument if singular (cannot happen for Vandermonde
+// submatrices with distinct evaluation points, but guards corruption).
+std::vector<std::uint8_t> invert_matrix(std::vector<std::uint8_t> m,
+                                        unsigned k) {
+  std::vector<std::uint8_t> inv(k * k, 0);
+  for (unsigned i = 0; i < k; ++i) inv[i * k + i] = 1;
+
+  for (unsigned col = 0; col < k; ++col) {
+    // Find a pivot.
+    unsigned pivot = col;
+    while (pivot < k && m[pivot * k + col] == 0) ++pivot;
+    if (pivot == k) throw InvalidArgument("RS: singular decode matrix");
+    if (pivot != col) {
+      for (unsigned j = 0; j < k; ++j) {
+        std::swap(m[pivot * k + j], m[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t d = gf256::inv(m[col * k + col]);
+    for (unsigned j = 0; j < k; ++j) {
+      m[col * k + j] = gf256::mul(m[col * k + j], d);
+      inv[col * k + j] = gf256::mul(inv[col * k + j], d);
+    }
+    // Eliminate the column everywhere else.
+    for (unsigned r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = m[r * k + col];
+      if (f == 0) continue;
+      for (unsigned j = 0; j < k; ++j) {
+        m[r * k + j] ^= gf256::mul(f, m[col * k + j]);
+        inv[r * k + j] ^= gf256::mul(f, inv[col * k + j]);
+      }
+    }
+  }
+  return inv;
+}
+
+// Multiplies (a: r×k) x (b: k×k) over GF(2^8).
+std::vector<std::uint8_t> mat_mul(const std::vector<std::uint8_t>& a,
+                                  unsigned rows,
+                                  const std::vector<std::uint8_t>& b,
+                                  unsigned k) {
+  std::vector<std::uint8_t> out(rows * k, 0);
+  for (unsigned i = 0; i < rows; ++i) {
+    for (unsigned j = 0; j < k; ++j) {
+      std::uint8_t acc = 0;
+      for (unsigned t = 0; t < k; ++t)
+        acc ^= gf256::mul(a[i * k + t], b[t * k + j]);
+      out[i * k + j] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(unsigned k, unsigned n, RsMatrix kind)
+    : k_(k), n_(n) {
+  if (k == 0 || n < k || n > 255)
+    throw InvalidArgument("ReedSolomon: need 1 <= k <= n <= 255");
+
+  std::vector<std::uint8_t> base(static_cast<std::size_t>(n) * k);
+  switch (kind) {
+    case RsMatrix::kVandermonde: {
+      // Evaluation points 0..n-1: row i = [i^0, i^1, ...]. (Point 0
+      // gives row [1,0,0,...], fine.)
+      for (unsigned i = 0; i < n; ++i)
+        for (unsigned j = 0; j < k; ++j)
+          base[i * k + j] = gf256::pow(static_cast<std::uint8_t>(i), j);
+      break;
+    }
+    case RsMatrix::kCauchy: {
+      // Disjoint point sets: y_j = j (columns), x_i = k + i (rows);
+      // entry = 1/(x_i ^ y_j). Every square submatrix of a Cauchy
+      // matrix is nonsingular, which is the MDS property directly.
+      if (static_cast<unsigned>(k) + n > 256)
+        throw InvalidArgument("ReedSolomon: Cauchy needs k + n <= 256");
+      for (unsigned i = 0; i < n; ++i)
+        for (unsigned j = 0; j < k; ++j)
+          base[i * k + j] = gf256::inv(
+              static_cast<std::uint8_t>((k + i) ^ j));
+      break;
+    }
+  }
+
+  // Systematize: M = B * inverse(top k rows of B). Top block becomes I.
+  std::vector<std::uint8_t> top(base.begin(), base.begin() + k * k);
+  matrix_ = mat_mul(base, n, invert_matrix(std::move(top), k), k);
+}
+
+std::vector<Bytes> ReedSolomon::encode(ByteView data) const {
+  const std::size_t shard_size = (data.size() + k_ - 1) / k_;
+  std::vector<Bytes> data_shards(k_, Bytes(shard_size, 0));
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * shard_size;
+    if (off < data.size()) {
+      const std::size_t take = std::min(shard_size, data.size() - off);
+      std::copy(data.begin() + off, data.begin() + off + take,
+                data_shards[i].begin());
+    }
+  }
+  return encode_shards(data_shards);
+}
+
+std::vector<Bytes> ReedSolomon::encode_shards(
+    const std::vector<Bytes>& data_shards) const {
+  if (data_shards.size() != k_)
+    throw InvalidArgument("RS::encode_shards: need exactly k data shards");
+  const std::size_t shard_size = data_shards[0].size();
+  for (const auto& s : data_shards)
+    if (s.size() != shard_size)
+      throw InvalidArgument("RS::encode_shards: unequal shard sizes");
+
+  std::vector<Bytes> shards = data_shards;
+  shards.resize(n_);
+  for (unsigned r = k_; r < n_; ++r) {
+    Bytes parity(shard_size, 0);
+    for (unsigned j = 0; j < k_; ++j) {
+      gf256::mul_add_row(MutByteView(parity.data(), parity.size()),
+                         data_shards[j], row(r)[j]);
+    }
+    shards[r] = std::move(parity);
+  }
+  return shards;
+}
+
+std::vector<Bytes> ReedSolomon::reconstruct_shards(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  if (shards.size() != n_)
+    throw InvalidArgument("RS::reconstruct: need an n-entry shard vector");
+
+  std::vector<unsigned> have;
+  std::size_t shard_size = 0;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (shards[i]) {
+      if (have.empty()) {
+        shard_size = shards[i]->size();
+      } else if (shards[i]->size() != shard_size) {
+        throw InvalidArgument("RS::reconstruct: unequal shard sizes");
+      }
+      have.push_back(i);
+      if (have.size() == k_) break;
+    }
+  }
+  if (have.size() < k_)
+    throw UnrecoverableError("RS: only " + std::to_string(have.size()) +
+                             " shards available, need " + std::to_string(k_));
+
+  // Build and invert the k×k submatrix of the generator for the rows we
+  // actually have; its inverse maps available shards -> data shards.
+  std::vector<std::uint8_t> sub(k_ * k_);
+  for (unsigned r = 0; r < k_; ++r)
+    std::copy(row(have[r]), row(have[r]) + k_, sub.begin() + r * k_);
+  const std::vector<std::uint8_t> inv = invert_matrix(std::move(sub), k_);
+
+  std::vector<Bytes> data_shards(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    Bytes out(shard_size, 0);
+    for (unsigned j = 0; j < k_; ++j) {
+      gf256::mul_add_row(MutByteView(out.data(), out.size()), *shards[have[j]],
+                         inv[i * k_ + j]);
+    }
+    data_shards[i] = std::move(out);
+  }
+  return encode_shards(data_shards);
+}
+
+Bytes ReedSolomon::decode(const std::vector<std::optional<Bytes>>& shards,
+                          std::size_t original_size) const {
+  // Fast path: all data shards present.
+  bool all_data = true;
+  for (unsigned i = 0; i < k_; ++i) {
+    if (i >= shards.size() || !shards[i]) {
+      all_data = false;
+      break;
+    }
+  }
+
+  std::vector<Bytes> full;
+  if (all_data) {
+    full.reserve(k_);
+    for (unsigned i = 0; i < k_; ++i) full.push_back(*shards[i]);
+  } else {
+    full = reconstruct_shards(shards);
+  }
+
+  Bytes out;
+  out.reserve(original_size);
+  for (unsigned i = 0; i < k_ && out.size() < original_size; ++i) {
+    const std::size_t take =
+        std::min(full[i].size(), original_size - out.size());
+    out.insert(out.end(), full[i].begin(), full[i].begin() + take);
+  }
+  if (out.size() != original_size)
+    throw InvalidArgument("RS::decode: original_size exceeds shard capacity");
+  return out;
+}
+
+}  // namespace aegis

@@ -1,0 +1,75 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// The availability substrate for every dispersal-based archival scheme in
+// the paper: AONT-RS disperses its package with systematic RS (§3.2);
+// plain "erasure coding" is one of Figure 1's encodings; POTSHARDS
+// combines secret sharing with RS-style fault tolerance.
+//
+// Construction: a Vandermonde matrix over GF(2^8) is systematized by
+// multiplying with the inverse of its top k×k block, yielding an n×k
+// generator whose first k rows are the identity. Any k of the n shards
+// reconstruct the data (decode inverts the corresponding k×k row
+// submatrix by Gaussian elimination).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// How the generator matrix is constructed. Both yield MDS codes with
+/// identical coding guarantees; they differ in construction cost and in
+/// the structure of the parity rows (the ablation DESIGN.md calls out).
+enum class RsMatrix : std::uint8_t {
+  kVandermonde,  // powers of evaluation points, then systematized
+  kCauchy,       // entries 1/(x_i + y_j), then systematized
+};
+
+/// A [n, k] systematic Reed-Solomon code: k data shards, n-k parity
+/// shards, tolerates loss of any n-k shards. Requires 1 <= k <= n <= 255
+/// (Cauchy: k + n <= 256, since the x and y point sets must be disjoint).
+class ReedSolomon {
+ public:
+  explicit ReedSolomon(unsigned k, unsigned n,
+                       RsMatrix kind = RsMatrix::kVandermonde);
+
+  unsigned k() const { return k_; }
+  unsigned n() const { return n_; }
+
+  /// Splits `data` into k equal shards (zero-padded), appends n-k parity
+  /// shards. shards()[i].size() == ceil(data.size()/k) for all i.
+  /// Empty input yields n empty shards.
+  std::vector<Bytes> encode(ByteView data) const;
+
+  /// Encodes pre-split data shards (all the same size) into parity
+  /// shards; returns the full n-shard vector (data shards first).
+  std::vector<Bytes> encode_shards(const std::vector<Bytes>& data_shards) const;
+
+  /// Reconstructs the original data from any >= k surviving shards
+  /// (nullopt marks a lost shard; order matters — index i is shard i).
+  /// `original_size` trims the zero padding.
+  /// Throws UnrecoverableError with fewer than k shards.
+  Bytes decode(const std::vector<std::optional<Bytes>>& shards,
+               std::size_t original_size) const;
+
+  /// Reconstructs *all* shards (e.g. to repair a failed node) from any
+  /// >= k survivors.
+  std::vector<Bytes> reconstruct_shards(
+      const std::vector<std::optional<Bytes>>& shards) const;
+
+  /// Storage blowup factor n/k — the quantity on Figure 1's cost axis.
+  double storage_overhead() const {
+    return static_cast<double>(n_) / static_cast<double>(k_);
+  }
+
+ private:
+  /// Row r of the systematic generator matrix (k entries).
+  const std::uint8_t* row(unsigned r) const { return &matrix_[r * k_]; }
+
+  unsigned k_, n_;
+  std::vector<std::uint8_t> matrix_;  // n x k systematic generator
+};
+
+}  // namespace aegis

@@ -1,0 +1,44 @@
+#include "gf/gf256.h"
+
+#include "util/error.h"
+
+namespace aegis::gf256 {
+
+Elem poly_eval(ByteView coeffs, Elem x) {
+  Elem acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = add(mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+void mul_add_row(MutByteView dst, ByteView src, Elem c) {
+  if (dst.size() != src.size())
+    throw InvalidArgument("gf256::mul_add_row: length mismatch");
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  const unsigned lc = detail::kTables.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= detail::kTables.exp[lc + detail::kTables.log[s]];
+  }
+}
+
+void mul_row(MutByteView dst, ByteView src, Elem c) {
+  if (dst.size() != src.size())
+    throw InvalidArgument("gf256::mul_row: length mismatch");
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  const unsigned lc = detail::kTables.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] = s == 0 ? 0 : detail::kTables.exp[lc + detail::kTables.log[s]];
+  }
+}
+
+}  // namespace aegis::gf256

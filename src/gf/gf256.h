@@ -1,0 +1,88 @@
+// GF(2^8) arithmetic with the Reed-Solomon-standard reduction polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+//
+// This is the workhorse field for bulk data: Reed-Solomon erasure coding,
+// Shamir secret sharing, and the AONT all operate byte-wise over it.
+// Multiplication uses log/antilog tables generated once at namespace scope
+// (constexpr), so there is no runtime initialization to sequence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace aegis::gf256 {
+
+/// Field element; the zero byte is the additive identity.
+using Elem = std::uint8_t;
+
+namespace detail {
+
+constexpr unsigned kPoly = 0x11D;  // x^8+x^4+x^3+x^2+1, generator g=2
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};  // doubled so mul can skip a mod 255
+  std::array<std::uint8_t, 256> log{};
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (unsigned i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  return t;
+}
+
+inline constexpr Tables kTables = make_tables();
+
+}  // namespace detail
+
+/// Field addition (== subtraction): XOR.
+constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+/// Field multiplication via log/antilog tables.
+constexpr Elem mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables
+      .exp[detail::kTables.log[a] + detail::kTables.log[b]];
+}
+
+/// Multiplicative inverse. Throws nothing; inv(0) is a precondition
+/// violation guarded by callers (asserted in debug builds).
+constexpr Elem inv(Elem a) {
+  // a^-1 = g^(255 - log a)
+  return detail::kTables.exp[255 - detail::kTables.log[a]];
+}
+
+/// Field division a / b (b != 0).
+constexpr Elem div(Elem a, Elem b) {
+  if (a == 0) return 0;
+  return detail::kTables
+      .exp[detail::kTables.log[a] + 255 - detail::kTables.log[b]];
+}
+
+/// a^e with e reduced mod 255 (the multiplicative group order).
+constexpr Elem pow(Elem a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned l = (static_cast<unsigned>(detail::kTables.log[a]) * e) % 255;
+  return detail::kTables.exp[l];
+}
+
+/// Evaluates the polynomial coeffs[0] + coeffs[1]*x + ... at x (Horner).
+Elem poly_eval(ByteView coeffs, Elem x);
+
+/// dst[i] ^= c * src[i] for all i — the inner loop of RS encode/decode.
+void mul_add_row(MutByteView dst, ByteView src, Elem c);
+
+/// dst[i] = c * src[i].
+void mul_row(MutByteView dst, ByteView src, Elem c);
+
+}  // namespace aegis::gf256

@@ -1,0 +1,91 @@
+#include "gf/gf65536.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace aegis::gf65536 {
+
+namespace {
+
+struct Tables {
+  std::array<Elem, 2 * kOrder> exp;
+  std::array<Elem, 65536> log;
+
+  Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < kOrder; ++i) {
+      exp[i] = static_cast<Elem>(x);
+      log[x] = static_cast<Elem>(i);
+      x <<= 1;
+      if (x & 0x10000) x ^= kPoly;
+    }
+    for (unsigned i = kOrder; i < 2 * kOrder; ++i) exp[i] = exp[i - kOrder];
+    log[0] = 0;  // never read for valid inputs
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;  // thread-safe lazy init
+  return t;
+}
+
+}  // namespace
+
+Elem mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + t.log[b]];
+}
+
+Elem inv(Elem a) {
+  if (a == 0) throw InvalidArgument("gf65536::inv: zero has no inverse");
+  const Tables& t = tables();
+  return t.exp[kOrder - t.log[a]];
+}
+
+Elem div(Elem a, Elem b) {
+  if (b == 0) throw InvalidArgument("gf65536::div: divide by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + kOrder - t.log[b]];
+}
+
+Elem pow(Elem a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const unsigned l =
+      (static_cast<unsigned long long>(t.log[a]) * e) % kOrder;
+  return t.exp[l];
+}
+
+Elem poly_eval(const std::vector<Elem>& coeffs, Elem x) {
+  Elem acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = add(mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+Elem interpolate_at(const std::vector<Elem>& xs, const std::vector<Elem>& ys,
+                    Elem x0) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw InvalidArgument("gf65536::interpolate_at: bad point set");
+  Elem acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Lagrange basis L_i(x0) = prod_{j != i} (x0 - xs[j]) / (xs[i] - xs[j])
+    Elem num = 1, den = 1;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      num = mul(num, add(x0, xs[j]));      // char-2: subtraction is XOR
+      den = mul(den, add(xs[i], xs[j]));
+    }
+    if (den == 0)
+      throw InvalidArgument("gf65536::interpolate_at: duplicate x values");
+    acc = add(acc, mul(ys[i], div(num, den)));
+  }
+  return acc;
+}
+
+}  // namespace aegis::gf65536

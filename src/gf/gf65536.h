@@ -1,0 +1,46 @@
+// GF(2^16) arithmetic with reduction polynomial
+// x^16 + x^12 + x^3 + x + 1 (0x1100B).
+//
+// Packed secret sharing needs a field large enough that a single
+// polynomial can hold k packed secrets + t randomness and still issue
+// hundreds of shares; GF(2^16) supports up to 65535 distinct evaluation
+// points. Tables (256 KiB) are built lazily on first use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace aegis::gf65536 {
+
+using Elem = std::uint16_t;
+
+constexpr unsigned kPoly = 0x1100B;
+constexpr unsigned kOrder = 65535;  // multiplicative group order
+
+/// Field addition (== subtraction): XOR.
+constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+constexpr Elem sub(Elem a, Elem b) { return a ^ b; }
+
+/// Field multiplication (log/antilog tables, lazily initialized).
+Elem mul(Elem a, Elem b);
+
+/// Multiplicative inverse of a nonzero element.
+Elem inv(Elem a);
+
+/// Field division a / b (b != 0).
+Elem div(Elem a, Elem b);
+
+/// a^e, exponent reduced mod the group order.
+Elem pow(Elem a, unsigned e);
+
+/// Horner evaluation of coeffs[0] + coeffs[1] x + ... at x.
+Elem poly_eval(const std::vector<Elem>& coeffs, Elem x);
+
+/// Lagrange interpolation: returns P(x0) for the unique polynomial of
+/// degree < xs.size() with P(xs[i]) = ys[i]. The xs must be distinct.
+Elem interpolate_at(const std::vector<Elem>& xs, const std::vector<Elem>& ys,
+                    Elem x0);
+
+}  // namespace aegis::gf65536

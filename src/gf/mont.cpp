@@ -1,0 +1,96 @@
+#include "gf/mont.h"
+
+#include "util/error.h"
+
+namespace aegis {
+
+namespace {
+// -m^-1 mod 2^64 via Newton iteration (m odd). Five iterations double
+// the number of correct low bits each time: 5 -> 10 -> 20 -> 40 -> 80.
+std::uint64_t neg_inv64(std::uint64_t m) {
+  std::uint64_t inv = m;  // correct to 5 bits for odd m
+  for (int i = 0; i < 5; ++i) inv *= 2 - m * inv;
+  return ~inv + 1;  // -(m^-1)
+}
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const U256& m) : m_(m) {
+  if (m.is_zero() || !m.is_odd())
+    throw InvalidArgument("MontgomeryCtx: modulus must be odd and nonzero");
+  n0_ = neg_inv64(m.w[0]);
+
+  // R mod m where R = 2^256: since m has its top bit set for our moduli we
+  // could subtract once, but compute generically via shift-subtract.
+  U512 r;  // 2^256
+  r.w[4] = 1;
+  r_mod_m_ = mod_generic(r, m_);
+
+  // R^2 mod m = (R mod m)^2 mod m.
+  r2_mod_m_ = mod_generic(mul_wide(r_mod_m_, r_mod_m_), m_);
+}
+
+// CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+U256 MontgomeryCtx::mul(const U256& a, const U256& b) const {
+  std::uint64_t t[6] = {0, 0, 0, 0, 0, 0};  // 4 limbs + 2 carry slots
+  for (int i = 0; i < 4; ++i) {
+    // t += a.w[i] * b
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      carry += t[j];
+      carry += static_cast<unsigned __int128>(a.w[i]) * b.w[j];
+      t[j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    carry += t[4];
+    t[4] = static_cast<std::uint64_t>(carry);
+    t[5] = static_cast<std::uint64_t>(carry >> 64);
+
+    // m-step: add (t[0] * n0') * m, which zeroes t[0]
+    const std::uint64_t u = t[0] * n0_;
+    carry = static_cast<unsigned __int128>(u) * m_.w[0] + t[0];
+    carry >>= 64;
+    for (int j = 1; j < 4; ++j) {
+      carry += t[j];
+      carry += static_cast<unsigned __int128>(u) * m_.w[j];
+      t[j - 1] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    carry += t[4];
+    t[3] = static_cast<std::uint64_t>(carry);
+    t[4] = t[5] + static_cast<std::uint64_t>(carry >> 64);
+  }
+
+  U256 r{t[0], t[1], t[2], t[3]};
+  if (t[4] != 0 || r >= m_) {
+    U256 tmp;
+    sub_borrow(r, m_, tmp);
+    r = tmp;
+  }
+  return r;
+}
+
+U256 MontgomeryCtx::to_mont(const U256& a) const { return mul(a, r2_mod_m_); }
+
+U256 MontgomeryCtx::from_mont(const U256& a) const {
+  return mul(a, U256(1));
+}
+
+U256 MontgomeryCtx::pow(const U256& a, const U256& e) const {
+  U256 result = r_mod_m_;  // 1 in Montgomery form
+  const unsigned nbits = e.bit_length();
+  for (unsigned i = nbits; i-- > 0;) {
+    result = sqr(result);
+    if (e.bit(i)) result = mul(result, a);
+  }
+  return result;
+}
+
+U256 MontgomeryCtx::inv(const U256& a) const {
+  if (a.is_zero()) throw InvalidArgument("MontgomeryCtx::inv: zero input");
+  // Fermat: a^(m-2) mod m for prime m.
+  U256 e;
+  sub_borrow(m_, U256(2), e);
+  return pow(a, e);
+}
+
+}  // namespace aegis

@@ -1,0 +1,60 @@
+// Montgomery-form modular arithmetic for a fixed odd 256-bit modulus.
+//
+// One context instance serves one modulus (we instantiate two: the
+// secp256k1 field prime p and the group order n). Values passed to
+// mul/sqr/pow must be in Montgomery form (use to_mont / from_mont at the
+// boundary); add/sub work in either form as long as both operands agree.
+#pragma once
+
+#include "gf/u256.h"
+
+namespace aegis {
+
+/// Montgomery multiplication context for an odd modulus m < 2^256.
+class MontgomeryCtx {
+ public:
+  /// Precomputes n0' = -m^-1 mod 2^64 and R^2 mod m. Throws
+  /// InvalidArgument if m is even or zero.
+  explicit MontgomeryCtx(const U256& m);
+
+  const U256& modulus() const { return m_; }
+
+  /// Converts a < m into Montgomery form (a * R mod m).
+  U256 to_mont(const U256& a) const;
+
+  /// Converts out of Montgomery form.
+  U256 from_mont(const U256& a) const;
+
+  /// Montgomery product: a * b * R^-1 mod m.
+  U256 mul(const U256& a, const U256& b) const;
+
+  /// Montgomery square.
+  U256 sqr(const U256& a) const { return mul(a, a); }
+
+  /// (a + b) mod m — form-agnostic.
+  U256 add(const U256& a, const U256& b) const { return add_mod(a, b, m_); }
+
+  /// (a - b) mod m — form-agnostic.
+  U256 sub(const U256& a, const U256& b) const { return sub_mod(a, b, m_); }
+
+  /// a^e mod m, a in Montgomery form, result in Montgomery form.
+  U256 pow(const U256& a, const U256& e) const;
+
+  /// Multiplicative inverse via Fermat (requires m prime), Montgomery form
+  /// in and out. Throws InvalidArgument on zero.
+  U256 inv(const U256& a) const;
+
+  /// The Montgomery representation of 1.
+  const U256& one_mont() const { return r_mod_m_; }
+
+  /// Reduces an arbitrary 512-bit value mod m (slow path, setup only).
+  U256 reduce_wide(const U512& x) const { return mod_generic(x, m_); }
+
+ private:
+  U256 m_;
+  std::uint64_t n0_;   // -m^-1 mod 2^64
+  U256 r_mod_m_;       // R mod m   (Montgomery form of 1)
+  U256 r2_mod_m_;      // R^2 mod m (for to_mont)
+};
+
+}  // namespace aegis

@@ -1,0 +1,146 @@
+#include "gf/u256.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace aegis {
+
+unsigned U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (w[i] != 0)
+      return static_cast<unsigned>(64 * i + 64 - std::countl_zero(w[i]));
+  }
+  return 0;
+}
+
+std::strong_ordering U256::operator<=>(const U256& o) const {
+  for (int i = 3; i >= 0; --i) {
+    if (w[i] != o.w[i]) return w[i] <=> o.w[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+Bytes U256::to_bytes_be() const {
+  Bytes out(32);
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t limb = w[3 - i];
+    for (int j = 0; j < 8; ++j)
+      out[i * 8 + j] = static_cast<std::uint8_t>(limb >> (8 * (7 - j)));
+  }
+  return out;
+}
+
+U256 U256::from_bytes_be(ByteView b) {
+  if (b.size() != 32)
+    throw InvalidArgument("U256::from_bytes_be: need exactly 32 bytes");
+  U256 v;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t limb = 0;
+    for (int j = 0; j < 8; ++j)
+      limb = (limb << 8) | b[i * 8 + j];
+    v.w[3 - i] = limb;
+  }
+  return v;
+}
+
+std::string U256::to_hex() const { return hex_encode(to_bytes_be()); }
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.size() > 64) throw InvalidArgument("U256::from_hex: too long");
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  return from_bytes_be(hex_decode(padded));
+}
+
+std::uint64_t add_carry(const U256& a, const U256& b, U256& out) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    carry += a.w[i];
+    carry += b.w[i];
+    out.w[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub_borrow(const U256& a, const U256& b, U256& out) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t ai = a.w[i];
+    const std::uint64_t bi = b.w[i];
+    const std::uint64_t d1 = ai - bi;
+    const std::uint64_t b1 = ai < bi;
+    const std::uint64_t d2 = d1 - borrow;
+    const std::uint64_t b2 = d1 < borrow;
+    out.w[i] = d2;
+    borrow = b1 | b2;
+  }
+  return borrow;
+}
+
+std::uint64_t shl1(U256& a) {
+  const std::uint64_t out = a.w[3] >> 63;
+  for (int i = 3; i > 0; --i) a.w[i] = (a.w[i] << 1) | (a.w[i - 1] >> 63);
+  a.w[0] <<= 1;
+  return out;
+}
+
+void shr1(U256& a) {
+  for (int i = 0; i < 3; ++i) a.w[i] = (a.w[i] >> 1) | (a.w[i + 1] << 63);
+  a.w[3] >>= 1;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.w[i]) * b.w[j];
+      cur += r.w[i + j];
+      cur += carry;
+      r.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    r.w[i + 4] = carry;
+  }
+  return r;
+}
+
+U256 mod_generic(const U512& x, const U256& m) {
+  if (m.is_zero()) throw InvalidArgument("mod_generic: zero modulus");
+  U256 r;  // running remainder, always < m
+  for (int bit = 511; bit >= 0; --bit) {
+    const std::uint64_t carry = shl1(r);
+    if ((x.w[bit / 64] >> (bit % 64)) & 1) r.w[0] |= 1;
+    if (carry || r >= m) {
+      U256 tmp;
+      sub_borrow(r, m, tmp);
+      r = tmp;
+    }
+  }
+  return r;
+}
+
+U256 add_mod(const U256& a, const U256& b, const U256& m) {
+  U256 s;
+  const std::uint64_t carry = add_carry(a, b, s);
+  if (carry || s >= m) {
+    U256 t;
+    sub_borrow(s, m, t);
+    return t;
+  }
+  return s;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const U256& m) {
+  U256 d;
+  if (sub_borrow(a, b, d)) {
+    U256 t;
+    add_carry(d, m, t);
+    return t;
+  }
+  return d;
+}
+
+}  // namespace aegis

@@ -1,0 +1,80 @@
+// Fixed-width 256-bit unsigned integer arithmetic.
+//
+// This backs the prime-field arithmetic (gf/mont.h) used by the secp256k1
+// group, which in turn backs Pedersen commitments, Feldman/Pedersen VSS and
+// Schnorr signatures. Limbs are little-endian uint64; wide products use
+// unsigned __int128 (guaranteed on the GCC/Clang targets we support).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// 256-bit unsigned integer, 4 little-endian 64-bit limbs.
+struct U256 {
+  std::array<std::uint64_t, 4> w{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : w{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2,
+                 std::uint64_t w3)
+      : w{w0, w1, w2, w3} {}
+
+  constexpr bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  constexpr bool is_odd() const { return w[0] & 1; }
+
+  /// Bit i (0 = least significant).
+  constexpr bool bit(unsigned i) const {
+    return (w[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Number of significant bits (0 for zero).
+  unsigned bit_length() const;
+
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+  std::strong_ordering operator<=>(const U256& o) const;
+
+  /// Big-endian 32-byte encoding (the wire format for scalars/coords).
+  Bytes to_bytes_be() const;
+  static U256 from_bytes_be(ByteView b);  // throws InvalidArgument if != 32B
+
+  std::string to_hex() const;
+  static U256 from_hex(std::string_view hex);  // up to 64 hex digits
+};
+
+/// out = a + b, returns the carry bit.
+std::uint64_t add_carry(const U256& a, const U256& b, U256& out);
+
+/// out = a - b, returns the borrow bit.
+std::uint64_t sub_borrow(const U256& a, const U256& b, U256& out);
+
+/// Logical left shift by 1; returns the bit shifted out.
+std::uint64_t shl1(U256& a);
+
+/// Logical right shift by 1.
+void shr1(U256& a);
+
+/// 512-bit value as 8 little-endian limbs (product space).
+struct U512 {
+  std::array<std::uint64_t, 8> w{};
+};
+
+/// Full 256x256 -> 512 multiplication.
+U512 mul_wide(const U256& a, const U256& b);
+
+/// x mod m by shift-subtract. Slow (bit-serial); used only for one-off
+/// setup values — hot paths go through MontgomeryCtx.
+U256 mod_generic(const U512& x, const U256& m);
+
+/// (a + b) mod m, assuming a, b < m.
+U256 add_mod(const U256& a, const U256& b, const U256& m);
+
+/// (a - b) mod m, assuming a, b < m.
+U256 sub_mod(const U256& a, const U256& b, const U256& m);
+
+}  // namespace aegis

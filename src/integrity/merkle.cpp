@@ -1,0 +1,70 @@
+#include "integrity/merkle.h"
+
+#include "crypto/sha256.h"
+#include "util/error.h"
+
+namespace aegis {
+
+namespace {
+const std::uint8_t kLeafTag = 0x00;
+const std::uint8_t kNodeTag = 0x01;
+
+Bytes leaf_hash(ByteView data) {
+  return Sha256::hash_concat({ByteView(&kLeafTag, 1), data});
+}
+
+Bytes node_hash(ByteView l, ByteView r) {
+  return Sha256::hash_concat({ByteView(&kNodeTag, 1), l, r});
+}
+}  // namespace
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
+  if (leaves.empty())
+    throw InvalidArgument("MerkleTree: need at least one leaf");
+
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const Bytes& l : leaves) level.push_back(leaf_hash(l));
+  levels_.push_back(std::move(level));
+
+  while (levels_.back().size() > 1) {
+    const std::vector<Bytes>& prev = levels_.back();
+    std::vector<Bytes> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2)
+      next.push_back(node_hash(prev[i], prev[i + 1]));
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleTree::Proof MerkleTree::prove(std::size_t leaf_index) const {
+  if (leaf_index >= levels_[0].size())
+    throw InvalidArgument("MerkleTree::prove: leaf index out of range");
+  Proof p;
+  p.leaf_index = leaf_index;
+  std::size_t idx = leaf_index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    const std::size_t sib = idx ^ 1;
+    if (sib < nodes.size()) {
+      p.steps.push_back({/*sibling_on_left=*/idx % 2 == 1, nodes[sib]});
+    }
+    // A promoted node (odd tail) has no sibling at this level and keeps
+    // its "last element" position, which is exactly idx/2 one level up.
+    idx /= 2;
+  }
+  return p;
+}
+
+bool MerkleTree::verify(ByteView root, ByteView leaf_data,
+                        const Proof& proof) {
+  Bytes acc = leaf_hash(leaf_data);
+  for (const Proof::Step& step : proof.steps) {
+    acc = step.sibling_on_left ? node_hash(step.hash, acc)
+                               : node_hash(acc, step.hash);
+  }
+  return ct_equal(acc, root);
+}
+
+}  // namespace aegis

@@ -1,0 +1,53 @@
+// Merkle hash trees over SHA-256, with membership proofs.
+//
+// The archive's bulk-integrity workhorse: one root authenticates a whole
+// batch of objects/shares, and per-object proofs are logarithmic. Leaves
+// and internal nodes use domain-separated hashing (0x00 / 0x01 prefixes)
+// so a leaf can never be confused with a node — the classic
+// second-preimage defence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Immutable Merkle tree built over a list of leaf payloads.
+class MerkleTree {
+ public:
+  /// Builds the tree; O(n) hashes. Throws InvalidArgument on empty input.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  /// The 32-byte root.
+  const Bytes& root() const { return levels_.back()[0]; }
+
+  std::size_t leaf_count() const { return levels_[0].size(); }
+
+  /// Membership proof for leaf i. Each step records the sibling hash and
+  /// which side it sits on; levels where the node was promoted (odd tail)
+  /// contribute no step. Directions are data, not trust: a tampered
+  /// direction simply fails the root comparison.
+  struct Proof {
+    struct Step {
+      bool sibling_on_left = false;
+      Bytes hash;
+    };
+    std::size_t leaf_index = 0;
+    std::vector<Step> steps;  // bottom-up
+  };
+
+  Proof prove(std::size_t leaf_index) const;
+
+  /// Verifies that `leaf_data` is the proof's leaf under `root`.
+  static bool verify(ByteView root, ByteView leaf_data, const Proof& proof);
+
+ private:
+  // levels_[0] = leaf hashes, levels_.back() = {root}. An odd node at the
+  // end of a level is promoted unchanged (Bitcoin-style duplication is
+  // avoided deliberately: promotion has no second-preimage quirk).
+  std::vector<std::vector<Bytes>> levels_;
+};
+
+}  // namespace aegis

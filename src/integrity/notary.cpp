@@ -1,0 +1,78 @@
+#include "integrity/notary.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aegis {
+
+NotaryService::NotaryService(TimestampAuthority& tsa,
+                             const SchemeRegistry& registry, Rng& rng,
+                             std::vector<SchemeId> ladder)
+    : tsa_(tsa), registry_(registry), rng_(rng), ladder_(std::move(ladder)) {
+  if (ladder_.empty())
+    throw InvalidArgument("NotaryService: empty generation ladder");
+  for (SchemeId s : ladder_) {
+    if (scheme_info(s).kind != SchemeKind::kSignature)
+      throw InvalidArgument("NotaryService: ladder entry is not a signature");
+  }
+}
+
+void NotaryService::watch(TimestampChain* chain) {
+  if (chain == nullptr)
+    throw InvalidArgument("NotaryService: null chain");
+  if (std::find(chains_.begin(), chains_.end(), chain) == chains_.end())
+    chains_.push_back(chain);
+}
+
+bool NotaryService::needs_renewal(const TimestampChain& chain,
+                                  const SchemeRegistry& registry, Epoch now,
+                                  Epoch lead) {
+  if (chain.links().empty()) return false;
+  const SchemeId head = chain.links().back().sig_scheme;
+  const auto b = registry.break_epoch(head);
+  // Saturating horizon: now + lead.
+  const Epoch horizon = now > kNever - lead ? kNever : now + lead;
+  return b.has_value() && *b <= horizon;
+}
+
+unsigned NotaryService::tick(Epoch now, Epoch lead) {
+  const Epoch horizon = now > kNever - lead ? kNever : now + lead;
+
+  // Does anything actually need renewing? (Rotating the TSA for no
+  // reason would churn keys.)
+  bool any_due = false;
+  for (const TimestampChain* c : chains_)
+    any_due = any_due || needs_renewal(*c, registry_, now, lead);
+  if (!any_due) return 0;
+
+  // Make sure the TSA's generation survives past the horizon; climb the
+  // ladder to the first generation that does.
+  const auto current_break = registry_.break_epoch(tsa_.generation());
+  if (current_break && *current_break <= horizon) {
+    bool rotated = false;
+    for (SchemeId gen : ladder_) {
+      const auto b = registry_.break_epoch(gen);
+      if (!b || *b > horizon) {
+        tsa_.rotate(gen, rng_);
+        rotated = true;
+        break;
+      }
+    }
+    if (!rotated)
+      throw IntegrityError(
+          "NotaryService: every generation on the ladder breaks within "
+          "the horizon — no safe scheme to renew onto");
+  }
+
+  unsigned renewed = 0;
+  for (TimestampChain* c : chains_) {
+    if (needs_renewal(*c, registry_, now, lead)) {
+      c->renew(tsa_, now);
+      ++renewed;
+    }
+  }
+  return renewed;
+}
+
+}  // namespace aegis

@@ -1,0 +1,61 @@
+// The notary: a long-term evidence service that keeps timestamp chains
+// alive across signature-scheme generations.
+//
+// §3.3's renewal rule is unforgiving — a chain whose scheme breaks
+// before its next renewal is dead forever. Real archives therefore need
+// an *automated* service that (a) tracks the (announced) cryptanalytic
+// weather, (b) rotates the timestamp authority onto the next scheme
+// generation before the current one falls, and (c) re-stamps every
+// registered chain in time. LINCOS calls this role the evidence
+// service; this is that component.
+//
+// Break schedules here are the SchemeRegistry's — in reality "announced
+// deprecation dates" (think SHA-1, 2017): the notary renews `lead`
+// epochs before the scheduled fall, mirroring how standards bodies
+// deprecate ahead of practical breaks.
+#pragma once
+
+#include <vector>
+
+#include "integrity/timestamp.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Watches chains and renews them ahead of scheme breaks.
+class NotaryService {
+ public:
+  /// `ladder` is the rotation order of signature generations; the
+  /// notary starts the TSA on ladder.front() if it differs.
+  NotaryService(TimestampAuthority& tsa, const SchemeRegistry& registry,
+                Rng& rng,
+                std::vector<SchemeId> ladder = {SchemeId::kSigGenA,
+                                                SchemeId::kSigGenB,
+                                                SchemeId::kSigGenC});
+
+  /// Registers a chain for care (non-owning; caller keeps it alive).
+  void watch(TimestampChain* chain);
+
+  std::size_t watched() const { return chains_.size(); }
+
+  /// True if this chain's head guarantee falls within `lead` epochs.
+  static bool needs_renewal(const TimestampChain& chain,
+                            const SchemeRegistry& registry, Epoch now,
+                            Epoch lead);
+
+  /// One epoch of service: rotates the TSA if its generation is due to
+  /// break within `lead` epochs (to the first ladder entry that is not),
+  /// then renews every watched chain whose head needs it. Returns the
+  /// number of chains renewed. Throws IntegrityError if no unbroken
+  /// generation remains on the ladder when one is needed.
+  unsigned tick(Epoch now, Epoch lead = 2);
+
+ private:
+  TimestampAuthority& tsa_;
+  const SchemeRegistry& registry_;
+  Rng& rng_;
+  std::vector<SchemeId> ladder_;
+  std::vector<TimestampChain*> chains_;
+};
+
+}  // namespace aegis

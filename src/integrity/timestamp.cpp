@@ -1,0 +1,175 @@
+#include "integrity/timestamp.h"
+
+#include "crypto/sha256.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+Bytes TimestampLink::serialize_unsigned() const {
+  ByteWriter w;
+  w.u32(epoch);
+  w.bytes(payload);
+  w.u16(static_cast<std::uint16_t>(digest_scheme));
+  w.bytes(prev_hash);
+  w.u16(static_cast<std::uint16_t>(sig_scheme));
+  w.bytes(signer_pub);
+  return std::move(w).take();
+}
+
+Bytes TimestampLink::serialize() const {
+  ByteWriter w;
+  w.raw(serialize_unsigned());
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+TimestampLink TimestampLink::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  TimestampLink l;
+  l.epoch = r.u32();
+  l.payload = r.bytes();
+  l.digest_scheme = static_cast<SchemeId>(r.u16());
+  l.prev_hash = r.bytes();
+  l.sig_scheme = static_cast<SchemeId>(r.u16());
+  l.signer_pub = r.bytes();
+  l.signature = r.bytes();
+  r.expect_done();
+  return l;
+}
+
+Bytes TimestampLink::link_hash() const { return Sha256::hash(serialize()); }
+
+TimestampAuthority::TimestampAuthority(Rng& rng, SchemeId generation)
+    : generation_(generation), key_(schnorr_keygen(rng)) {
+  if (scheme_info(generation).kind != SchemeKind::kSignature)
+    throw InvalidArgument("TimestampAuthority: not a signature scheme");
+}
+
+void TimestampAuthority::rotate(SchemeId new_generation, Rng& rng) {
+  if (scheme_info(new_generation).kind != SchemeKind::kSignature)
+    throw InvalidArgument("TimestampAuthority: not a signature scheme");
+  generation_ = new_generation;
+  key_ = schnorr_keygen(rng);
+}
+
+TimestampLink TimestampAuthority::stamp(ByteView payload,
+                                        SchemeId digest_scheme,
+                                        ByteView prev_hash, Epoch now) const {
+  TimestampLink l;
+  l.epoch = now;
+  l.payload = to_bytes(payload);
+  l.digest_scheme = digest_scheme;
+  l.prev_hash = to_bytes(prev_hash);
+  l.sig_scheme = generation_;
+  l.signer_pub = key_.public_key;
+  l.signature = schnorr_sign(key_, l.serialize_unsigned()).bytes;
+  return l;
+}
+
+const char* to_string(ChainStatus s) {
+  switch (s) {
+    case ChainStatus::kValid: return "valid";
+    case ChainStatus::kBadSignature: return "bad-signature";
+    case ChainStatus::kBrokenChainLink: return "broken-chain-link";
+    case ChainStatus::kExpiredGuarantee: return "expired-guarantee";
+    case ChainStatus::kEmpty: return "empty";
+  }
+  return "?";
+}
+
+TimestampChain TimestampChain::begin(const TimestampAuthority& tsa,
+                                     ByteView payload,
+                                     SchemeId digest_scheme, Epoch now) {
+  TimestampChain c;
+  c.links_.push_back(tsa.stamp(payload, digest_scheme, {}, now));
+  return c;
+}
+
+void TimestampChain::renew(const TimestampAuthority& tsa, Epoch now) {
+  if (links_.empty())
+    throw InvalidArgument("TimestampChain::renew: empty chain");
+  const TimestampLink& head = links_.back();
+  // The renewal stamps the hash of the entire previous link — signature
+  // included — so the old signature's validity is preserved by the new
+  // one (the Haber–Stornetta argument).
+  links_.push_back(
+      tsa.stamp(head.payload, head.digest_scheme, head.link_hash(), now));
+}
+
+ChainStatus TimestampChain::verify(ByteView payload,
+                                   const SchemeRegistry& registry,
+                                   Epoch now) const {
+  if (links_.empty()) return ChainStatus::kEmpty;
+
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const TimestampLink& l = links_[i];
+
+    // Payload continuity: every link stamps the same payload.
+    if (!ct_equal(l.payload, payload)) return ChainStatus::kBrokenChainLink;
+
+    // Hash linkage.
+    if (i == 0) {
+      if (!l.prev_hash.empty()) return ChainStatus::kBrokenChainLink;
+    } else {
+      if (!ct_equal(l.prev_hash, links_[i - 1].link_hash()))
+        return ChainStatus::kBrokenChainLink;
+    }
+
+    // Cryptographic signature check.
+    SchnorrSignature sig;
+    sig.bytes = l.signature;
+    if (!schnorr_verify(l.signer_pub, l.serialize_unsigned(), sig))
+      return ChainStatus::kBadSignature;
+
+    // Temporal rule: the link's scheme must have been unbroken when the
+    // *next* guarantee took over (or now, for the head).
+    const Epoch must_hold_until =
+        i + 1 < links_.size() ? links_[i + 1].epoch : now;
+    if (registry.is_broken(l.sig_scheme, must_hold_until))
+      return ChainStatus::kExpiredGuarantee;
+  }
+  return ChainStatus::kValid;
+}
+
+Bytes TimestampChain::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(links_.size()));
+  for (const TimestampLink& l : links_) w.bytes(l.serialize());
+  return std::move(w).take();
+}
+
+TimestampChain TimestampChain::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  TimestampChain c;
+  const std::uint32_t count = r.count(4);
+  c.links_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    c.links_.push_back(TimestampLink::deserialize(r.bytes()));
+  r.expect_done();
+  return c;
+}
+
+bool TimestampChain::leaks_content_on_digest_break() const {
+  return !links_.empty() &&
+         links_[0].digest_scheme != SchemeId::kPedersenCommit;
+}
+
+CommittedStamp commit_and_stamp(const TimestampAuthority& tsa, ByteView data,
+                                Epoch now, Rng& rng) {
+  CommittedStamp out;
+  out.commitment = pedersen_commit_bytes(data, rng, out.opening);
+  out.chain = TimestampChain::begin(tsa, out.commitment.encode(),
+                                    SchemeId::kPedersenCommit, now);
+  return out;
+}
+
+bool verify_committed_stamp(const CommittedStamp& stamp, ByteView data,
+                            const SchemeRegistry& registry, Epoch now) {
+  if (stamp.chain.verify(stamp.commitment.encode(), registry, now) !=
+      ChainStatus::kValid)
+    return false;
+  return pedersen_verify_bytes(stamp.commitment, data, stamp.opening.blind);
+}
+
+}  // namespace aegis

@@ -1,0 +1,135 @@
+// Long-term integrity via chained digital timestamps (Haber–Stornetta),
+// with the LINCOS twist: confidentiality-preserving chains stamp a
+// Pedersen commitment instead of a plaintext hash.
+//
+// The paper's §3.3 argument, made executable:
+//   * a single signature is only computationally secure — it falls when
+//     its scheme's break epoch arrives;
+//   * but a *chain* survives: signing the old link with a newer scheme
+//     preserves integrity as long as each link was renewed before its
+//     own scheme broke. Verification below enforces exactly that
+//     temporal rule against a SchemeRegistry timeline.
+//   * stamping H(data) leaks data to an adversary who later inverts the
+//     hash (HNDL on the integrity metadata!); stamping a Pedersen
+//     commitment leaks nothing, information-theoretically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/pedersen.h"
+#include "crypto/scheme.h"
+#include "crypto/schnorr.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// One link in a timestamp chain.
+struct TimestampLink {
+  Epoch epoch = 0;          // when the TSA issued this link
+  Bytes payload;            // digest or commitment being stamped
+  SchemeId digest_scheme =  // what `payload` is
+      SchemeId::kSha256;    //   kSha256 (leaky) or kPedersenCommit (hiding)
+  Bytes prev_hash;          // SHA-256 of the previous link (empty in link 0)
+  SchemeId sig_scheme = SchemeId::kSigGenA;  // signature generation
+  Bytes signer_pub;
+  Bytes signature;          // Schnorr over serialize_unsigned()
+
+  Bytes serialize_unsigned() const;
+  Bytes serialize() const;
+  static TimestampLink deserialize(ByteView wire);
+
+  /// SHA-256 of the full serialized link (what the next link stamps).
+  Bytes link_hash() const;
+};
+
+/// A timestamping authority holding the current signing key; keys rotate
+/// to a new scheme generation when the old one nears obsolescence.
+class TimestampAuthority {
+ public:
+  explicit TimestampAuthority(Rng& rng,
+                              SchemeId generation = SchemeId::kSigGenA);
+
+  /// Rotates to a fresh key under a (presumably newer) scheme generation.
+  void rotate(SchemeId new_generation, Rng& rng);
+
+  SchemeId generation() const { return generation_; }
+  const Bytes& public_key() const { return key_.public_key; }
+
+  /// Issues a signed link over (payload, prev_hash) at `now`.
+  TimestampLink stamp(ByteView payload, SchemeId digest_scheme,
+                      ByteView prev_hash, Epoch now) const;
+
+ private:
+  SchemeId generation_;
+  SchnorrKeyPair key_;
+};
+
+/// Verification verdict for a chain at a given evaluation time.
+enum class ChainStatus {
+  kValid,
+  kBadSignature,       // cryptographic verification failed outright
+  kBrokenChainLink,    // prev_hash mismatch
+  kExpiredGuarantee,   // a link's scheme broke before it was renewed
+  kEmpty,
+};
+
+const char* to_string(ChainStatus s);
+
+/// A renewal chain over one stamped payload.
+class TimestampChain {
+ public:
+  TimestampChain() = default;
+
+  /// Starts a chain by stamping `payload` (a digest or a commitment).
+  static TimestampChain begin(const TimestampAuthority& tsa,
+                              ByteView payload, SchemeId digest_scheme,
+                              Epoch now);
+
+  /// Renews: the TSA re-stamps the head link (old signature included)
+  /// with its current key/generation.
+  void renew(const TimestampAuthority& tsa, Epoch now);
+
+  /// Verifies the whole chain against a break timeline:
+  ///   * every signature must verify,
+  ///   * every prev_hash must match,
+  ///   * link i's signature generation must be unbroken at the epoch of
+  ///     link i+1 (it was renewed in time), and the head's at `now`.
+  ChainStatus verify(ByteView payload, const SchemeRegistry& registry,
+                     Epoch now) const;
+
+  const std::vector<TimestampLink>& links() const { return links_; }
+  std::size_t length() const { return links_.size(); }
+
+  /// Wire format for catalog persistence.
+  Bytes serialize() const;
+  static TimestampChain deserialize(ByteView wire);
+
+  /// True if the chain's stamped payload would reveal object content to
+  /// an adversary once `digest_scheme` breaks (hash chains do; Pedersen
+  /// chains never do — §3.3's confidentiality observation).
+  bool leaks_content_on_digest_break() const;
+
+ private:
+  std::vector<TimestampLink> links_;
+};
+
+/// Convenience bundle for the LINCOS pattern: commit to the data, stamp
+/// the commitment, keep the opening private.
+struct CommittedStamp {
+  PedersenCommitment commitment;
+  PedersenOpening opening;  // secret: stays with the data owner
+  TimestampChain chain;
+};
+
+/// Commits to `data` and starts a hiding timestamp chain over it.
+CommittedStamp commit_and_stamp(const TimestampAuthority& tsa, ByteView data,
+                                Epoch now, Rng& rng);
+
+/// Full LINCOS verification: the chain is temporally valid AND the
+/// commitment opens to `data`.
+bool verify_committed_stamp(const CommittedStamp& stamp, ByteView data,
+                            const SchemeRegistry& registry, Epoch now);
+
+}  // namespace aegis

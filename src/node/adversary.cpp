@@ -1,0 +1,68 @@
+#include "node/adversary.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aegis {
+
+const char* to_string(CorruptionStrategy s) {
+  switch (s) {
+    case CorruptionStrategy::kRandom: return "random";
+    case CorruptionStrategy::kSweep: return "sweep";
+    case CorruptionStrategy::kSticky: return "sticky";
+  }
+  return "?";
+}
+
+MobileAdversary::MobileAdversary(unsigned max_corruptions_per_epoch,
+                                 CorruptionStrategy strategy,
+                                 std::uint64_t seed)
+    : f_(max_corruptions_per_epoch), strategy_(strategy), rng_(seed) {
+  if (f_ == 0)
+    throw InvalidArgument("MobileAdversary: corruption budget must be > 0");
+}
+
+std::vector<NodeId> MobileAdversary::corrupt_epoch(const Cluster& cluster) {
+  const unsigned n = cluster.size();
+  const unsigned take = std::min(f_, n);
+
+  std::vector<NodeId> chosen;
+  switch (strategy_) {
+    case CorruptionStrategy::kRandom: {
+      std::set<NodeId> set;
+      while (set.size() < take)
+        set.insert(static_cast<NodeId>(rng_.uniform(n)));
+      chosen.assign(set.begin(), set.end());
+      break;
+    }
+    case CorruptionStrategy::kSweep: {
+      for (unsigned i = 0; i < take; ++i) {
+        chosen.push_back(sweep_cursor_);
+        sweep_cursor_ = (sweep_cursor_ + 1) % n;
+      }
+      break;
+    }
+    case CorruptionStrategy::kSticky: {
+      if (sticky_set_.empty()) {
+        std::set<NodeId> set;
+        while (set.size() < take)
+          set.insert(static_cast<NodeId>(rng_.uniform(n)));
+        sticky_set_.assign(set.begin(), set.end());
+      }
+      chosen = sticky_set_;
+      break;
+    }
+  }
+
+  for (NodeId id : chosen) {
+    visited_.insert(id);
+    for (const StoredBlob* blob : cluster.node(id).all_blobs()) {
+      harvest_.push_back({*blob, id, cluster.now()});
+      bytes_harvested_ += blob->data.size();
+    }
+  }
+  return chosen;
+}
+
+}  // namespace aegis

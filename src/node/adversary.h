@@ -1,0 +1,70 @@
+// The mobile adversary (Ostrovsky–Yung), the paper's §2 threat model.
+//
+// Per epoch, the adversary corrupts at most f nodes, copies everything
+// they store (Harvest Now...), and releases them. Over enough epochs it
+// touches every node — which is fatal for static secret sharing and
+// harmless for proactively refreshed sharing, the exact contrast
+// bench/hndl_timeline plots. What the harvested material is *worth* is
+// decided later by the obsolescence analyzer (...Decrypt Later), once
+// scheme breaks land.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "node/cluster.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// How the adversary chooses its per-epoch corruption set.
+enum class CorruptionStrategy : std::uint8_t {
+  kRandom,  // f fresh uniform nodes each epoch
+  kSweep,   // round-robin: maximizes distinct nodes visited over time
+  kSticky,  // same f nodes forever (a static adversary, for contrast)
+};
+
+const char* to_string(CorruptionStrategy s);
+
+/// One harvested shard copy.
+struct HarvestedBlob {
+  StoredBlob blob;
+  NodeId from = 0;
+  Epoch taken_at = 0;
+};
+
+/// The mobile adversary: bounded corruptions per epoch, unbounded memory
+/// of what it saw.
+class MobileAdversary {
+ public:
+  MobileAdversary(unsigned max_corruptions_per_epoch,
+                  CorruptionStrategy strategy, std::uint64_t seed);
+
+  unsigned budget() const { return f_; }
+  CorruptionStrategy strategy() const { return strategy_; }
+
+  /// Runs one epoch of corruption against the cluster: picks <= f nodes,
+  /// copies all their blobs into the harvest. Returns the nodes touched.
+  std::vector<NodeId> corrupt_epoch(const Cluster& cluster);
+
+  /// Everything stolen so far from storage nodes.
+  const std::vector<HarvestedBlob>& harvest() const { return harvest_; }
+
+  /// Distinct nodes corrupted at least once.
+  std::size_t nodes_ever_corrupted() const { return visited_.size(); }
+
+  std::uint64_t bytes_harvested() const { return bytes_harvested_; }
+
+ private:
+  unsigned f_;
+  CorruptionStrategy strategy_;
+  SimRng rng_;
+  NodeId sweep_cursor_ = 0;
+  std::vector<NodeId> sticky_set_;
+  std::set<NodeId> visited_;
+  std::vector<HarvestedBlob> harvest_;
+  std::uint64_t bytes_harvested_ = 0;
+};
+
+}  // namespace aegis

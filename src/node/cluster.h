@@ -1,0 +1,133 @@
+// The geo-dispersed node cluster and its transport layer.
+//
+// Every client<->node conversation goes through a real Channel instance
+// (plain, TLS-like or QKD-simulated) whose frames are recorded into a
+// global wiretap: the simulation's standing assumption is a passive
+// network adversary that records *everything* (the harvest half of
+// Harvest Now, Decrypt Later). Each wiretap record keeps the protected
+// payload alongside the transcript so the obsolescence analyzer can
+// determine what a future cryptanalytic break releases.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/channel.h"
+#include "node/node.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Which channel construction protects client<->node transfers.
+enum class ChannelKind : std::uint8_t {
+  kPlain,  // cleartext
+  kTls,    // ECDH + AES-256-CTR + HMAC (computational)
+  kQkd,    // simulated QKD one-time pad (information-theoretic)
+  kBsm,    // Bounded-Storage-Model-keyed one-time pad (ITS, Sec. 4)
+};
+
+const char* to_string(ChannelKind k);
+
+/// One recorded conversation: the eavesdropper's transcript plus (held by
+/// the omniscient simulator, NOT the adversary) the payload it protected.
+struct WiretapRecord {
+  ChannelTranscript transcript;
+  StoredBlob payload;
+  Epoch recorded_at = 0;
+};
+
+/// Per-node link profile for the virtual-time model: every conversation
+/// with the node costs latency_ms plus payload/bandwidth. Defaults model
+/// a WAN replica (40 ms RTT, 50 MB/s).
+struct NodeProfile {
+  double latency_ms = 40.0;
+  double bandwidth_mbps = 50.0;  // megabytes per second
+};
+
+/// Transfer accounting.
+struct NetworkStats {
+  std::uint64_t uploads = 0;
+  std::uint64_t downloads = 0;
+  std::uint64_t bytes_up = 0;    // payload bytes client -> node
+  std::uint64_t bytes_down = 0;  // payload bytes node -> client
+  std::uint64_t refresh_messages = 0;
+  std::uint64_t refresh_bytes = 0;
+};
+
+/// A fixed-size cluster of storage nodes with an epoch clock.
+class Cluster {
+ public:
+  Cluster(unsigned node_count, ChannelKind channel, std::uint64_t seed);
+
+  unsigned size() const { return static_cast<unsigned>(nodes_.size()); }
+  StorageNode& node(NodeId id);
+  const StorageNode& node(NodeId id) const;
+
+  Epoch now() const { return now_; }
+  void advance_epoch() { ++now_; }
+
+  ChannelKind channel_kind() const { return channel_; }
+
+  /// Sends a blob to a node through a fresh protected conversation.
+  /// Returns false if the node is offline. `kind` selects the channel
+  /// for THIS conversation (policies carry their own transport — a
+  /// LINCOS tier rides QKD over the same cluster a cloud tier rides TLS
+  /// on); nullopt uses the cluster default.
+  bool upload(NodeId id, StoredBlob blob,
+              std::optional<ChannelKind> kind = std::nullopt);
+
+  /// Fetches a shard back through a protected conversation.
+  std::optional<StoredBlob> download(NodeId id, const ObjectId& object,
+                                     std::uint32_t shard,
+                                     std::optional<ChannelKind> kind =
+                                         std::nullopt);
+
+  /// Records node-to-node refresh traffic (the protocols themselves run
+  /// in the sharing module; the cluster just accounts for the I/O).
+  void count_refresh_traffic(std::uint64_t messages, std::uint64_t bytes);
+
+  /// Runs one protected conversation carrying an arbitrary payload
+  /// (protocol messages, not blobs). `tap_payload` is what the wiretap
+  /// record should show the conversation protected. Returns the payload
+  /// as delivered. Used by MessageBus.
+  Bytes protected_transfer(ByteView payload, const StoredBlob& tap_payload,
+                           ChannelKind kind);
+
+  /// Installs a link profile for one node (virtual-time accounting).
+  void set_node_profile(NodeId id, NodeProfile profile);
+
+  /// Accumulated virtual transfer time across all conversations,
+  /// serialized (an upper bound; real systems parallelize across nodes —
+  /// divide by the fan-out for the parallel estimate).
+  double simulated_ms() const { return simulated_ms_; }
+
+  void fail_node(NodeId id) { node(id).set_online(false); }
+  void restore_node(NodeId id) { node(id).set_online(true); }
+  unsigned online_count() const;
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// The global passive eavesdropper's haul.
+  const std::vector<WiretapRecord>& wiretap() const { return wiretap_; }
+
+  /// Total bytes resident across all nodes (the Figure 1 numerator).
+  std::uint64_t total_bytes_stored() const;
+
+ private:
+  /// Runs one protected conversation carrying `payload`, recording the
+  /// transcript. Returns the bytes as the receiving end saw them.
+  Bytes converse(ByteView payload, const StoredBlob& blob_for_tap,
+                 ChannelKind kind);
+
+  std::vector<StorageNode> nodes_;
+  std::vector<NodeProfile> profiles_;
+  ChannelKind channel_;
+  double simulated_ms_ = 0.0;
+  Epoch now_ = 0;
+  SimRng rng_;
+  NetworkStats stats_;
+  std::vector<WiretapRecord> wiretap_;
+};
+
+}  // namespace aegis

@@ -1,0 +1,68 @@
+#include "node/messaging.h"
+
+#include "util/serde.h"
+
+namespace aegis {
+
+Bytes ProtocolMessage::serialize() const {
+  ByteWriter w;
+  w.u32(from);
+  w.u32(to);
+  w.str(topic);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+ProtocolMessage ProtocolMessage::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  ProtocolMessage m;
+  m.from = r.u32();
+  m.to = r.u32();
+  m.topic = r.str();
+  m.payload = r.bytes();
+  r.expect_done();
+  return m;
+}
+
+MessageBus::MessageBus(Cluster& cluster, ChannelKind kind)
+    : cluster_(cluster), kind_(kind) {}
+
+void MessageBus::send(ProtocolMessage msg) {
+  const Bytes wire = msg.serialize();
+
+  // The wiretap view: a "@proto/<topic>" pseudo-blob whose shard index
+  // is the sender — enough for traffic analysis; the payload itself is
+  // what a transit break would reveal.
+  StoredBlob tap;
+  tap.object = "@proto/" + msg.topic;
+  tap.shard_index = msg.from;
+  tap.data = wire;
+  tap.stored_at = cluster_.now();
+
+  const Bytes delivered = cluster_.protected_transfer(wire, tap, kind_);
+  ++messages_sent_;
+  bytes_sent_ += msg.payload.size();
+  queues_[msg.to].push_back(ProtocolMessage::deserialize(delivered));
+}
+
+void MessageBus::broadcast(NodeId from, const std::string& topic,
+                           ByteView payload) {
+  for (NodeId id = 0; id < cluster_.size(); ++id) {
+    if (id == from) continue;
+    ProtocolMessage m;
+    m.from = from;
+    m.to = id;
+    m.topic = topic;
+    m.payload = to_bytes(payload);
+    send(std::move(m));
+  }
+}
+
+std::vector<ProtocolMessage> MessageBus::drain(NodeId recipient) {
+  auto& q = queues_[recipient];
+  std::vector<ProtocolMessage> out(q.begin(), q.end());
+  q.clear();
+  return out;
+}
+
+}  // namespace aegis

@@ -1,0 +1,60 @@
+// Typed node-to-node message bus for distributed protocols.
+//
+// The sharing-module protocol code (proactive refresh, redistribution)
+// can run "coordinator style" for analysis, but the paper's cost
+// argument (§3.2) is about real point-to-point traffic between
+// shareholders. This bus routes protocol messages between nodes through
+// the same protected conversations as blob transfers — every sub-share
+// that crosses the (simulated) wire is sealed, counted, and recorded in
+// the global wiretap for transit-HNDL analysis.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "node/cluster.h"
+
+namespace aegis {
+
+/// One protocol message.
+struct ProtocolMessage {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string topic;  // protocol routing key, e.g. "pss/subshare"
+  Bytes payload;
+
+  Bytes serialize() const;
+  static ProtocolMessage deserialize(ByteView wire);
+};
+
+/// Delivery + accounting. Messages are queued per recipient and drained
+/// by the protocol driver (synchronous rounds).
+class MessageBus {
+ public:
+  /// `kind` selects the channel protecting each message in transit.
+  MessageBus(Cluster& cluster, ChannelKind kind);
+
+  /// Sends one message (runs a protected conversation; recorded in the
+  /// cluster wiretap as a "@proto/<topic>" payload).
+  void send(ProtocolMessage msg);
+
+  /// Sends copies to every node except the sender.
+  void broadcast(NodeId from, const std::string& topic, ByteView payload);
+
+  /// Removes and returns everything queued for `recipient`.
+  std::vector<ProtocolMessage> drain(NodeId recipient);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Cluster& cluster_;
+  ChannelKind kind_;
+  std::map<NodeId, std::deque<ProtocolMessage>> queues_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace aegis

@@ -1,0 +1,74 @@
+#include "node/node.h"
+
+#include "util/serde.h"
+
+namespace aegis {
+
+Bytes StoredBlob::serialize() const {
+  ByteWriter w;
+  w.str(object);
+  w.u32(shard_index);
+  w.u32(generation);
+  w.u32(stored_at);
+  w.bytes(data);
+  return std::move(w).take();
+}
+
+StoredBlob StoredBlob::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  StoredBlob b;
+  b.object = r.str();
+  b.shard_index = r.u32();
+  b.generation = r.u32();
+  b.stored_at = r.u32();
+  b.data = r.bytes();
+  r.expect_done();
+  return b;
+}
+
+std::string StorageNode::key(const ObjectId& object, std::uint32_t shard) {
+  return object + "#" + std::to_string(shard);
+}
+
+void StorageNode::put(StoredBlob blob) {
+  const std::string k = key(blob.object, blob.shard_index);
+  const auto it = blobs_.find(k);
+  if (it != blobs_.end()) bytes_stored_ -= it->second.data.size();
+  bytes_stored_ += blob.data.size();
+  blobs_[k] = std::move(blob);
+}
+
+const StoredBlob* StorageNode::get(const ObjectId& object,
+                                   std::uint32_t shard) const {
+  if (!online_) return nullptr;
+  const auto it = blobs_.find(key(object, shard));
+  return it == blobs_.end() ? nullptr : &it->second;
+}
+
+void StorageNode::erase(const ObjectId& object, std::uint32_t shard) {
+  const auto it = blobs_.find(key(object, shard));
+  if (it != blobs_.end()) {
+    bytes_stored_ -= it->second.data.size();
+    blobs_.erase(it);
+  }
+}
+
+void StorageNode::erase_object(const ObjectId& object) {
+  for (auto it = blobs_.begin(); it != blobs_.end();) {
+    if (it->second.object == object) {
+      bytes_stored_ -= it->second.data.size();
+      it = blobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<const StoredBlob*> StorageNode::all_blobs() const {
+  std::vector<const StoredBlob*> out;
+  out.reserve(blobs_.size());
+  for (const auto& [k, b] : blobs_) out.push_back(&b);
+  return out;
+}
+
+}  // namespace aegis

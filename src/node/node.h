@@ -1,0 +1,74 @@
+// Simulated archival storage node.
+//
+// The paper's standing assumption (§2) is an archive spanning
+// geographically dispersed, administratively independent storage nodes.
+// A node here is a shard store with an online/offline switch; all
+// adversarial behaviour lives in MobileAdversary, and all transport in
+// Cluster, so the node itself stays an honest, dumb box — which is
+// exactly what the threat model grants it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/scheme.h"
+#include "util/bytes.h"
+
+namespace aegis {
+
+using NodeId = std::uint32_t;
+using ObjectId = std::string;
+
+/// One stored shard/share/replica.
+struct StoredBlob {
+  ObjectId object;
+  std::uint32_t shard_index = 0;
+  /// Refresh generation: proactive protocols bump this, making shares
+  /// harvested from older generations non-combinable with newer ones.
+  std::uint32_t generation = 0;
+  Bytes data;
+  Epoch stored_at = 0;
+
+  Bytes serialize() const;
+  static StoredBlob deserialize(ByteView wire);
+};
+
+/// A single storage node: keyed blob store plus availability state.
+class StorageNode {
+ public:
+  explicit StorageNode(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  bool online() const { return online_; }
+  void set_online(bool v) { online_ = v; }
+
+  /// Inserts or replaces the shard for (object, shard_index).
+  void put(StoredBlob blob);
+
+  /// nullptr when absent (or the node is offline — an offline node
+  /// answers nothing, it does not error).
+  const StoredBlob* get(const ObjectId& object, std::uint32_t shard) const;
+
+  void erase(const ObjectId& object, std::uint32_t shard);
+  void erase_object(const ObjectId& object);
+
+  /// Full contents — the mobile adversary's view when it owns the node.
+  std::vector<const StoredBlob*> all_blobs() const;
+
+  std::uint64_t bytes_stored() const { return bytes_stored_; }
+  std::size_t blob_count() const { return blobs_.size(); }
+
+ private:
+  static std::string key(const ObjectId& object, std::uint32_t shard);
+
+  NodeId id_;
+  bool online_ = true;
+  std::map<std::string, StoredBlob> blobs_;
+  std::uint64_t bytes_stored_ = 0;
+};
+
+}  // namespace aegis

@@ -1,0 +1,147 @@
+#include "protocol/key_service.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+void KeyHolder::accept_key(const std::string& key_id, VssShare share,
+                           VssCommitments commitments) {
+  if (share.index != id_ + 1)
+    throw InvalidArgument("KeyHolder: share index mismatch");
+  if (!vss_verify_share(share, commitments))
+    throw IntegrityError("KeyHolder: dealt share fails verification");
+  keys_[key_id] = {std::move(share), std::move(commitments)};
+}
+
+std::optional<VssShare> KeyHolder::answer_fetch(
+    const std::string& key_id) const {
+  const auto it = keys_.find(key_id);
+  if (it == keys_.end()) return std::nullopt;
+  VssShare s = it->second.share;
+  if (byzantine_) {
+    // Lie: hand back a mutated share (detected against commitments).
+    s.value = ec::Secp256k1::instance().fn().add(s.value, U256(7));
+  }
+  return s;
+}
+
+const VssCommitments* KeyHolder::commitments(
+    const std::string& key_id) const {
+  const auto it = keys_.find(key_id);
+  return it == keys_.end() ? nullptr : &it->second.commitments;
+}
+
+PssParticipant KeyHolder::participant(const std::string& key_id) const {
+  const auto it = keys_.find(key_id);
+  if (it == keys_.end())
+    throw InvalidArgument("KeyHolder: unknown key " + key_id);
+  PssParticipant p(id_, static_cast<unsigned>(
+                            it->second.commitments.threshold()),
+                   n_, it->second.share, it->second.commitments);
+  p.set_byzantine(byzantine_);
+  return p;
+}
+
+void KeyHolder::update_key(const std::string& key_id, VssShare share,
+                           VssCommitments commitments) {
+  keys_.at(key_id) = {std::move(share), std::move(commitments)};
+}
+
+KeyService::KeyService(Cluster& cluster, unsigned t, unsigned n,
+                       ChannelKind channel)
+    : cluster_(cluster), t_(t), n_(n), bus_(cluster, channel) {
+  if (t == 0 || t > n || n > cluster.size())
+    throw InvalidArgument("KeyService: bad geometry for this cluster");
+  for (NodeId i = 0; i < n; ++i) holders_.emplace_back(i, t, n);
+}
+
+unsigned KeyService::store(const std::string& key_id, const U256& key,
+                           Rng& rng) {
+  const VssDealing dealing = pedersen_deal(key, t_, n_, rng);
+
+  unsigned accepted = 0;
+  for (NodeId i = 0; i < n_; ++i) {
+    // The dealing travels to each holder through a protected message.
+    ByteWriter w;
+    w.u32(dealing.shares[i].index);
+    w.raw(dealing.shares[i].value.to_bytes_be());
+    w.raw(dealing.shares[i].blind.to_bytes_be());
+    ProtocolMessage m;
+    m.from = i;  // client impersonates no node; attribute to recipient
+    m.to = i;
+    m.topic = "keysvc/store/" + key_id;
+    m.payload = std::move(w).take();
+    bus_.send(std::move(m));
+    (void)bus_.drain(i);
+
+    try {
+      holders_[i].accept_key(key_id, dealing.shares[i],
+                             dealing.commitments);
+      ++accepted;
+    } catch (const Error&) {
+      // A holder that rejects simply does not store; the client sees
+      // the count and can re-deal.
+    }
+  }
+  if (std::find(key_ids_.begin(), key_ids_.end(), key_id) == key_ids_.end())
+    key_ids_.push_back(key_id);
+  return accepted;
+}
+
+U256 KeyService::fetch(const std::string& key_id) {
+  std::vector<VssShare> verified;
+  const VssCommitments* comms = nullptr;
+
+  for (NodeId i = 0; i < n_ && verified.size() < t_; ++i) {
+    if (!cluster_.node(i).online()) continue;
+    const auto share = holders_[i].answer_fetch(key_id);
+    if (!share) continue;
+    if (comms == nullptr) comms = holders_[i].commitments(key_id);
+
+    // The response travels back over a protected message.
+    ByteWriter w;
+    w.u32(share->index);
+    w.raw(share->value.to_bytes_be());
+    w.raw(share->blind.to_bytes_be());
+    ProtocolMessage m;
+    m.from = i;
+    m.to = i;
+    m.topic = "keysvc/fetch/" + key_id;
+    m.payload = std::move(w).take();
+    bus_.send(std::move(m));
+    (void)bus_.drain(i);
+
+    // Client-side verification against the standing commitments: a
+    // Byzantine holder's lie dies here.
+    if (comms != nullptr && vss_verify_share(*share, *comms))
+      verified.push_back(*share);
+  }
+
+  if (verified.size() < t_)
+    throw UnrecoverableError("KeyService: fewer than t verified responses");
+  return vss_recover(verified, t_);
+}
+
+std::set<NodeId> KeyService::refresh(Rng& rng) {
+  std::set<NodeId> accused;
+  for (const std::string& key_id : key_ids_) {
+    std::vector<PssParticipant> participants;
+    participants.reserve(n_);
+    for (NodeId i = 0; i < n_; ++i)
+      participants.push_back(holders_[i].participant(key_id));
+
+    const PssRoundResult r = run_pss_refresh(participants, bus_, rng);
+    accused.insert(r.accused.begin(), r.accused.end());
+
+    for (NodeId i = 0; i < n_; ++i) {
+      holders_[i].update_key(key_id, participants[i].share(),
+                             participants[i].commitments());
+    }
+  }
+  return accused;
+}
+
+}  // namespace aegis

@@ -1,0 +1,109 @@
+// A decentralized key-management service — the HasDPSS archetype (§4's
+// "the concrete design of secret-shared archives may benefit from the
+// key-management literature") as a running protocol service.
+//
+// The service is a group of key-holder nodes. A client:
+//   * store()    deals a 256-bit key as a Pedersen VSS to the holders
+//                (each holder verifies its share against the broadcast
+//                commitments before accepting — a bad dealing is
+//                rejected by the honest holders);
+//   * fetch()    asks every holder for its share over protected
+//                channels, verifies each response against the standing
+//                commitments (a corrupted holder's lie is dropped), and
+//                reconstructs once t verified shares arrive;
+//   * refresh()  runs the distributed PSS round over all held keys, so
+//                a mobile adversary's old share harvest goes stale.
+//
+// Every message is billed and wiretapped like all other cluster traffic,
+// so key-plane exposure shows up in the same HNDL analysis as the data
+// plane.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "protocol/pss.h"
+
+namespace aegis {
+
+/// One key-holder node's state: its share of every stored key.
+class KeyHolder {
+ public:
+  KeyHolder(NodeId id, unsigned t, unsigned n) : id_(id), t_(t), n_(n) {}
+
+  NodeId id() const { return id_; }
+
+  /// If set, this holder answers fetches with a corrupted share and
+  /// deals corrupt zero-sharings during refresh.
+  void set_byzantine(bool v) { byzantine_ = v; }
+
+  /// Handles one incoming store sub-share/commitment pair (dealer is the
+  /// client, so there is no accusation round here: the holder just
+  /// verifies and accepts or rejects).
+  void accept_key(const std::string& key_id, VssShare share,
+                  VssCommitments commitments);
+
+  /// Answers a fetch: the share, possibly corrupted if Byzantine.
+  std::optional<VssShare> answer_fetch(const std::string& key_id) const;
+
+  /// The standing commitments for a key (public).
+  const VssCommitments* commitments(const std::string& key_id) const;
+
+  std::size_t keys_held() const { return keys_.size(); }
+
+  /// Builds this holder's PSS participant view for one key's refresh.
+  PssParticipant participant(const std::string& key_id) const;
+
+  /// Writes back the refreshed share/commitments after a PSS round.
+  void update_key(const std::string& key_id, VssShare share,
+                  VssCommitments commitments);
+
+ private:
+  struct Held {
+    VssShare share;
+    VssCommitments commitments;
+  };
+
+  NodeId id_;
+  unsigned t_, n_;
+  bool byzantine_ = false;
+  std::map<std::string, Held> keys_;
+};
+
+/// The client-facing service facade over a holder group.
+class KeyService {
+ public:
+  /// Holders occupy cluster nodes 0..n-1. Threshold t of n.
+  KeyService(Cluster& cluster, unsigned t, unsigned n, ChannelKind channel);
+
+  unsigned t() const { return t_; }
+  unsigned n() const { return n_; }
+  KeyHolder& holder(NodeId id) { return holders_.at(id); }
+
+  /// Stores a key under `key_id`. Returns the number of holders that
+  /// accepted (verified) their share — all n for an honest client.
+  unsigned store(const std::string& key_id, const U256& key, Rng& rng);
+
+  /// Fetches and reconstructs the key from t VERIFIED holder responses.
+  /// Byzantine holders' corrupted shares are detected against the
+  /// standing commitments and skipped. Throws UnrecoverableError if
+  /// fewer than t honest responses arrive.
+  U256 fetch(const std::string& key_id);
+
+  /// One distributed PSS refresh round over every stored key. Returns
+  /// the union of accused holder ids across keys.
+  std::set<NodeId> refresh(Rng& rng);
+
+  std::uint64_t messages() const { return bus_.messages_sent(); }
+  std::uint64_t bytes() const { return bus_.bytes_sent(); }
+
+ private:
+  Cluster& cluster_;
+  unsigned t_, n_;
+  MessageBus bus_;
+  std::vector<KeyHolder> holders_;
+  std::vector<std::string> key_ids_;
+};
+
+}  // namespace aegis

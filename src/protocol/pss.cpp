@@ -1,0 +1,193 @@
+#include "protocol/pss.h"
+
+#include "crypto/pedersen.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+constexpr const char* kTopicSubShare = "pss/subshare";
+constexpr const char* kTopicCommitments = "pss/commitments";
+constexpr const char* kTopicAccuse = "pss/accuse";
+
+Bytes encode_subshare(const VssShare& s) {
+  ByteWriter w;
+  w.u32(s.index);
+  w.raw(s.value.to_bytes_be());
+  w.raw(s.blind.to_bytes_be());
+  return std::move(w).take();
+}
+
+VssShare decode_subshare(ByteView wire) {
+  ByteReader r(wire);
+  VssShare s;
+  s.index = r.u32();
+  s.value = U256::from_bytes_be(r.raw(32));
+  s.blind = U256::from_bytes_be(r.raw(32));
+  r.expect_done();
+  return s;
+}
+
+Bytes encode_commitments(const VssCommitments& c, const U256& blind0) {
+  ByteWriter w;
+  w.u8(c.pedersen ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(c.points.size()));
+  for (const Bytes& p : c.points) w.bytes(p);
+  w.raw(blind0.to_bytes_be());
+  return std::move(w).take();
+}
+
+void decode_commitments(ByteView wire, VssCommitments& c, U256& blind0) {
+  ByteReader r(wire);
+  c.pedersen = r.u8() != 0;
+  const std::uint32_t count = r.count(4);
+  c.points.clear();
+  for (std::uint32_t i = 0; i < count; ++i) c.points.push_back(r.bytes());
+  blind0 = U256::from_bytes_be(r.raw(32));
+  r.expect_done();
+}
+
+}  // namespace
+
+PssParticipant::PssParticipant(NodeId id, unsigned t, unsigned n,
+                               VssShare share, VssCommitments commitments)
+    : id_(id),
+      t_(t),
+      n_(n),
+      share_(std::move(share)),
+      commitments_(std::move(commitments)) {
+  if (share_.index != id_ + 1)
+    throw InvalidArgument("PssParticipant: share index must be node id + 1");
+  if (!commitments_.pedersen)
+    throw InvalidArgument("PssParticipant: requires a Pedersen dealing");
+}
+
+void PssParticipant::deal(MessageBus& bus, Rng& rng) {
+  U256 blind0;
+  VssDealing zero = pedersen_deal_opened(U256(), t_, n_, rng, blind0);
+
+  if (byzantine_) {
+    // Corrupt the successor's sub-share: the classic detected attack.
+    const NodeId victim = (id_ + 1) % n_;
+    VssShare& s = zero.shares[victim];
+    s.value = ec::Secp256k1::instance().fn().add(s.value, U256(1));
+  }
+
+  // Keep my own sub-share locally (a dealer trusts itself).
+  ReceivedDealing mine;
+  mine.sub = zero.shares[id_];
+  mine.have_sub = true;
+  mine.commitments = zero.commitments;
+  mine.blind0 = blind0;
+  mine.have_commitments = true;
+  received_[id_] = std::move(mine);
+
+  for (NodeId peer = 0; peer < n_; ++peer) {
+    if (peer == id_) continue;
+    ProtocolMessage m;
+    m.from = id_;
+    m.to = peer;
+    m.topic = kTopicSubShare;
+    m.payload = encode_subshare(zero.shares[peer]);
+    bus.send(std::move(m));
+  }
+  bus.broadcast(id_, kTopicCommitments,
+                encode_commitments(zero.commitments, blind0));
+}
+
+void PssParticipant::accuse(MessageBus& bus) {
+  for (const ProtocolMessage& m : bus.drain(id_)) {
+    ReceivedDealing& d = received_[m.from];
+    try {
+      if (m.topic == kTopicSubShare) {
+        d.sub = decode_subshare(m.payload);
+        d.have_sub = true;
+      } else if (m.topic == kTopicCommitments) {
+        decode_commitments(m.payload, d.commitments, d.blind0);
+        d.have_commitments = true;
+      }
+    } catch (const Error&) {
+      // Malformed material is as good as missing: the checks below
+      // will accuse the dealer.
+    }
+  }
+
+  for (NodeId dealer = 0; dealer < n_; ++dealer) {
+    const auto it = received_.find(dealer);
+    bool ok = it != received_.end() && it->second.have_sub &&
+              it->second.have_commitments;
+    if (ok) {
+      const ReceivedDealing& d = it->second;
+      // The dealt secret must provably be zero...
+      const PedersenCommitment c0 =
+          PedersenCommitment::decode(d.commitments.points[0]);
+      ok = pedersen_verify(c0, {U256(), d.blind0});
+      // ...and my sub-share must lie on the committed polynomial.
+      ok = ok && d.sub.index == id_ + 1 &&
+           vss_verify_share(d.sub, d.commitments);
+    }
+    if (!ok) {
+      accused_.insert(dealer);
+      std::uint8_t payload[4] = {
+          static_cast<std::uint8_t>(dealer),
+          static_cast<std::uint8_t>(dealer >> 8),
+          static_cast<std::uint8_t>(dealer >> 16),
+          static_cast<std::uint8_t>(dealer >> 24)};
+      bus.broadcast(id_, kTopicAccuse, ByteView(payload, 4));
+    }
+  }
+}
+
+void PssParticipant::finalize(MessageBus& bus) {
+  // Union in everyone else's accusations so all honest parties exclude
+  // the same dealer set (reliable broadcast assumption).
+  for (const ProtocolMessage& m : bus.drain(id_)) {
+    if (m.topic != kTopicAccuse || m.payload.size() != 4) continue;
+    NodeId dealer = 0;
+    for (int i = 0; i < 4; ++i)
+      dealer |= static_cast<NodeId>(m.payload[i]) << (8 * i);
+    if (dealer < n_) accused_.insert(dealer);
+  }
+
+  const MontgomeryCtx& fn = ec::Secp256k1::instance().fn();
+  unsigned applied = 0;
+  for (const auto& [dealer, d] : received_) {
+    if (accused_.count(dealer) > 0) continue;
+    if (!d.have_sub || !d.have_commitments) continue;
+
+    share_.value = fn.add(share_.value, d.sub.value);
+    share_.blind = fn.add(share_.blind, d.sub.blind);
+    for (unsigned j = 0; j < t_; ++j) {
+      const PedersenCommitment a =
+          PedersenCommitment::decode(commitments_.points[j]);
+      const PedersenCommitment b =
+          PedersenCommitment::decode(d.commitments.points[j]);
+      commitments_.points[j] = pedersen_add(a, b).encode();
+    }
+    ++applied;
+  }
+  if (applied == 0)
+    throw IntegrityError("PssParticipant: no honest dealing survived");
+}
+
+PssRoundResult run_pss_refresh(std::vector<PssParticipant>& nodes,
+                               MessageBus& bus, Rng& rng) {
+  const std::uint64_t msgs0 = bus.messages_sent();
+  const std::uint64_t bytes0 = bus.bytes_sent();
+
+  for (auto& node : nodes) node.deal(bus, rng);
+  for (auto& node : nodes) node.accuse(bus);
+  for (auto& node : nodes) node.finalize(bus);
+
+  PssRoundResult r;
+  for (const auto& node : nodes) {
+    r.accused.insert(node.accused().begin(), node.accused().end());
+  }
+  r.messages = bus.messages_sent() - msgs0;
+  r.bytes = bus.bytes_sent() - bytes0;
+  return r;
+}
+
+}  // namespace aegis

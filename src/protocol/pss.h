@@ -1,0 +1,92 @@
+// Distributed verifiable proactive secret sharing — Herzberg share
+// refresh run as an actual message-passing protocol between shareholder
+// nodes, over protected channels, with Byzantine dealers detected by
+// accusation.
+//
+// The sharing module's proactive_refresh_vss() computes the same result
+// coordinator-style; this module is the wire-level version the paper's
+// §3.2 cost analysis is really about: every sub-share is a sealed
+// point-to-point message, every commitment set and accusation a
+// broadcast, and the bus bills each one. Rounds are synchronous (the
+// classic PSS network assumption) and broadcasts are reliable —
+// assumptions stated by Herzberg et al. and inherited here.
+//
+//   round 1  deal()      every holder deals a zero-sharing: n-1 sealed
+//                        sub-shares + broadcast commitments with the
+//                        constant term's opening (proving it commits 0)
+//   round 2  accuse()    holders verify what they received; bad or
+//                        missing dealings draw a broadcast accusation
+//   round 3  finalize()  everyone applies exactly the dealings from
+//                        un-accused dealers; shares and public
+//                        commitments update homomorphically
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "node/messaging.h"
+#include "sharing/vss.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// One shareholder's protocol state. NodeId i holds VSS share index i+1.
+class PssParticipant {
+ public:
+  PssParticipant(NodeId id, unsigned t, unsigned n, VssShare share,
+                 VssCommitments commitments);
+
+  NodeId id() const { return id_; }
+  const VssShare& share() const { return share_; }
+  const VssCommitments& commitments() const { return commitments_; }
+  const std::set<NodeId>& accused() const { return accused_; }
+
+  /// Makes this dealer Byzantine: it corrupts the sub-share sent to its
+  /// successor holder (and should therefore be caught in round 2).
+  void set_byzantine(bool v) { byzantine_ = v; }
+
+  /// Round 1: deal a zero-sharing to all peers.
+  void deal(MessageBus& bus, Rng& rng);
+
+  /// Round 2: drain the bus, verify every dealing, broadcast
+  /// accusations for dealers whose material is bad or missing.
+  void accuse(MessageBus& bus);
+
+  /// Round 3: drain accusations and apply all surviving dealings.
+  /// Throws IntegrityError if fewer than one honest dealing survives
+  /// (cannot happen with an honest majority).
+  void finalize(MessageBus& bus);
+
+ private:
+  struct ReceivedDealing {
+    VssShare sub;                       // my sub-share from this dealer
+    bool have_sub = false;
+    VssCommitments commitments;
+    U256 blind0;                        // opening of the constant term
+    bool have_commitments = false;
+  };
+
+  NodeId id_;
+  unsigned t_, n_;
+  VssShare share_;
+  VssCommitments commitments_;
+  bool byzantine_ = false;
+
+  std::map<NodeId, ReceivedDealing> received_;
+  std::set<NodeId> accused_;
+};
+
+/// Outcome of one full refresh round.
+struct PssRoundResult {
+  std::set<NodeId> accused;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Drives the three rounds across all participants. Participants must
+/// hold a consistent dealing (same commitments) on entry; on exit every
+/// honest participant holds a refreshed, mutually consistent sharing.
+PssRoundResult run_pss_refresh(std::vector<PssParticipant>& nodes,
+                               MessageBus& bus, Rng& rng);
+
+}  // namespace aegis

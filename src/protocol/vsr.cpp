@@ -1,0 +1,250 @@
+#include "protocol/vsr.h"
+
+#include <algorithm>
+
+#include "crypto/pedersen.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+constexpr const char* kTopicSub = "vsr/subshare";
+constexpr const char* kTopicComms = "vsr/commitments";
+constexpr const char* kTopicAccuse = "vsr/accuse";
+
+Bytes encode_share(const VssShare& s) {
+  ByteWriter w;
+  w.u32(s.index);
+  w.raw(s.value.to_bytes_be());
+  w.raw(s.blind.to_bytes_be());
+  return std::move(w).take();
+}
+
+VssShare decode_share(ByteView wire) {
+  ByteReader r(wire);
+  VssShare s;
+  s.index = r.u32();
+  s.value = U256::from_bytes_be(r.raw(32));
+  s.blind = U256::from_bytes_be(r.raw(32));
+  r.expect_done();
+  return s;
+}
+
+Bytes encode_comms(const VssCommitments& c) {
+  ByteWriter w;
+  w.u8(c.pedersen ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(c.points.size()));
+  for (const Bytes& p : c.points) w.bytes(p);
+  return std::move(w).take();
+}
+
+VssCommitments decode_comms(ByteView wire) {
+  ByteReader r(wire);
+  VssCommitments c;
+  c.pedersen = r.u8() != 0;
+  const std::uint32_t count = r.count(4);
+  for (std::uint32_t i = 0; i < count; ++i) c.points.push_back(r.bytes());
+  r.expect_done();
+  return c;
+}
+
+/// Standing commitment to old holder `index`'s share: prod_j C_j^{i^j}.
+PedersenCommitment standing_commitment(const VssCommitments& comms,
+                                       std::uint32_t index) {
+  const ec::Secp256k1& curve = ec::Secp256k1::instance();
+  const MontgomeryCtx& fn = curve.fn();
+  ec::Point acc;
+  U256 x_pow(1);
+  const U256 xm = fn.to_mont(U256(index));
+  for (const Bytes& enc : comms.points) {
+    acc = curve.add(acc, curve.mul(curve.decode(enc), x_pow));
+    x_pow = fn.from_mont(fn.mul(fn.to_mont(x_pow), xm));
+  }
+  return PedersenCommitment{acc};
+}
+
+}  // namespace
+
+VsrOldHolder::VsrOldHolder(NodeId id, unsigned t2, unsigned n2,
+                           NodeId new_base, VssShare share)
+    : id_(id), t2_(t2), n2_(n2), new_base_(new_base),
+      share_(std::move(share)) {
+  if (share_.index != id_ + 1)
+    throw InvalidArgument("VsrOldHolder: share index must be node id + 1");
+}
+
+void VsrOldHolder::subshare(MessageBus& bus, Rng& rng) {
+  U256 value = share_.value;
+  if (byzantine_) {
+    // Lie about the share: the sub-dealing's constant commitment will
+    // not match the standing commitment.
+    value = ec::Secp256k1::instance().fn().add(value, U256(1));
+  }
+
+  const VssDealing sub =
+      pedersen_deal_fixed_blind0(value, share_.blind, t2_, n2_, rng);
+
+  for (unsigned j = 0; j < n2_; ++j) {
+    ProtocolMessage m;
+    m.from = id_;
+    m.to = new_base_ + j;
+    m.topic = kTopicSub;
+    m.payload = encode_share(sub.shares[j]);
+    bus.send(std::move(m));
+  }
+  for (unsigned j = 0; j < n2_; ++j) {
+    ProtocolMessage m;
+    m.from = id_;
+    m.to = new_base_ + j;
+    m.topic = kTopicComms;
+    m.payload = encode_comms(sub.commitments);
+    bus.send(std::move(m));
+  }
+}
+
+VsrNewHolder::VsrNewHolder(NodeId id, unsigned t, unsigned n, unsigned t2,
+                           unsigned n2, NodeId new_base,
+                           VssCommitments old_commitments)
+    : id_(id),
+      t_(t),
+      n_(n),
+      t2_(t2),
+      n2_(n2),
+      new_base_(new_base),
+      old_commitments_(std::move(old_commitments)) {
+  if (!old_commitments_.pedersen)
+    throw InvalidArgument("VsrNewHolder: requires a Pedersen dealing");
+  if (id_ < new_base_ || id_ >= new_base_ + n2_)
+    throw InvalidArgument("VsrNewHolder: id outside the new group range");
+}
+
+void VsrNewHolder::accuse(MessageBus& bus) {
+  for (const ProtocolMessage& m : bus.drain(id_)) {
+    SubDealing& d = received_[m.from];
+    try {
+      if (m.topic == kTopicSub) {
+        d.sub = decode_share(m.payload);
+        d.have_sub = true;
+      } else if (m.topic == kTopicComms) {
+        d.commitments = decode_comms(m.payload);
+        d.have_commitments = true;
+      }
+    } catch (const Error&) {
+      // Malformed == missing; accused below.
+    }
+  }
+
+  for (NodeId dealer = 0; dealer < n_; ++dealer) {
+    const auto it = received_.find(dealer);
+    bool ok = it != received_.end() && it->second.have_sub &&
+              it->second.have_commitments &&
+              !it->second.commitments.points.empty();
+    if (ok) {
+      const SubDealing& d = it->second;
+      try {
+        // The sub-dealing must provably carry the dealer's REAL share:
+        // its constant commitment equals the standing commitment.
+        const PedersenCommitment c0 =
+            PedersenCommitment::decode(d.commitments.points[0]);
+        ok = c0 == standing_commitment(old_commitments_, dealer + 1);
+        ok = ok && d.sub.index == new_index() + 1 &&
+             vss_verify_share(d.sub, d.commitments);
+      } catch (const Error&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      accused_.insert(dealer);
+      std::uint8_t payload[4] = {
+          static_cast<std::uint8_t>(dealer),
+          static_cast<std::uint8_t>(dealer >> 8),
+          static_cast<std::uint8_t>(dealer >> 16),
+          static_cast<std::uint8_t>(dealer >> 24)};
+      for (unsigned j = 0; j < n2_; ++j) {
+        if (new_base_ + j == id_) continue;
+        ProtocolMessage m;
+        m.from = id_;
+        m.to = new_base_ + j;
+        m.topic = kTopicAccuse;
+        m.payload = to_bytes(ByteView(payload, 4));
+        bus.send(std::move(m));
+      }
+    }
+  }
+}
+
+void VsrNewHolder::finalize(MessageBus& bus) {
+  for (const ProtocolMessage& m : bus.drain(id_)) {
+    if (m.topic != kTopicAccuse || m.payload.size() != 4) continue;
+    NodeId dealer = 0;
+    for (int i = 0; i < 4; ++i)
+      dealer |= static_cast<NodeId>(m.payload[i]) << (8 * i);
+    if (dealer < n_) accused_.insert(dealer);
+  }
+
+  // Deterministic honest contributor set: the t lowest old indices that
+  // nobody accused and that delivered complete material.
+  std::vector<NodeId> contributors;
+  for (NodeId dealer = 0; dealer < n_ && contributors.size() < t_; ++dealer) {
+    if (accused_.count(dealer) > 0) continue;
+    const auto it = received_.find(dealer);
+    if (it == received_.end() || !it->second.have_sub ||
+        !it->second.have_commitments)
+      continue;
+    contributors.push_back(dealer);
+  }
+  if (contributors.size() < t_)
+    throw UnrecoverableError("VsrNewHolder: fewer than t honest old holders");
+
+  std::vector<std::uint32_t> xs;
+  for (NodeId c : contributors) xs.push_back(c + 1);
+
+  const ec::Secp256k1& curve = ec::Secp256k1::instance();
+  const MontgomeryCtx& fn = curve.fn();
+
+  U256 value, blind;  // zero
+  for (std::size_t i = 0; i < contributors.size(); ++i) {
+    const U256 li = scalar_lagrange_at_zero(xs, i);
+    const VssShare& s = received_[contributors[i]].sub;
+    value = fn.add(
+        value, fn.from_mont(fn.mul(fn.to_mont(li), fn.to_mont(s.value))));
+    blind = fn.add(
+        blind, fn.from_mont(fn.mul(fn.to_mont(li), fn.to_mont(s.blind))));
+  }
+  share_ = {new_index() + 1, value, blind};
+
+  commitments_.pedersen = true;
+  commitments_.points.clear();
+  for (unsigned c = 0; c < t2_; ++c) {
+    ec::Point acc;
+    for (std::size_t i = 0; i < contributors.size(); ++i) {
+      const U256 li = scalar_lagrange_at_zero(xs, i);
+      const ec::Point pc =
+          curve.decode(received_[contributors[i]].commitments.points[c]);
+      acc = curve.add(acc, curve.mul(pc, li));
+    }
+    commitments_.points.push_back(curve.encode(acc));
+  }
+}
+
+VsrResult run_vsr(std::vector<VsrOldHolder>& old_holders,
+                  std::vector<VsrNewHolder>& new_holders, MessageBus& bus,
+                  Rng& rng) {
+  const std::uint64_t msgs0 = bus.messages_sent();
+  const std::uint64_t bytes0 = bus.bytes_sent();
+
+  for (auto& o : old_holders) o.subshare(bus, rng);
+  for (auto& h : new_holders) h.accuse(bus);
+  for (auto& h : new_holders) h.finalize(bus);
+
+  VsrResult r;
+  for (const auto& h : new_holders)
+    r.accused.insert(h.accused().begin(), h.accused().end());
+  r.messages = bus.messages_sent() - msgs0;
+  r.bytes = bus.bytes_sent() - bytes0;
+  return r;
+}
+
+}  // namespace aegis

@@ -1,0 +1,108 @@
+// Distributed verifiable share redistribution (Wong–Wang–Wing) at wire
+// level: an old shareholder group (t, n) hands a secret to a NEW group
+// (t2, n2) — disjoint node sets, protected point-to-point messages —
+// without reconstructing it, and with cheating old holders caught
+// against their standing Pedersen commitments.
+//
+// This is the protocol behind the paper's "VSR Archive" row, run the way
+// the archive would run it when storage providers churn over decades:
+//
+//   round 1  subshare()   every old holder re-deals its share to the new
+//                         group, using its share's blinding as the
+//                         sub-dealing's constant blinding so the
+//                         sub-commitment C'_0 provably equals its
+//                         standing share commitment
+//   round 2  accuse()     new holders verify each sub-dealing (C'_0
+//                         match + own sub-share on the polynomial) and
+//                         broadcast accusations
+//   round 3  finalize()   new holders agree on the honest contributor
+//                         set (deterministically: the t lowest-indexed
+//                         un-accused old holders), Lagrange-combine
+//                         their sub-shares, and derive the new public
+//                         commitments homomorphically
+#pragma once
+
+#include <set>
+
+#include "node/messaging.h"
+#include "sharing/vss.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// An old-group shareholder (cluster NodeId == its old index).
+class VsrOldHolder {
+ public:
+  /// New holders live at cluster ids new_base .. new_base + n2 - 1.
+  VsrOldHolder(NodeId id, unsigned t2, unsigned n2, NodeId new_base,
+               VssShare share);
+
+  void set_byzantine(bool v) { byzantine_ = v; }
+  NodeId id() const { return id_; }
+
+  /// Round 1: sub-share my share to the entire new group.
+  void subshare(MessageBus& bus, Rng& rng);
+
+ private:
+  NodeId id_;
+  unsigned t2_, n2_;
+  NodeId new_base_;
+  VssShare share_;
+  bool byzantine_ = false;
+};
+
+/// A new-group shareholder.
+class VsrNewHolder {
+ public:
+  /// `old_commitments` is the standing public commitment vector of the
+  /// old sharing — what cheaters are checked against.
+  VsrNewHolder(NodeId id, unsigned t, unsigned n, unsigned t2, unsigned n2,
+               NodeId new_base, VssCommitments old_commitments);
+
+  NodeId id() const { return id_; }
+  unsigned new_index() const { return static_cast<unsigned>(id_ - new_base_); }
+
+  /// Round 2: verify received sub-dealings; broadcast accusations to the
+  /// new group.
+  void accuse(MessageBus& bus);
+
+  /// Round 3: combine the deterministic honest set. Throws
+  /// UnrecoverableError with fewer than t honest contributors.
+  void finalize(MessageBus& bus);
+
+  const VssShare& share() const { return share_; }
+  const VssCommitments& commitments() const { return commitments_; }
+  const std::set<NodeId>& accused() const { return accused_; }
+
+ private:
+  struct SubDealing {
+    VssShare sub;
+    bool have_sub = false;
+    VssCommitments commitments;
+    bool have_commitments = false;
+  };
+
+  NodeId id_;
+  unsigned t_, n_, t2_, n2_;
+  NodeId new_base_;
+  VssCommitments old_commitments_;
+
+  std::map<NodeId, SubDealing> received_;
+  std::set<NodeId> accused_;
+  VssShare share_;
+  VssCommitments commitments_;
+};
+
+/// Result of one redistribution.
+struct VsrResult {
+  std::set<NodeId> accused;  // old holders caught cheating
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Drives the three rounds.
+VsrResult run_vsr(std::vector<VsrOldHolder>& old_holders,
+                  std::vector<VsrNewHolder>& new_holders, MessageBus& bus,
+                  Rng& rng);
+
+}  // namespace aegis

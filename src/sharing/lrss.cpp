@@ -1,0 +1,393 @@
+#include "sharing/lrss.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "crypto/entropic.h"  // gf64_mul
+#include "gf/gf256.h"
+#include "gf/gf65536.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+Bytes LrssShare::serialize() const {
+  ByteWriter w;
+  w.u8(index);
+  w.bytes(source);
+  w.bytes(masked);
+  return std::move(w).take();
+}
+
+LrssShare LrssShare::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  LrssShare s;
+  s.index = r.u8();
+  s.source = r.bytes();
+  s.masked = r.bytes();
+  r.expect_done();
+  return s;
+}
+
+Lrss::Lrss(unsigned t, unsigned n, unsigned leakage_budget_bits)
+    : t_(t), n_(n), leak_bits_(leakage_budget_bits) {
+  if (t == 0 || t > n || n > 255)
+    throw InvalidArgument("Lrss: need 1 <= t <= n <= 255");
+}
+
+std::size_t Lrss::share_size(std::size_t secret_len) const {
+  // Source must hold: output entropy (= share length) + leakage budget
+  // + 128 bits of leftover-hash slack.
+  const std::size_t out_words = (secret_len + 7) / 8;
+  const std::size_t src_words = out_words + (leak_bits_ + 63) / 64 + 2;
+  return src_words * 8 + secret_len;
+}
+
+Bytes Lrss::extract(ByteView source, ByteView seed,
+                    std::size_t out_len) const {
+  if (seed.size() != 16)
+    throw InvalidArgument("Lrss: seed must be 16 bytes");
+  std::uint64_t a, b;
+  std::memcpy(&a, seed.data(), 8);
+  std::memcpy(&b, seed.data() + 8, 8);
+  if (a == 0) a = 1;
+
+  const std::size_t m = source.size() / 8;
+  std::vector<std::uint64_t> w(m);
+  std::memcpy(w.data(), source.data(), m * 8);
+
+  // Output word j = b * P_w(a_j), where P_w is the polynomial with the
+  // source words as coefficients and a_j = a xor (j+1) gives each output
+  // word its own evaluation point: a multi-point polynomial universal
+  // hash (per-word collision probability <= m/2^64), evaluated by
+  // Horner in O(m) multiplies per word.
+  Bytes out(out_len, 0);
+  const std::size_t out_words = (out_len + 7) / 8;
+  for (std::size_t j = 0; j < out_words; ++j) {
+    const std::uint64_t point = a ^ (j + 1);
+    std::uint64_t acc = 0;
+    for (std::size_t l = m; l-- > 0;) acc = gf64_mul(acc, point) ^ w[l];
+    acc = gf64_mul(acc, b);
+    std::uint8_t word[8];
+    std::memcpy(word, &acc, 8);
+    const std::size_t take = std::min<std::size_t>(8, out_len - j * 8);
+    std::memcpy(out.data() + j * 8, word, take);
+  }
+  return out;
+}
+
+LrssSharing Lrss::split(ByteView secret, Rng& rng) const {
+  LrssSharing out;
+  out.seed = rng.bytes(16);
+
+  const std::vector<Share> inner = shamir_split(secret, t_, n_, rng);
+  const std::size_t out_words = (secret.size() + 7) / 8;
+  const std::size_t src_words = out_words + (leak_bits_ + 63) / 64 + 2;
+
+  out.shares.resize(n_);
+  for (unsigned i = 0; i < n_; ++i) {
+    LrssShare& s = out.shares[i];
+    s.index = inner[i].index;
+    s.source = rng.bytes(src_words * 8);
+    const Bytes mask = extract(s.source, out.seed, secret.size());
+    s.masked = xor_bytes(inner[i].data, mask);
+  }
+  return out;
+}
+
+Bytes Lrss::recover(const std::vector<LrssShare>& shares,
+                    ByteView seed) const {
+  if (shares.size() < t_)
+    throw UnrecoverableError("Lrss: have " + std::to_string(shares.size()) +
+                             " shares, need " + std::to_string(t_));
+  std::vector<Share> inner;
+  inner.reserve(t_);
+  for (unsigned i = 0; i < t_; ++i) {
+    const LrssShare& s = shares[i];
+    const Bytes mask = extract(s.source, seed, s.masked.size());
+    inner.push_back({s.index, xor_bytes(s.masked, mask)});
+  }
+  return shamir_recover(inner, t_);
+}
+
+// ----------------------------------------------------------------------
+// Local-leakage attack on GF(2^8) Shamir.
+
+namespace {
+
+// bit0 of (c * m) over GF(2^8) is GF(2)-linear in the bits of c:
+// row_bits[b] = bit0((1<<b) * m).
+std::uint8_t lsb_row_for_multiplier(std::uint8_t m) {
+  std::uint8_t row = 0;
+  for (int b = 0; b < 8; ++b) {
+    if (gf256::mul(static_cast<std::uint8_t>(1 << b), m) & 1)
+      row |= static_cast<std::uint8_t>(1 << b);
+  }
+  return row;
+}
+
+}  // namespace
+
+LeakageAttackPlan plan_shamir_lsb_attack(
+    unsigned t, const std::vector<std::uint8_t>& share_indices) {
+  LeakageAttackPlan plan;
+  const std::size_t n = share_indices.size();
+  if (t == 0 || n == 0) return plan;
+
+  // Unknown vector u = (secret bits || coeff_1 bits || ... || coeff_{t-1}).
+  // Leaked bit of share i: l_i = <A_i, u> with A_i derived from the
+  // field's multiplication structure: share_i = sum_j a_j * x_i^j.
+  const unsigned cols = 8 * t;
+  std::vector<std::vector<std::uint8_t>> a(n,
+                                           std::vector<std::uint8_t>(t, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < t; ++j) {
+      const std::uint8_t xij =
+          gf256::pow(share_indices[i], j);  // multiplier of coeff j
+      a[i][j] = lsb_row_for_multiplier(xij);
+    }
+  }
+
+  // We need lambda in GF(2)^n with  sum_i lambda_i A_i == 0 on the
+  // coefficient columns (j >= 1) and != 0 on the secret columns (j == 0).
+  // Equivalently: lambda in the nullspace of B^T where B is the n x
+  // 8(t-1) coefficient block. Gaussian elimination over GF(2), rows as
+  // bitsets of width n (n <= 255 -> 4 words).
+  const unsigned coeff_cols = cols - 8;
+  // Build B^T: coeff_cols rows, each n bits.
+  std::vector<std::array<std::uint64_t, 4>> bt(
+      coeff_cols, std::array<std::uint64_t, 4>{});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned j = 1; j < t; ++j) {
+      for (int b = 0; b < 8; ++b) {
+        if ((a[i][j] >> b) & 1) {
+          const unsigned r = (j - 1) * 8 + b;
+          bt[r][i / 64] |= 1ULL << (i % 64);
+        }
+      }
+    }
+  }
+
+  // Nullspace of B^T via column-style elimination: track which variable
+  // (share) is pivot for each row; free variables generate nullspace.
+  std::vector<int> pivot_of_row(coeff_cols, -1);
+  std::vector<bool> is_pivot(n, false);
+  unsigned rank = 0;
+  for (std::size_t col = 0; col < n && rank < coeff_cols; ++col) {
+    // find a row >= rank with bit `col` set
+    std::size_t sel = coeff_cols;
+    for (std::size_t r = rank; r < coeff_cols; ++r) {
+      if ((bt[r][col / 64] >> (col % 64)) & 1) {
+        sel = r;
+        break;
+      }
+    }
+    if (sel == coeff_cols) continue;
+    std::swap(bt[rank], bt[sel]);
+    for (std::size_t r = 0; r < coeff_cols; ++r) {
+      if (r != rank && ((bt[r][col / 64] >> (col % 64)) & 1)) {
+        for (int wi = 0; wi < 4; ++wi) bt[r][wi] ^= bt[rank][wi];
+      }
+    }
+    pivot_of_row[rank] = static_cast<int>(col);
+    is_pivot[col] = true;
+    ++rank;
+  }
+
+  // For each free variable f, the nullspace vector sets lambda_f = 1 and
+  // lambda_pivot = bt[row][f] for each pivot row. Try each; accept the
+  // first whose secret-column image is nonzero.
+  for (std::size_t f = 0; f < n; ++f) {
+    if (is_pivot[f]) continue;
+    std::vector<std::uint8_t> lambda(n, 0);
+    lambda[f] = 1;
+    for (unsigned r = 0; r < rank; ++r) {
+      if ((bt[r][f / 64] >> (f % 64)) & 1)
+        lambda[static_cast<std::size_t>(pivot_of_row[r])] = 1;
+    }
+    std::uint8_t mask = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (lambda[i]) mask ^= a[i][0];
+    if (mask != 0) {
+      plan.feasible = true;
+      plan.lambda = std::move(lambda);
+      plan.secret_mask = mask;
+      return plan;
+    }
+  }
+  return plan;  // infeasible: leakage spans no secret-only functional
+}
+
+std::vector<int> apply_shamir_lsb_attack(const LeakageAttackPlan& plan,
+                                         const std::vector<Share>& shares) {
+  if (!plan.feasible)
+    throw InvalidArgument("leakage attack: plan is infeasible");
+  if (shares.size() != plan.lambda.size())
+    throw InvalidArgument("leakage attack: share count mismatch");
+  const std::size_t len = shares.empty() ? 0 : shares[0].data.size();
+
+  std::vector<int> parities(len, 0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (!plan.lambda[i]) continue;
+    for (std::size_t p = 0; p < len; ++p)
+      parities[p] ^= shares[i].data[p] & 1;  // leak: LSB only
+  }
+  return parities;
+}
+
+std::vector<int> secret_parities(ByteView secret, std::uint8_t mask) {
+  std::vector<int> out(secret.size());
+  for (std::size_t p = 0; p < secret.size(); ++p)
+    out[p] = std::popcount(static_cast<unsigned>(secret[p] & mask)) & 1;
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// Packed-sharing (GF(2^16)) variant of the attack.
+
+namespace {
+
+// bit0 of ((1<<b) * m) over GF(2^16) for b = 0..15, packed into a mask.
+std::uint16_t lsb_row_for_multiplier16(std::uint16_t m) {
+  std::uint16_t row = 0;
+  for (int b = 0; b < 16; ++b) {
+    if (gf65536::mul(static_cast<std::uint16_t>(1u << b), m) & 1)
+      row |= static_cast<std::uint16_t>(1u << b);
+  }
+  return row;
+}
+
+using BitRow = std::vector<std::uint64_t>;  // n-bit row, 64-bit words
+
+bool get_bit(const BitRow& r, std::size_t i) {
+  return (r[i / 64] >> (i % 64)) & 1;
+}
+void set_bit(BitRow& r, std::size_t i) { r[i / 64] |= 1ULL << (i % 64); }
+void xor_rows(BitRow& dst, const BitRow& src) {
+  for (std::size_t w = 0; w < dst.size(); ++w) dst[w] ^= src[w];
+}
+
+}  // namespace
+
+PackedLeakagePlan plan_packed_lsb_attack(const PackedSharing& ps) {
+  PackedLeakagePlan plan;
+  const unsigned n = ps.n();
+  const unsigned k = ps.k();
+  const unsigned t = ps.t();
+  const std::size_t words = (n + 63) / 64;
+
+  // A[i][j]: 16-bit GF(2)-row mapping the bits of construction value j
+  // to the leaked bit of share i.
+  std::vector<std::vector<std::uint16_t>> a(
+      n, std::vector<std::uint16_t>(k + t, 0));
+  for (unsigned i = 0; i < n; ++i)
+    for (unsigned j = 0; j < k + t; ++j)
+      a[i][j] = lsb_row_for_multiplier16(ps.enc_coeff(i, j));
+
+  // B^T over the randomness bit-columns (j >= k): 16*t rows of n bits.
+  const unsigned coeff_rows = 16 * t;
+  std::vector<BitRow> bt(coeff_rows, BitRow(words, 0));
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < t; ++j) {
+      for (int b = 0; b < 16; ++b) {
+        if ((a[i][k + j] >> b) & 1) set_bit(bt[j * 16 + b], i);
+      }
+    }
+  }
+
+  // Nullspace of B^T.
+  std::vector<int> pivot_of_row(coeff_rows, -1);
+  std::vector<bool> is_pivot(n, false);
+  unsigned rank = 0;
+  for (std::size_t col = 0; col < n && rank < coeff_rows; ++col) {
+    std::size_t sel = coeff_rows;
+    for (std::size_t r = rank; r < coeff_rows; ++r) {
+      if (get_bit(bt[r], col)) {
+        sel = r;
+        break;
+      }
+    }
+    if (sel == coeff_rows) continue;
+    std::swap(bt[rank], bt[sel]);
+    for (std::size_t r = 0; r < coeff_rows; ++r) {
+      if (r != rank && get_bit(bt[r], col)) xor_rows(bt[r], bt[rank]);
+    }
+    pivot_of_row[rank] = static_cast<int>(col);
+    is_pivot[col] = true;
+    ++rank;
+  }
+
+  for (std::size_t f = 0; f < n; ++f) {
+    if (is_pivot[f]) continue;
+    std::vector<std::uint8_t> lambda(n, 0);
+    lambda[f] = 1;
+    for (unsigned r = 0; r < rank; ++r) {
+      if (get_bit(bt[r], f))
+        lambda[static_cast<std::size_t>(pivot_of_row[r])] = 1;
+    }
+    std::vector<std::uint16_t> masks(k, 0);
+    bool nonzero = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!lambda[i]) continue;
+      for (unsigned s = 0; s < k; ++s) masks[s] ^= a[i][s];
+    }
+    for (std::uint16_t m : masks) nonzero = nonzero || m != 0;
+    if (nonzero) {
+      plan.feasible = true;
+      plan.lambda = std::move(lambda);
+      plan.secret_masks = std::move(masks);
+      return plan;
+    }
+  }
+  return plan;
+}
+
+std::vector<int> apply_packed_lsb_attack(
+    const PackedLeakagePlan& plan, const std::vector<PackedShare>& shares) {
+  if (!plan.feasible)
+    throw InvalidArgument("packed leakage attack: plan is infeasible");
+  if (shares.size() != plan.lambda.size())
+    throw InvalidArgument("packed leakage attack: share count mismatch");
+
+  const std::size_t batches =
+      shares.empty() ? 0 : shares[0].data.size() / 2;
+  std::vector<int> parities(batches, 0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (!plan.lambda[i]) continue;
+    // Shares may arrive in any order; index them by their share number.
+    const PackedShare& s = shares[i];
+    if (s.index != i + 1)
+      throw InvalidArgument("packed leakage attack: shares must be in "
+                            "index order");
+    for (std::size_t b = 0; b < batches; ++b) {
+      // Element b is big-endian 16-bit: LSB is the second byte.
+      parities[b] ^= s.data[b * 2 + 1] & 1;
+    }
+  }
+  return parities;
+}
+
+std::vector<int> packed_secret_parities(
+    ByteView secret, unsigned k, const std::vector<std::uint16_t>& masks) {
+  const std::size_t total_elems = (secret.size() + 1) / 2;
+  const std::size_t batches = (total_elems + k - 1) / k;
+  auto load = [&](std::size_t idx) -> std::uint16_t {
+    const std::size_t off = idx * 2;
+    const std::uint8_t hi = off < secret.size() ? secret[off] : 0;
+    const std::uint8_t lo = off + 1 < secret.size() ? secret[off + 1] : 0;
+    return static_cast<std::uint16_t>((hi << 8) | lo);
+  };
+  std::vector<int> out(batches, 0);
+  for (std::size_t b = 0; b < batches; ++b) {
+    int parity = 0;
+    for (unsigned s = 0; s < k; ++s)
+      parity ^= std::popcount(
+                    static_cast<unsigned>(load(b * k + s) & masks[s])) &
+                1;
+    out[b] = parity;
+  }
+  return out;
+}
+
+}  // namespace aegis

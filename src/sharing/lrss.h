@@ -1,0 +1,137 @@
+// Leakage-resilient secret sharing (LRSS) — the paper's §4 research
+// direction — plus the local-leakage attack on Shamir that motivates it
+// (Benhamouda–Degwekar–Ishai–Rabin line of work).
+//
+// Shamir over a small characteristic-2 field is NOT leakage resilient:
+// each bit of each share is a GF(2)-linear function of the secret and
+// coefficient bits, so an adversary that leaks just ONE bit from every
+// share (never holding t full shares!) can linearly eliminate the
+// randomness and learn an exact parity of the secret. The attack is
+// implemented in this module and exercised by bench/lrss_leakage.
+//
+// The LRSS construction is the standard two-layer compiler: Shamir-share
+// the secret, then protect each share s_i behind a seeded randomness
+// extractor:   store_i = (w_i,  s_i xor Ext(w_i, seed)),
+// with w_i a fresh high-entropy source sized so that even after L bits of
+// local leakage from store_i, w_i retains enough min-entropy for the
+// leftover-hash lemma to make the mask statistically close to uniform.
+// Ext is a multi-point polynomial universal hash over GF(2^64): output
+// word j is b * P_w(a xor (j+1)), P_w the polynomial with the source
+// words as coefficients. Shares grow by |w_i| — the extra storage cost
+// Figure 1 assigns to the "Leakage Resilient Secret Sharing" point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sharing/packed.h"
+#include "sharing/shamir.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// One LRSS share: the extractor source and the masked Shamir share.
+struct LrssShare {
+  std::uint8_t index = 0;
+  Bytes source;  // w_i, high-entropy, per-share
+  Bytes masked;  // s_i xor Ext(w_i, seed)
+
+  Bytes serialize() const;
+  static LrssShare deserialize(ByteView wire);
+
+  std::size_t stored_size() const { return source.size() + masked.size(); }
+};
+
+/// A complete LRSS sharing; `seed` is public.
+struct LrssSharing {
+  std::vector<LrssShare> shares;
+  Bytes seed;  // 16 bytes, public extractor seed
+};
+
+/// LRSS codec with (t, n) threshold and a per-share leakage budget.
+class Lrss {
+ public:
+  /// `leakage_budget_bits`: how many bits of arbitrary local leakage per
+  /// share the scheme must survive; sizes the extractor sources.
+  Lrss(unsigned t, unsigned n, unsigned leakage_budget_bits = 128);
+
+  unsigned t() const { return t_; }
+  unsigned n() const { return n_; }
+  unsigned leakage_budget_bits() const { return leak_bits_; }
+
+  LrssSharing split(ByteView secret, Rng& rng) const;
+
+  /// Recovers from any >= t shares (seed required).
+  Bytes recover(const std::vector<LrssShare>& shares, ByteView seed) const;
+
+  /// Stored bytes per share for a secret of `secret_len` bytes; the
+  /// overhead vs. plain Shamir is stored/secret_len - 1.
+  std::size_t share_size(std::size_t secret_len) const;
+
+ private:
+  Bytes extract(ByteView source, ByteView seed, std::size_t out_len) const;
+
+  unsigned t_, n_, leak_bits_;
+};
+
+// ----------------------------------------------------------------------
+// The local-leakage attack on GF(2^8) Shamir.
+
+/// A successful attack yields a GF(2) functional of the secret:
+/// for every byte position p of the secret,
+///   parity( leaked_lsb(share_i[p]) for i with lambda_i = 1 )
+///     == parity( secret[p] & secret_mask ).
+struct LeakageAttackPlan {
+  bool feasible = false;
+  std::vector<std::uint8_t> lambda;  // which shares' leaked bits to XOR
+  std::uint8_t secret_mask = 0;      // which secret bits the parity covers
+};
+
+/// Computes the attack plan from *public* information only: the threshold
+/// and the share evaluation points. Feasible whenever the leaked bits
+/// span the coefficient space — in practice once n >= 8(t-1)+1.
+LeakageAttackPlan plan_shamir_lsb_attack(
+    unsigned t, const std::vector<std::uint8_t>& share_indices);
+
+/// Executes the plan: XORs the leaked LSBs (one bit per share — strictly
+/// less than a full share, and fewer than t shares are never combined).
+/// Returns, per secret byte, the learned parity bit.
+std::vector<int> apply_shamir_lsb_attack(const LeakageAttackPlan& plan,
+                                         const std::vector<Share>& shares);
+
+/// Ground truth for evaluating the attack: parity(secret[p] & mask).
+std::vector<int> secret_parities(ByteView secret, std::uint8_t mask);
+
+// ----------------------------------------------------------------------
+// The same attack against PACKED sharing over GF(2^16): every bit of a
+// share element is GF(2)-linear in the bits of the k packed secrets and
+// the t randomness elements, so leaking the LSB of each share element
+// again yields an exact parity of the *secrets* once the randomness
+// columns are eliminated. This substantiates charging packed sharing
+// the "not leakage-resilient" column in the Figure 1 bench.
+
+/// Plan against a PackedSharing geometry (public information only).
+struct PackedLeakagePlan {
+  bool feasible = false;
+  std::vector<std::uint8_t> lambda;        // which shares to XOR
+  std::vector<std::uint16_t> secret_masks; // one 16-bit mask per packed
+                                           // secret slot (k entries)
+};
+
+PackedLeakagePlan plan_packed_lsb_attack(const PackedSharing& ps);
+
+/// Executes the plan on real packed shares: XORs the leaked LSBs of each
+/// selected share, one bit per share per batch. Returns one predicted
+/// parity per batch.
+std::vector<int> apply_packed_lsb_attack(
+    const PackedLeakagePlan& plan, const std::vector<PackedShare>& shares);
+
+/// Ground truth: parity over the masked bits of the k secrets in each
+/// batch (secret laid out as big-endian 16-bit elements, k per batch,
+/// zero padded).
+std::vector<int> packed_secret_parities(ByteView secret, unsigned k,
+                                        const std::vector<std::uint16_t>& masks);
+
+}  // namespace aegis

@@ -1,0 +1,183 @@
+#include "sharing/packed.h"
+
+#include <algorithm>
+
+#include "gf/gf65536.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+using gf65536::Elem;
+
+Bytes PackedShare::serialize() const {
+  ByteWriter w;
+  w.u16(index);
+  w.bytes(data);
+  return std::move(w).take();
+}
+
+PackedShare PackedShare::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  PackedShare s;
+  s.index = r.u16();
+  s.data = r.bytes();
+  r.expect_done();
+  return s;
+}
+
+namespace {
+
+// Field points: secrets at 1..k, randomness at k+1..k+t, share s (1-based)
+// at k+t+s.
+Elem secret_point(unsigned k, unsigned i) {
+  (void)k;
+  return static_cast<Elem>(1 + i);
+}
+Elem random_point(unsigned k, unsigned j) {
+  return static_cast<Elem>(k + 1 + j);
+}
+Elem share_point(unsigned k, unsigned t, unsigned s) {
+  return static_cast<Elem>(k + t + s);
+}
+
+// Lagrange basis row: weights w_j such that P(x0) = sum_j w_j * P(xs[j])
+// for any polynomial of degree < xs.size().
+std::vector<Elem> basis_row(const std::vector<Elem>& xs, Elem x0) {
+  std::vector<Elem> row(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    Elem num = 1, den = 1;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      num = gf65536::mul(num, gf65536::add(x0, xs[j]));
+      den = gf65536::mul(den, gf65536::add(xs[i], xs[j]));
+    }
+    row[i] = gf65536::div(num, den);
+  }
+  return row;
+}
+
+Elem load_elem(ByteView b, std::size_t idx) {
+  // Big-endian 16-bit elements; out-of-range reads are zero padding.
+  const std::size_t off = idx * 2;
+  const std::uint8_t hi = off < b.size() ? b[off] : 0;
+  const std::uint8_t lo = off + 1 < b.size() ? b[off + 1] : 0;
+  return static_cast<Elem>((hi << 8) | lo);
+}
+
+void store_elem(Bytes& b, Elem e) {
+  b.push_back(static_cast<std::uint8_t>(e >> 8));
+  b.push_back(static_cast<std::uint8_t>(e));
+}
+
+}  // namespace
+
+PackedSharing::PackedSharing(unsigned t, unsigned k, unsigned n)
+    : t_(t), k_(k), n_(n) {
+  if (t == 0 || k == 0 || n < t + k ||
+      static_cast<unsigned long long>(n) + t + k > 65535ull)
+    throw InvalidArgument(
+        "PackedSharing: need t,k >= 1, n >= t+k, n+t+k <= 65535");
+
+  // Construction points: the k secret points then the t random anchors.
+  std::vector<Elem> cons;
+  cons.reserve(t + k);
+  for (unsigned i = 0; i < k; ++i) cons.push_back(secret_point(k, i));
+  for (unsigned j = 0; j < t; ++j) cons.push_back(random_point(k, j));
+
+  enc_.resize(static_cast<std::size_t>(n) * (t + k));
+  for (unsigned s = 1; s <= n; ++s) {
+    const std::vector<Elem> row = basis_row(cons, share_point(k, t, s));
+    std::copy(row.begin(), row.end(),
+              enc_.begin() + static_cast<std::size_t>(s - 1) * (t + k));
+  }
+}
+
+std::uint16_t PackedSharing::enc_coeff(unsigned share, unsigned j) const {
+  if (share >= n_ || j >= t_ + k_)
+    throw InvalidArgument("PackedSharing::enc_coeff: index out of range");
+  return enc_[static_cast<std::size_t>(share) * (t_ + k_) + j];
+}
+
+std::vector<PackedShare> PackedSharing::split(ByteView secret,
+                                              Rng& rng) const {
+  const std::size_t total_elems = (secret.size() + 1) / 2;
+  const std::size_t batches = (total_elems + k_ - 1) / k_;
+
+  std::vector<PackedShare> shares(n_);
+  for (unsigned s = 0; s < n_; ++s) {
+    shares[s].index = static_cast<std::uint16_t>(s + 1);
+    shares[s].data.reserve(batches * 2);
+  }
+
+  std::vector<Elem> cons(t_ + k_);
+  Bytes randomness(2 * t_);
+  for (std::size_t b = 0; b < batches; ++b) {
+    for (unsigned i = 0; i < k_; ++i)
+      cons[i] = load_elem(secret, b * k_ + i);
+    rng.fill(MutByteView(randomness.data(), randomness.size()));
+    for (unsigned j = 0; j < t_; ++j)
+      cons[k_ + j] = load_elem(randomness, j);
+
+    for (unsigned s = 0; s < n_; ++s) {
+      const std::uint16_t* row = &enc_[static_cast<std::size_t>(s) * (t_ + k_)];
+      Elem acc = 0;
+      for (unsigned j = 0; j < t_ + k_; ++j)
+        acc = gf65536::add(acc, gf65536::mul(row[j], cons[j]));
+      store_elem(shares[s].data, acc);
+    }
+  }
+  return shares;
+}
+
+Bytes PackedSharing::recover(const std::vector<PackedShare>& shares,
+                             std::size_t original_size) const {
+  const unsigned need = recover_threshold();
+  if (shares.size() < need)
+    throw UnrecoverableError("packed: have " +
+                             std::to_string(shares.size()) +
+                             " shares, need " + std::to_string(need));
+
+  std::vector<Elem> xs;
+  std::vector<const PackedShare*> used;
+  const std::size_t batch_bytes = shares[0].data.size();
+  for (const PackedShare& s : shares) {
+    if (s.index == 0 || s.index > n_)
+      throw InvalidArgument("packed: share index out of range");
+    if (s.data.size() != batch_bytes)
+      throw InvalidArgument("packed: share length mismatch");
+    const Elem x = share_point(k_, t_, s.index);
+    if (std::find(xs.begin(), xs.end(), x) != xs.end())
+      throw InvalidArgument("packed: duplicate share indices");
+    xs.push_back(x);
+    used.push_back(&s);
+    if (xs.size() == need) break;
+  }
+
+  // One interpolation row per secret point, reused across batches.
+  std::vector<std::vector<Elem>> rows;
+  rows.reserve(k_);
+  for (unsigned i = 0; i < k_; ++i)
+    rows.push_back(basis_row(xs, secret_point(k_, i)));
+
+  const std::size_t batches = batch_bytes / 2;
+  Bytes out;
+  out.reserve(batches * k_ * 2);
+  for (std::size_t b = 0; b < batches; ++b) {
+    for (unsigned i = 0; i < k_; ++i) {
+      Elem acc = 0;
+      for (unsigned j = 0; j < need; ++j) {
+        acc = gf65536::add(
+            acc, gf65536::mul(rows[i][j], load_elem(used[j]->data, b)));
+      }
+      store_elem(out, acc);
+    }
+  }
+
+  if (original_size > out.size())
+    throw InvalidArgument("packed: original_size exceeds share capacity");
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace aegis

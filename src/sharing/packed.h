@@ -1,0 +1,74 @@
+// Packed (multi-secret) secret sharing over GF(2^16) — Figure 1's
+// "Packed Secret Sharing" point.
+//
+// Franklin–Yung batching: one polynomial of degree t+k-1 carries k
+// secrets (at k fixed evaluation points) plus t degrees of randomness.
+// Any t shares remain information-theoretically independent of all k
+// secrets; any t+k shares reconstruct them. Storage blowup drops from
+// Shamir's n/1 to n/k — the mid-cost/high-security quadrant the paper
+// points at — at the price of a higher reconstruction threshold and a
+// smaller privacy margin for fixed n.
+//
+// Point layout in GF(2^16): secrets at 1..k, randomness anchors at
+// k+1..k+t, shares at k+t+1..k+t+n. All distinct; n + t + k <= 65535.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// One packed share: evaluation point + one GF(2^16) element per batch.
+struct PackedShare {
+  std::uint16_t index = 0;  // share number in [1, n], not the field point
+  Bytes data;               // 2 bytes per batch, big-endian elements
+
+  Bytes serialize() const;
+  static PackedShare deserialize(ByteView wire);
+};
+
+/// Packed secret-sharing codec with fixed (t, k, n) geometry.
+class PackedSharing {
+ public:
+  /// privacy threshold t, pack factor k, share count n.
+  /// Reconstruction needs t+k shares. Requires t >= 1, k >= 1,
+  /// n >= t+k, and n+t+k <= 65535.
+  PackedSharing(unsigned t, unsigned k, unsigned n);
+
+  unsigned t() const { return t_; }
+  unsigned k() const { return k_; }
+  unsigned n() const { return n_; }
+  unsigned recover_threshold() const { return t_ + k_; }
+
+  /// Storage blowup per secret byte: n/k.
+  double storage_overhead() const {
+    return static_cast<double>(n_) / static_cast<double>(k_);
+  }
+
+  /// Splits a secret into n shares. The secret is processed as 16-bit
+  /// elements, k per batch (zero-padded); each share stores one element
+  /// per batch, so |share| ~ |secret| / k.
+  std::vector<PackedShare> split(ByteView secret, Rng& rng) const;
+
+  /// Recovers the secret from any >= t+k shares.
+  /// `original_size` trims padding.
+  Bytes recover(const std::vector<PackedShare>& shares,
+                std::size_t original_size) const;
+
+  /// Encode-matrix entry: share s (0-based) = sum_j coeff(s, j) * c_j,
+  /// where c_0..c_{k-1} are the packed secrets and c_k..c_{k+t-1} the
+  /// randomness. Public structure — exactly what the local-leakage
+  /// attack (sharing/lrss.h) exploits.
+  std::uint16_t enc_coeff(unsigned share, unsigned j) const;
+
+ private:
+  unsigned t_, k_, n_;
+  // Encode matrix: share s = sum_j enc_[s][j] * construction_value[j],
+  // where construction values are the k secrets followed by t randoms.
+  std::vector<std::uint16_t> enc_;  // n x (t+k)
+};
+
+}  // namespace aegis

@@ -1,0 +1,106 @@
+#include "sharing/proactive.h"
+
+#include "crypto/pedersen.h"
+#include "util/error.h"
+
+namespace aegis {
+
+std::vector<Share> proactive_refresh(const std::vector<Share>& shares,
+                                     unsigned t, Rng& rng,
+                                     RefreshStats* stats) {
+  if (shares.empty()) throw InvalidArgument("refresh: no shares");
+  const auto n = static_cast<unsigned>(shares.size());
+  if (t == 0 || t > n) throw InvalidArgument("refresh: need 1 <= t <= n");
+  const std::size_t len = shares[0].data.size();
+
+  std::vector<Share> fresh = shares;
+
+  // Every shareholder acts as a dealer of one zero-sharing. Dealer d's
+  // sub-share for holder i is delta_d[i]; holder i adds (XORs, char 2)
+  // every delta it receives. The aggregate is a random degree-(t-1)
+  // polynomial with constant term zero, so the secret is preserved while
+  // the share vector becomes independent of the old one.
+  for (unsigned d = 0; d < n; ++d) {
+    const std::vector<Share> delta = shamir_zero_sharing(len, t, n, rng);
+    for (unsigned i = 0; i < n; ++i) {
+      if (fresh[i].index != delta[i].index)
+        throw InvalidArgument("refresh: share index layout mismatch");
+      xor_inplace(MutByteView(fresh[i].data.data(), fresh[i].data.size()),
+                  delta[i].data);
+      if (stats && i != d) {
+        ++stats->messages;
+        stats->bytes += delta[i].data.size();
+      }
+    }
+    if (stats) ++stats->dealers;
+  }
+  return fresh;
+}
+
+VerifiableRefreshResult proactive_refresh_vss(
+    const VssDealing& dealing, unsigned t, unsigned n, Rng& rng,
+    const std::set<std::uint32_t>& corrupt_dealers) {
+  if (dealing.shares.size() != n)
+    throw InvalidArgument("refresh_vss: need all n shares");
+  if (!dealing.commitments.pedersen)
+    throw InvalidArgument("refresh_vss: requires a Pedersen dealing");
+
+  const MontgomeryCtx& fn = ec::Secp256k1::instance().fn();
+
+  VerifiableRefreshResult out;
+  out.shares = dealing.shares;
+  out.commitments = dealing.commitments;
+
+  for (std::uint32_t d = 1; d <= n; ++d) {
+    // Dealer d publishes a zero-dealing and the opening of its constant
+    // term so everyone can check the dealt secret really is zero.
+    U256 blind0;
+    VssDealing zero = pedersen_deal_opened(U256(), t, n, rng, blind0);
+
+    bool accused = false;
+
+    // Public check: C_0 must open to (0, blind0).
+    const PedersenCommitment c0 =
+        PedersenCommitment::decode(zero.commitments.points[0]);
+    if (!pedersen_verify(c0, {U256(), blind0})) accused = true;
+
+    // A corrupt dealer mutates the sub-share sent to the first other
+    // holder; that holder's verification against the commitments fails.
+    if (corrupt_dealers.count(d) > 0) {
+      const std::uint32_t victim = d == 1 ? 2 : 1;
+      VssShare& s = zero.shares[victim - 1];
+      s.value = fn.add(s.value, U256(1));
+    }
+
+    for (unsigned i = 0; i < n && !accused; ++i) {
+      if (!vss_verify_share(zero.shares[i], zero.commitments))
+        accused = true;
+    }
+
+    out.stats.messages += n - 1;
+    out.stats.bytes += static_cast<std::uint64_t>(n - 1) * 64;  // two scalars
+
+    if (accused) {
+      out.accused.push_back(d);
+      continue;  // exclude this dealing entirely
+    }
+    ++out.stats.dealers;
+
+    // Apply the zero-dealing: shares add pointwise, commitments add
+    // homomorphically, so verification keys stay consistent.
+    for (unsigned i = 0; i < n; ++i) {
+      out.shares[i].value = fn.add(out.shares[i].value, zero.shares[i].value);
+      out.shares[i].blind = fn.add(out.shares[i].blind, zero.shares[i].blind);
+    }
+    for (unsigned j = 0; j < t; ++j) {
+      const PedersenCommitment a =
+          PedersenCommitment::decode(out.commitments.points[j]);
+      const PedersenCommitment b =
+          PedersenCommitment::decode(zero.commitments.points[j]);
+      out.commitments.points[j] = pedersen_add(a, b).encode();
+    }
+  }
+  return out;
+}
+
+}  // namespace aegis

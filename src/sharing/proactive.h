@@ -1,0 +1,65 @@
+// Proactive secret sharing: Herzberg-style share refresh.
+//
+// The mobile adversary (Ostrovsky–Yung) corrupts up to f nodes *per
+// epoch*; over archival timescales it eventually touches more than t
+// distinct nodes. Proactive refresh defeats it: each epoch the
+// shareholders jointly re-randomize their shares without ever
+// reconstructing the secret, so shares stolen in different epochs do not
+// combine. The paper (§3.2) notes the cost: every shareholder sends a
+// sub-share to every other shareholder — O(n^2) messages of share size —
+// which is what bench/refresh_cost measures against whole-archive
+// re-encryption.
+//
+// Two protocols:
+//   * proactive_refresh        — bulk GF(2^8) Shamir shares (data plane);
+//   * proactive_refresh_vss    — Pedersen-VSS scalar shares (key plane),
+//     verifiable: a corrupt dealer's inconsistent zero-sharing is
+//     detected and excluded, and dealers must prove their constant term
+//     is zero by revealing its blinding.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sharing/shamir.h"
+#include "sharing/vss.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Communication accounting for a refresh round (the §3.2 cost story).
+struct RefreshStats {
+  std::uint64_t messages = 0;  // point-to-point sub-share transfers
+  std::uint64_t bytes = 0;     // payload bytes moved
+  unsigned dealers = 0;        // honest dealings combined
+};
+
+/// One refresh round for bulk Shamir shares. Every share's holder deals a
+/// zero-sharing to all others; each new share is the old one plus all
+/// received deltas. The secret is unchanged; any pre-refresh share is
+/// statistically independent of the post-refresh sharing.
+///
+/// `shares` must hold all n shares (the simulation plays every node).
+std::vector<Share> proactive_refresh(const std::vector<Share>& shares,
+                                     unsigned t, Rng& rng,
+                                     RefreshStats* stats = nullptr);
+
+/// Result of a verifiable refresh round.
+struct VerifiableRefreshResult {
+  std::vector<VssShare> shares;  // refreshed shares
+  VssCommitments commitments;    // updated public commitments
+  RefreshStats stats;
+  std::vector<std::uint32_t> accused;  // dealers whose dealings failed
+};
+
+/// One verifiable refresh round for a Pedersen-VSS dealing. Dealers in
+/// `corrupt_dealers` distribute an inconsistent sub-share to the first
+/// other party (the attack §3.3 worries about); honest parties detect the
+/// bad dealing via the commitments and exclude it, so the refresh still
+/// completes correctly.
+VerifiableRefreshResult proactive_refresh_vss(
+    const VssDealing& dealing, unsigned t, unsigned n, Rng& rng,
+    const std::set<std::uint32_t>& corrupt_dealers = {});
+
+}  // namespace aegis

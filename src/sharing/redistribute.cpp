@@ -1,0 +1,144 @@
+#include "sharing/redistribute.h"
+
+#include "crypto/pedersen.h"
+#include "gf/gf256.h"
+#include "util/error.h"
+
+namespace aegis {
+
+std::vector<Share> redistribute(const std::vector<Share>& shares, unsigned t,
+                                unsigned t2, unsigned n2, Rng& rng,
+                                RefreshStats* stats) {
+  if (shares.size() < t)
+    throw UnrecoverableError("redistribute: need at least t old shares");
+  if (t2 == 0 || t2 > n2 || n2 > 255)
+    throw InvalidArgument("redistribute: need 1 <= t2 <= n2 <= 255");
+
+  const std::size_t len = shares[0].data.size();
+  std::vector<std::uint8_t> xs;
+  for (unsigned i = 0; i < t; ++i) xs.push_back(shares[i].index);
+
+  // Each contributing old holder sub-shares its share; the new share j is
+  // the Lagrange-weighted XOR of the sub-shares it receives. Linearity of
+  // Shamir sharing makes the result a fresh (t2, n2) sharing of
+  // sum_i L_i * s_i = secret.
+  std::vector<Share> fresh(n2);
+  for (unsigned j = 0; j < n2; ++j) {
+    fresh[j].index = static_cast<std::uint8_t>(j + 1);
+    fresh[j].data.assign(len, 0);
+  }
+
+  for (unsigned i = 0; i < t; ++i) {
+    const std::uint8_t li = shamir_lagrange_at_zero(xs, i);
+    const std::vector<Share> sub = shamir_split(shares[i].data, t2, n2, rng);
+    for (unsigned j = 0; j < n2; ++j) {
+      Bytes scaled(len);
+      gf256::mul_row(MutByteView(scaled.data(), len), sub[j].data, li);
+      xor_inplace(MutByteView(fresh[j].data.data(), len), scaled);
+      if (stats) {
+        ++stats->messages;
+        stats->bytes += len;
+      }
+    }
+    if (stats) ++stats->dealers;
+  }
+  return fresh;
+}
+
+RedistributeResult redistribute_vss(
+    const VssDealing& dealing, unsigned t, unsigned t2, unsigned n2,
+    Rng& rng, const std::set<std::uint32_t>& corrupt_holders) {
+  if (!dealing.commitments.pedersen)
+    throw InvalidArgument("redistribute_vss: requires a Pedersen dealing");
+  if (t2 == 0 || t2 > n2)
+    throw InvalidArgument("redistribute_vss: need 1 <= t2 <= n2");
+
+  const ec::Secp256k1& curve = ec::Secp256k1::instance();
+  const MontgomeryCtx& fn = curve.fn();
+
+  RedistributeResult out;
+
+  // Standing commitment to holder i's share: prod_j C_j^{i^j}.
+  auto standing_commitment = [&](std::uint32_t index) {
+    ec::Point acc;
+    U256 x_pow(1);
+    const U256 xm = fn.to_mont(U256(index));
+    for (const Bytes& enc : dealing.commitments.points) {
+      acc = curve.add(acc, curve.mul(curve.decode(enc), x_pow));
+      x_pow = fn.from_mont(fn.mul(fn.to_mont(x_pow), xm));
+    }
+    return PedersenCommitment{acc};
+  };
+
+  // Every old holder produces a sub-dealing; cheaters corrupt the value.
+  // New holders accept a sub-dealing iff (a) its constant commitment
+  // equals the holder's standing commitment and (b) their own sub-share
+  // verifies. The first t accepted sub-dealings are combined.
+  struct Accepted {
+    std::uint32_t holder;
+    VssDealing sub;
+  };
+  std::vector<Accepted> accepted;
+
+  for (const VssShare& old : dealing.shares) {
+    U256 value = old.value;
+    if (corrupt_holders.count(old.index) > 0)
+      value = fn.add(value, U256(1));  // lie about the share
+
+    VssDealing sub =
+        pedersen_deal_fixed_blind0(value, old.blind, t2, n2, rng);
+
+    out.stats.messages += n2;
+    out.stats.bytes += static_cast<std::uint64_t>(n2) * 64;
+
+    const PedersenCommitment c0 =
+        PedersenCommitment::decode(sub.commitments.points[0]);
+    bool ok = c0 == standing_commitment(old.index);
+    for (unsigned j = 0; j < n2 && ok; ++j)
+      ok = vss_verify_share(sub.shares[j], sub.commitments);
+
+    if (!ok) {
+      out.accused.push_back(old.index);
+      continue;
+    }
+    accepted.push_back({old.index, std::move(sub)});
+    ++out.stats.dealers;
+    if (accepted.size() == t) break;
+  }
+
+  if (accepted.size() < t)
+    throw UnrecoverableError(
+        "redistribute_vss: fewer than t honest holders");
+
+  std::vector<std::uint32_t> xs;
+  for (const auto& a : accepted) xs.push_back(a.holder);
+
+  // New share j = sum_i L_i * sub_i(j); commitments combine the same way.
+  out.shares.resize(n2);
+  for (unsigned j = 0; j < n2; ++j) {
+    U256 value, blind;  // zero
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      const U256 li = scalar_lagrange_at_zero(xs, i);
+      const VssShare& s = accepted[i].sub.shares[j];
+      value = fn.add(value,
+                     fn.from_mont(fn.mul(fn.to_mont(li), fn.to_mont(s.value))));
+      blind = fn.add(blind,
+                     fn.from_mont(fn.mul(fn.to_mont(li), fn.to_mont(s.blind))));
+    }
+    out.shares[j] = {j + 1, value, blind};
+  }
+
+  out.commitments.pedersen = true;
+  for (unsigned c = 0; c < t2; ++c) {
+    ec::Point acc;
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      const U256 li = scalar_lagrange_at_zero(xs, i);
+      const ec::Point pc = curve.decode(accepted[i].sub.commitments.points[c]);
+      acc = curve.add(acc, curve.mul(pc, li));
+    }
+    out.commitments.points.push_back(curve.encode(acc));
+  }
+  return out;
+}
+
+}  // namespace aegis

@@ -1,0 +1,49 @@
+// Verifiable share redistribution (Wong–Wang–Wing, SISW'02): move a
+// shared secret from an old access structure (t, n) to a new one
+// (t', n') — with a disjoint or overlapping set of shareholders — without
+// ever reconstructing the secret.
+//
+// Archives need this when storage providers come and go over decades:
+// the VSR Archive row of Table 1 is exactly this protocol run as a
+// datastore. Each old shareholder sub-shares its share to the new group;
+// each new shareholder Lagrange-combines the sub-shares from any t old
+// holders. Verifiability (for the scalar/VSS variant) means a corrupt old
+// holder who sub-shares a *wrong* share value is caught against its
+// standing Pedersen commitment before the new sharing is accepted.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sharing/proactive.h"
+#include "sharing/shamir.h"
+#include "sharing/vss.h"
+
+namespace aegis {
+
+/// Redistributes bulk GF(2^8) Shamir shares from (t, n) to (t2, n2).
+/// `shares` must contain at least t shares of the original sharing.
+/// Returns a brand-new (t2, n2) sharing of the same secret.
+std::vector<Share> redistribute(const std::vector<Share>& shares, unsigned t,
+                                unsigned t2, unsigned n2, Rng& rng,
+                                RefreshStats* stats = nullptr);
+
+/// Result of a verifiable redistribution.
+struct RedistributeResult {
+  std::vector<VssShare> shares;  // the new (t2, n2) sharing
+  VssCommitments commitments;    // commitments for the new sharing
+  RefreshStats stats;
+  std::vector<std::uint32_t> accused;  // old holders caught cheating
+};
+
+/// Verifiably redistributes a Pedersen-VSS dealing from (t, n) to
+/// (t2, n2). Holders listed in `corrupt_holders` sub-share a corrupted
+/// value; they are detected (their sub-dealing's constant commitment
+/// must equal their standing share commitment) and excluded. Throws
+/// UnrecoverableError if fewer than t honest holders remain.
+RedistributeResult redistribute_vss(
+    const VssDealing& dealing, unsigned t, unsigned t2, unsigned n2,
+    Rng& rng, const std::set<std::uint32_t>& corrupt_holders = {});
+
+}  // namespace aegis

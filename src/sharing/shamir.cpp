@@ -1,0 +1,118 @@
+#include "sharing/shamir.h"
+
+#include <algorithm>
+
+#include "gf/gf256.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+Bytes Share::serialize() const {
+  ByteWriter w;
+  w.u8(index);
+  w.bytes(data);
+  return std::move(w).take();
+}
+
+Share Share::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  Share s;
+  s.index = r.u8();
+  s.data = r.bytes();
+  r.expect_done();
+  return s;
+}
+
+namespace {
+
+void check_params(unsigned t, unsigned n) {
+  if (t == 0 || t > n || n > 255)
+    throw InvalidArgument("shamir: need 1 <= t <= n <= 255");
+}
+
+// Core splitter: constant term is `secret` (or zeros for a zero-sharing).
+std::vector<Share> split_impl(ByteView secret, bool zero_secret, unsigned t,
+                              unsigned n, Rng& rng) {
+  check_params(t, n);
+
+  // Coefficient rows: row 0 is the secret, rows 1..t-1 are random.
+  std::vector<Bytes> coeffs;
+  coeffs.reserve(t);
+  coeffs.emplace_back(zero_secret ? Bytes(secret.size(), 0)
+                                  : to_bytes(secret));
+  for (unsigned c = 1; c < t; ++c) coeffs.push_back(rng.bytes(secret.size()));
+
+  std::vector<Share> shares(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const auto x = static_cast<std::uint8_t>(i + 1);
+    Share& s = shares[i];
+    s.index = x;
+    s.data.assign(secret.size(), 0);
+    // Horner, vectorized over byte positions: acc = acc*x + coeff[c].
+    for (unsigned c = t; c-- > 0;) {
+      gf256::mul_row(MutByteView(s.data.data(), s.data.size()), s.data, x);
+      xor_inplace(MutByteView(s.data.data(), s.data.size()), coeffs[c]);
+    }
+  }
+  return shares;
+}
+
+}  // namespace
+
+std::vector<Share> shamir_split(ByteView secret, unsigned t, unsigned n,
+                                Rng& rng) {
+  return split_impl(secret, /*zero_secret=*/false, t, n, rng);
+}
+
+std::vector<Share> shamir_zero_sharing(std::size_t secret_len, unsigned t,
+                                       unsigned n, Rng& rng) {
+  const Bytes dummy(secret_len, 0);
+  return split_impl(dummy, /*zero_secret=*/true, t, n, rng);
+}
+
+std::uint8_t shamir_lagrange_at_zero(const std::vector<std::uint8_t>& xs,
+                                     std::size_t i) {
+  // L_i(0) = prod_{j != i} x_j / (x_j - x_i); char-2 subtraction is XOR.
+  std::uint8_t num = 1, den = 1;
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    if (j == i) continue;
+    num = gf256::mul(num, xs[j]);
+    den = gf256::mul(den, gf256::add(xs[j], xs[i]));
+  }
+  if (den == 0)
+    throw InvalidArgument("shamir: duplicate share indices");
+  return gf256::div(num, den);
+}
+
+Bytes shamir_recover(const std::vector<Share>& shares, unsigned t) {
+  if (t == 0) throw InvalidArgument("shamir_recover: t must be >= 1");
+  if (shares.size() < t)
+    throw UnrecoverableError("shamir: have " +
+                             std::to_string(shares.size()) +
+                             " shares, need " + std::to_string(t));
+
+  const std::size_t len = shares[0].data.size();
+  std::vector<std::uint8_t> xs;
+  xs.reserve(t);
+  for (unsigned i = 0; i < t; ++i) {
+    const Share& s = shares[i];
+    if (s.index == 0)
+      throw InvalidArgument("shamir: share index 0 is reserved");
+    if (s.data.size() != len)
+      throw InvalidArgument("shamir: share length mismatch");
+    if (std::find(xs.begin(), xs.end(), s.index) != xs.end())
+      throw InvalidArgument("shamir: duplicate share indices");
+    xs.push_back(s.index);
+  }
+
+  Bytes secret(len, 0);
+  for (unsigned i = 0; i < t; ++i) {
+    const std::uint8_t li = shamir_lagrange_at_zero(xs, i);
+    gf256::mul_add_row(MutByteView(secret.data(), secret.size()),
+                       shares[i].data, li);
+  }
+  return secret;
+}
+
+}  // namespace aegis

@@ -1,0 +1,58 @@
+// Shamir (t, n) threshold secret sharing over GF(2^8), byte-parallel.
+//
+// The information-theoretic workhorse of POTSHARDS-style archives: any t
+// shares reconstruct the secret, any t-1 reveal *nothing*, regardless of
+// adversarial computing power (Definition 2.1 with eps = 0). The price is
+// the paper's Figure 1 cost: every share is as large as the secret, so
+// storage blowup is n× — replication-level cost with less availability
+// (tolerates only n-t losses).
+//
+// Implementation: one independent degree-(t-1) polynomial per byte
+// position, all evaluated with row operations so splitting is
+// O(t·n·len) table-multiplies. Share index i corresponds to evaluation
+// point x = i (1-based; 0 is the secret's point and is never issued).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// One Shamir share: evaluation point + one byte per secret byte.
+struct Share {
+  std::uint8_t index = 0;  // evaluation point x in [1, 255]
+  Bytes data;
+
+  /// Wire encoding (index byte + length-prefixed data).
+  Bytes serialize() const;
+  static Share deserialize(ByteView wire);
+};
+
+/// Splits `secret` into n shares with reconstruction threshold t.
+/// Requires 1 <= t <= n <= 255. Randomness must come from a
+/// cryptographic RNG (ChaChaRng) in anything but tests.
+std::vector<Share> shamir_split(ByteView secret, unsigned t, unsigned n,
+                                Rng& rng);
+
+/// Reconstructs the secret from exactly-or-more than t shares (the first
+/// t found are used). Throws UnrecoverableError with fewer than t shares
+/// and InvalidArgument on duplicate indices or length mismatches.
+Bytes shamir_recover(const std::vector<Share>& shares, unsigned t);
+
+/// Lagrange coefficient L_i(0) for interpolation point set `xs` — the
+/// byte-constant each share is scaled by during recovery. Exposed for the
+/// proactive-refresh and redistribution protocols, which re-share along
+/// these same weights.
+std::uint8_t shamir_lagrange_at_zero(const std::vector<std::uint8_t>& xs,
+                                     std::size_t i);
+
+/// Deals a sharing of the all-zero secret (used by Herzberg proactive
+/// refresh: adding a zero-sharing re-randomizes shares without changing
+/// the secret).
+std::vector<Share> shamir_zero_sharing(std::size_t secret_len, unsigned t,
+                                       unsigned n, Rng& rng);
+
+}  // namespace aegis

@@ -1,0 +1,193 @@
+#include "sharing/vss.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aegis {
+
+using ec::Secp256k1;
+
+namespace {
+
+void check_params(unsigned t, unsigned n) {
+  if (t == 0 || t > n)
+    throw InvalidArgument("vss: need 1 <= t <= n");
+}
+
+/// Evaluates poly (coefficients in plain form, constant first) at x.
+U256 poly_eval_fn(const std::vector<U256>& coeffs, std::uint32_t x) {
+  const MontgomeryCtx& fn = Secp256k1::instance().fn();
+  const U256 xm = fn.to_mont(U256(x));
+  U256 acc;  // zero
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = fn.add(fn.from_mont(fn.mul(fn.to_mont(acc), xm)), coeffs[i]);
+  }
+  return acc;
+}
+
+std::vector<U256> random_poly(const U256& secret, unsigned t, Rng& rng) {
+  const Secp256k1& curve = Secp256k1::instance();
+  std::vector<U256> coeffs(t);
+  coeffs[0] = secret;
+  for (unsigned i = 1; i < t; ++i) coeffs[i] = curve.random_scalar(rng);
+  return coeffs;
+}
+
+}  // namespace
+
+VssDealing feldman_deal(const U256& secret, unsigned t, unsigned n,
+                        Rng& rng) {
+  check_params(t, n);
+  const Secp256k1& curve = Secp256k1::instance();
+  if (!(secret < curve.order()))
+    throw InvalidArgument("vss: secret must be < group order");
+
+  const std::vector<U256> f = random_poly(secret, t, rng);
+
+  VssDealing d;
+  d.commitments.pedersen = false;
+  for (unsigned j = 0; j < t; ++j)
+    d.commitments.points.push_back(curve.encode(curve.mul_gen(f[j])));
+
+  d.shares.resize(n);
+  for (unsigned i = 1; i <= n; ++i) {
+    d.shares[i - 1] = {i, poly_eval_fn(f, i), U256()};
+  }
+  return d;
+}
+
+VssDealing pedersen_deal(const U256& secret, unsigned t, unsigned n,
+                         Rng& rng) {
+  U256 unused;
+  return pedersen_deal_opened(secret, t, n, rng, unused);
+}
+
+VssDealing pedersen_deal_opened(const U256& secret, unsigned t, unsigned n,
+                                Rng& rng, U256& blind0_out) {
+  check_params(t, n);
+  const Secp256k1& curve = Secp256k1::instance();
+  if (!(secret < curve.order()))
+    throw InvalidArgument("vss: secret must be < group order");
+
+  const std::vector<U256> f = random_poly(secret, t, rng);
+  const std::vector<U256> g = random_poly(curve.random_scalar(rng), t, rng);
+  blind0_out = g[0];
+
+  VssDealing d;
+  d.commitments.pedersen = true;
+  for (unsigned j = 0; j < t; ++j) {
+    d.commitments.points.push_back(
+        pedersen_commit(f[j], g[j]).encode());
+  }
+
+  d.shares.resize(n);
+  for (unsigned i = 1; i <= n; ++i) {
+    d.shares[i - 1] = {i, poly_eval_fn(f, i), poly_eval_fn(g, i)};
+  }
+  return d;
+}
+
+VssDealing pedersen_deal_fixed_blind0(const U256& secret, const U256& blind0,
+                                      unsigned t, unsigned n, Rng& rng) {
+  check_params(t, n);
+  const Secp256k1& curve = Secp256k1::instance();
+  if (!(secret < curve.order()) || !(blind0 < curve.order()))
+    throw InvalidArgument("vss: secret/blind must be < group order");
+
+  const std::vector<U256> f = random_poly(secret, t, rng);
+  std::vector<U256> g = random_poly(blind0, t, rng);
+  g[0] = blind0;
+
+  VssDealing d;
+  d.commitments.pedersen = true;
+  for (unsigned j = 0; j < t; ++j)
+    d.commitments.points.push_back(pedersen_commit(f[j], g[j]).encode());
+
+  d.shares.resize(n);
+  for (unsigned i = 1; i <= n; ++i)
+    d.shares[i - 1] = {i, poly_eval_fn(f, i), poly_eval_fn(g, i)};
+  return d;
+}
+
+bool vss_verify_share(const VssShare& share, const VssCommitments& c) {
+  if (share.index == 0 || c.points.empty()) return false;
+  const Secp256k1& curve = Secp256k1::instance();
+  const MontgomeryCtx& fn = curve.fn();
+
+  try {
+    // Expected commitment to f(i) (and g(i)): prod_j C_j^{i^j}.
+    ec::Point expect;  // identity
+    U256 x_pow = U256(1);
+    const U256 xm = fn.to_mont(U256(share.index));
+    for (const Bytes& enc : c.points) {
+      const ec::Point cj = curve.decode(enc);
+      expect = curve.add(expect, curve.mul(cj, x_pow));
+      x_pow = fn.from_mont(fn.mul(fn.to_mont(x_pow), xm));
+    }
+
+    const ec::Point actual =
+        c.pedersen ? pedersen_commit(share.value, share.blind).point
+                   : curve.mul_gen(share.value);
+    return curve.eq(expect, actual);
+  } catch (const Error&) {
+    return false;  // malformed commitment encodings
+  }
+}
+
+U256 scalar_lagrange_at_zero(const std::vector<std::uint32_t>& xs,
+                             std::size_t i) {
+  const Secp256k1& curve = Secp256k1::instance();
+  const MontgomeryCtx& fn = curve.fn();
+  // L_i(0) = prod_{j != i} x_j / (x_j - x_i) over Z_n.
+  U256 num = fn.to_mont(U256(1));
+  U256 den = fn.to_mont(U256(1));
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    if (j == i) continue;
+    num = fn.mul(num, fn.to_mont(U256(xs[j])));
+    const U256 diff = fn.sub(U256(xs[j]), U256(xs[i]));
+    if (diff.is_zero())
+      throw InvalidArgument("vss: duplicate share indices");
+    den = fn.mul(den, fn.to_mont(diff));
+  }
+  return fn.from_mont(fn.mul(num, fn.inv(den)));
+}
+
+namespace {
+U256 recover_field(const std::vector<VssShare>& shares, unsigned t,
+                   bool blind) {
+  if (t == 0) throw InvalidArgument("vss_recover: t must be >= 1");
+  if (shares.size() < t)
+    throw UnrecoverableError("vss: have " + std::to_string(shares.size()) +
+                             " shares, need " + std::to_string(t));
+  const MontgomeryCtx& fn = Secp256k1::instance().fn();
+
+  std::vector<std::uint32_t> xs;
+  xs.reserve(t);
+  for (unsigned i = 0; i < t; ++i) {
+    if (shares[i].index == 0)
+      throw InvalidArgument("vss: share index 0 is reserved");
+    if (std::find(xs.begin(), xs.end(), shares[i].index) != xs.end())
+      throw InvalidArgument("vss: duplicate share indices");
+    xs.push_back(shares[i].index);
+  }
+
+  U256 acc;  // zero
+  for (unsigned i = 0; i < t; ++i) {
+    const U256 li = scalar_lagrange_at_zero(xs, i);
+    const U256& v = blind ? shares[i].blind : shares[i].value;
+    acc = fn.add(acc, fn.from_mont(fn.mul(fn.to_mont(li), fn.to_mont(v))));
+  }
+  return acc;
+}
+}  // namespace
+
+U256 vss_recover(const std::vector<VssShare>& shares, unsigned t) {
+  return recover_field(shares, t, /*blind=*/false);
+}
+
+U256 vss_recover_blind(const std::vector<VssShare>& shares, unsigned t) {
+  return recover_field(shares, t, /*blind=*/true);
+}
+
+}  // namespace aegis

@@ -1,0 +1,93 @@
+// Verifiable secret sharing for 256-bit scalars (keys, not bulk data).
+//
+// Two dealers are provided:
+//   * Feldman VSS — commitments are g^{a_j}. Verification is simple but
+//     the commitments leak g^{secret}: hiding is only computational, so
+//     a future discrete-log break retroactively exposes the secret. This
+//     is the trap §3.3 warns about.
+//   * Pedersen VSS — commitments are g^{a_j} h^{b_j} with a parallel
+//     blinding polynomial. Hiding is information-theoretic: even an
+//     unbounded adversary learns nothing about the secret from the
+//     public commitments (binding, and hence share verification, is what
+//     becomes computational). This is the LINCOS-compatible choice.
+//
+// Both protect reconstruction against a *corrupt dealer or shareholder*
+// handing out inconsistent shares — the integrity requirement §3.3 puts
+// on share renewal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/pedersen.h"
+#include "crypto/secp256k1.h"
+#include "gf/u256.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// A share of a scalar secret: f(index), plus the blinding share g(index)
+/// for Pedersen dealings (zero for Feldman).
+struct VssShare {
+  std::uint32_t index = 0;  // evaluation point, in [1, n]
+  U256 value;
+  U256 blind;
+};
+
+/// Public commitment vector published by the dealer (one group element
+/// per polynomial coefficient).
+struct VssCommitments {
+  std::vector<Bytes> points;  // encoded curve points, degree+1 of them
+  bool pedersen = false;      // which dealer produced them
+
+  unsigned threshold() const {
+    return static_cast<unsigned>(points.size());
+  }
+};
+
+/// A complete dealing: n shares plus the public commitments.
+struct VssDealing {
+  std::vector<VssShare> shares;
+  VssCommitments commitments;
+};
+
+/// Deals `secret` with threshold t to n parties, Feldman style.
+/// Requires 1 <= t <= n. Secret must be < group order.
+VssDealing feldman_deal(const U256& secret, unsigned t, unsigned n, Rng& rng);
+
+/// Deals `secret` with threshold t to n parties, Pedersen style.
+VssDealing pedersen_deal(const U256& secret, unsigned t, unsigned n, Rng& rng);
+
+/// Pedersen dealing that also reveals the blinding of the constant-term
+/// commitment. Proactive refresh needs this: a zero-dealing's dealer must
+/// prove its constant term really is zero, which it does by opening
+/// C_0 = commit(0, blind0) — revealing blind0 leaks nothing since the
+/// committed value is public anyway.
+VssDealing pedersen_deal_opened(const U256& secret, unsigned t, unsigned n,
+                                Rng& rng, U256& blind0_out);
+
+/// Pedersen dealing with a *caller-chosen* constant-term blinding.
+/// Share redistribution needs this: an old holder re-sharing its share
+/// (value v, blind b) uses blind0 = b so the sub-dealing's constant
+/// commitment provably equals the holder's standing share commitment.
+VssDealing pedersen_deal_fixed_blind0(const U256& secret, const U256& blind0,
+                                      unsigned t, unsigned n, Rng& rng);
+
+/// Verifies one share against the dealer's commitments. Detects a corrupt
+/// dealer (inconsistent shares) and a corrupt shareholder (mutated share).
+bool vss_verify_share(const VssShare& share, const VssCommitments& c);
+
+/// Reconstructs the secret from any >= t shares (Lagrange at 0 over the
+/// scalar field). Throws UnrecoverableError with fewer than t.
+U256 vss_recover(const std::vector<VssShare>& shares, unsigned t);
+
+/// Reconstructs the blinding polynomial's constant term (needed when a
+/// Pedersen-committed secret must be re-opened against an old commitment).
+U256 vss_recover_blind(const std::vector<VssShare>& shares, unsigned t);
+
+/// Lagrange coefficient at zero over the scalar field for point set `xs`.
+U256 scalar_lagrange_at_zero(const std::vector<std::uint32_t>& xs,
+                             std::size_t i);
+
+}  // namespace aegis

@@ -1,0 +1,88 @@
+#include "util/bytes.h"
+
+#include <stdexcept>
+
+namespace aegis {
+
+void secure_wipe(void* p, std::size_t n) noexcept {
+  // volatile pointer write defeats dead-store elimination on the
+  // compilers we target; memset_s is not universally available.
+  auto* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < n; ++i) vp[i] = 0;
+}
+
+Bytes to_bytes(ByteView v) { return Bytes(v.begin(), v.end()); }
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+SecureBytes to_secure(ByteView v) { return SecureBytes(v.begin(), v.end()); }
+
+std::string to_string(ByteView v) {
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("hex_decode: invalid hex digit");
+}
+}  // namespace
+
+std::string hex_encode(ByteView v) {
+  std::string out;
+  out.reserve(v.size() * 2);
+  for (std::uint8_t b : v) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0)
+    throw std::invalid_argument("hex_decode: odd-length input");
+  Bytes out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((hex_nibble(hex[2 * i]) << 4) |
+                                       hex_nibble(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+Bytes xor_bytes(ByteView a, ByteView b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("xor_bytes: length mismatch");
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+void xor_inplace(MutByteView dst, ByteView src) {
+  if (dst.size() != src.size())
+    throw std::invalid_argument("xor_inplace: length mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+bool ct_equal(ByteView a, ByteView b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+Bytes concat(std::initializer_list<ByteView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace aegis

@@ -1,0 +1,91 @@
+// Byte-buffer utilities shared by every aegis module.
+//
+// Conventions:
+//   * `Bytes` is the universal owning buffer for both plaintext and
+//     ciphertext. Secret material that should not linger in freed memory
+//     uses `SecureBytes`, whose allocator zeroizes on deallocation.
+//   * All bulk interfaces take `std::span<const std::uint8_t>` so callers
+//     may pass either buffer type (or raw arrays) without copies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aegis {
+
+/// Owning byte buffer used throughout the library.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over bytes; the library's universal input type.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Writable view over bytes.
+using MutByteView = std::span<std::uint8_t>;
+
+/// Best-effort memory wipe that the optimizer may not elide.
+void secure_wipe(void* p, std::size_t n) noexcept;
+
+/// Allocator that zeroizes memory before returning it to the heap.
+/// Used for key material so that freed buffers do not leak secrets.
+template <typename T>
+struct ZeroizingAllocator {
+  using value_type = T;
+
+  ZeroizingAllocator() noexcept = default;
+  template <typename U>
+  ZeroizingAllocator(const ZeroizingAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) { return std::allocator<T>{}.allocate(n); }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    secure_wipe(p, n * sizeof(T));
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  template <typename U>
+  bool operator==(const ZeroizingAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Byte buffer whose storage is wiped on destruction; use for keys, pads,
+/// polynomial coefficients and any other long-term secret.
+using SecureBytes = std::vector<std::uint8_t, ZeroizingAllocator<std::uint8_t>>;
+
+/// Copies a view into an owning buffer.
+Bytes to_bytes(ByteView v);
+
+/// Copies a string's bytes into an owning buffer (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Copies a view into a zeroizing buffer.
+SecureBytes to_secure(ByteView v);
+
+/// Interprets a buffer as text (for examples/tests; not for binary data).
+std::string to_string(ByteView v);
+
+/// Lower-case hex encoding, e.g. {0xde,0xad} -> "dead".
+std::string hex_encode(ByteView v);
+
+/// Inverse of hex_encode. Throws std::invalid_argument on malformed input.
+Bytes hex_decode(std::string_view hex);
+
+/// XOR of two equal-length buffers. Throws std::invalid_argument on length
+/// mismatch. The fundamental operation of one-time pads and AONTs.
+Bytes xor_bytes(ByteView a, ByteView b);
+
+/// In-place XOR: dst ^= src. Buffers must have equal length.
+void xor_inplace(MutByteView dst, ByteView src);
+
+/// Constant-time equality for MAC/commitment comparison.
+bool ct_equal(ByteView a, ByteView b) noexcept;
+
+/// Concatenates buffers (used when building transcript hashes).
+Bytes concat(std::initializer_list<ByteView> parts);
+
+}  // namespace aegis

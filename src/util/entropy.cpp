@@ -1,0 +1,78 @@
+#include "util/entropy.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace aegis {
+
+double shannon_entropy_per_byte(ByteView data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (std::uint8_t b : data) ++counts[b];
+  double h = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = c / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double min_entropy_per_byte(ByteView data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  std::size_t max_count = 0;
+  for (std::uint8_t b : data) max_count = std::max(max_count, ++counts[b]);
+  return -std::log2(static_cast<double>(max_count) / data.size());
+}
+
+double markov1_entropy_per_byte(ByteView data) {
+  if (data.size() < 2) return shannon_entropy_per_byte(data);
+  // Sparse first-order model: H(X_{i+1} | X_i), averaged over contexts.
+  std::vector<std::size_t> counts(256 * 256, 0);
+  std::array<std::size_t, 256> ctx_totals{};
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+    ++counts[data[i] * 256 + data[i + 1]];
+    ++ctx_totals[data[i]];
+  }
+  double h = 0.0;
+  const double n = static_cast<double>(data.size() - 1);
+  for (unsigned ctx = 0; ctx < 256; ++ctx) {
+    if (ctx_totals[ctx] == 0) continue;
+    const double p_ctx = ctx_totals[ctx] / n;
+    double h_ctx = 0.0;
+    for (unsigned next = 0; next < 256; ++next) {
+      const std::size_t c = counts[ctx * 256 + next];
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / ctx_totals[ctx];
+      h_ctx -= p * std::log2(p);
+    }
+    h += p_ctx * h_ctx;
+  }
+  return h;
+}
+
+double estimate_entropy_per_byte(ByteView data) {
+  const double h0 = min_entropy_per_byte(data);
+  if (data.size() < 2) return h0;
+
+  // Finite-sample guard for the Markov estimate: with s samples per
+  // context one can observe at most ~log2(s) bits of conditional
+  // entropy, so an estimate near that ceiling is saturation, not
+  // structure — ignore it rather than under-report random data.
+  std::array<bool, 256> seen{};
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) seen[data[i]] = true;
+  unsigned contexts = 0;
+  for (bool s : seen) contexts += s;
+  const double per_context =
+      static_cast<double>(data.size() - 1) / std::max(1u, contexts);
+  const double ceiling = std::log2(std::min(256.0, per_context));
+
+  const double h1 = markov1_entropy_per_byte(data);
+  if (ceiling > 0 && h1 > 0.8 * ceiling && contexts > 64) return h0;
+  return std::min(h0, h1);
+}
+
+}  // namespace aegis

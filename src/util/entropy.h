@@ -1,0 +1,34 @@
+// Empirical entropy estimation for archived content.
+//
+// Entropically-secure encryption (crypto/entropic.h) is unconditional
+// ONLY for messages with high min-entropy; a low-entropy message (a
+// form letter, a disk of zeros) is not protected. The archive cannot
+// prove a message's entropy, but it can estimate it and surface the
+// risk — these estimators feed the manifest's entropy annotation and
+// the exposure analyzer's entropic-caveat escalation.
+//
+// Estimators are frequency-based (order-0) and first-order Markov;
+// both are *upper bounds* on the true per-byte entropy of structured
+// data, so a low estimate is a strong warning.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Order-0 Shannon entropy in bits per byte (0..8).
+double shannon_entropy_per_byte(ByteView data);
+
+/// Min-entropy per byte: -log2(max byte frequency). The quantity the
+/// Dodis–Smith bound actually cares about (per-symbol proxy).
+double min_entropy_per_byte(ByteView data);
+
+/// First-order (Markov) conditional entropy in bits per byte — catches
+/// structure that order-0 misses (e.g. "ababab..."). Falls back to
+/// order-0 for inputs under 2 bytes.
+double markov1_entropy_per_byte(ByteView data);
+
+/// The archive's composite estimate: min of the three (conservative).
+double estimate_entropy_per_byte(ByteView data);
+
+}  // namespace aegis

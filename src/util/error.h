@@ -1,0 +1,45 @@
+// Exception hierarchy for aegis.
+//
+// Per the C++ Core Guidelines (E.2), programming errors and unrecoverable
+// conditions throw; *expected* protocol outcomes (a share failing
+// verification, a decode with too few shares) are returned as values so
+// simulation code can count them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aegis {
+
+/// Base class for all aegis errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or inconsistent caller-supplied parameters.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Corrupt, truncated or otherwise undecodable serialized data.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A cryptographic check failed where the caller demanded success
+/// (e.g. Archive::get with integrity verification enabled).
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what) : Error(what) {}
+};
+
+/// Not enough intact shares / replicas to reconstruct an object.
+class UnrecoverableError : public Error {
+ public:
+  explicit UnrecoverableError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace aegis

@@ -1,0 +1,73 @@
+#include "util/rng.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace aegis {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw InvalidArgument("Rng::uniform: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      std::numeric_limits<std::uint64_t>::max() % bound;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % bound;
+}
+
+double Rng::uniform_double() {
+  // 53 top bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+SimRng::SimRng(std::uint64_t seed) {
+  // Expand the seed through splitmix64 per the xoshiro authors' advice,
+  // so nearby seeds do not produce correlated streams.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t SimRng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void SimRng::fill(MutByteView out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t x = next_u64();
+    std::memcpy(out.data() + i, &x, 8);
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t x = next_u64();
+    std::memcpy(out.data() + i, &x, out.size() - i);
+  }
+}
+
+}  // namespace aegis

@@ -1,0 +1,70 @@
+// Random-number source abstraction.
+//
+// Two implementations exist:
+//   * SimRng (here) — a fast xoshiro256** generator for *simulation*
+//     randomness: adversary choices, failure injection, workloads. It is
+//     seedable so every experiment is reproducible.
+//   * ChaChaRng (src/crypto/drbg.h) — a ChaCha20-based DRBG used for
+//     *cryptographic* randomness: keys, pads, polynomial coefficients.
+//
+// Both satisfy the Rng interface so protocol code is agnostic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Abstract source of random bytes. Implementations must be deterministic
+/// given a seed, so simulations replay exactly.
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(MutByteView out) = 0;
+
+  /// Returns a uniformly random 64-bit value.
+  virtual std::uint64_t next_u64() = 0;
+
+  /// Returns a fresh buffer of `n` random bytes.
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  /// Returns `n` random bytes in a zeroizing buffer (for key material).
+  SecureBytes secure_bytes(std::size_t n) {
+    SecureBytes out(n);
+    fill(MutByteView(out.data(), out.size()));
+    return out;
+  }
+
+  /// Uniform integer in [0, bound). Throws InvalidArgument on bound==0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform_double() < p; }
+};
+
+/// xoshiro256** — fast, high-quality, *non-cryptographic* PRNG for
+/// simulation decisions (node failures, adversary moves, workloads).
+class SimRng final : public Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit SimRng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  void fill(MutByteView out) override;
+  std::uint64_t next_u64() override;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace aegis

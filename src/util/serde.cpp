@@ -1,0 +1,103 @@
+#include "util/serde.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace aegis {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::bytes(ByteView v) {
+  if (v.size() > 0xffffffffULL)
+    throw InvalidArgument("ByteWriter::bytes: buffer too large");
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void ByteWriter::raw(ByteView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+void ByteWriter::str(const std::string& s) {
+  bytes(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw ParseError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Bytes ByteReader::bytes() {
+  const std::uint32_t n = u32();
+  return raw(n);
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::uint32_t ByteReader::count(std::size_t min_element_bytes) {
+  const std::uint32_t n = u32();
+  if (min_element_bytes == 0) min_element_bytes = 1;
+  if (static_cast<std::uint64_t>(n) * min_element_bytes > remaining())
+    throw ParseError("ByteReader: element count exceeds available bytes");
+  return n;
+}
+
+std::string ByteReader::str() {
+  Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+void ByteReader::expect_done() const {
+  if (!done()) throw ParseError("ByteReader: trailing bytes after record");
+}
+
+}  // namespace aegis

@@ -1,0 +1,81 @@
+// Minimal binary serialization for on-"disk" archive records.
+//
+// Fixed-width integers are little-endian; variable-length buffers are
+// length-prefixed with a u32. ByteReader throws ParseError on truncation,
+// never reads past the end, and exposes remaining() so callers can detect
+// trailing garbage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(ByteView v);
+
+  /// Raw bytes with no length prefix (caller knows the framing).
+  void raw(ByteView v);
+
+  /// Length-prefixed UTF-8 string.
+  void str(const std::string& s);
+
+  /// Releases the accumulated buffer.
+  Bytes take() && { return std::move(buf_); }
+  const Bytes& data() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads primitive values back; throws ParseError on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView v) : data_(v) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Reads a u32 length prefix then that many bytes.
+  Bytes bytes();
+
+  /// Reads exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  std::string str();
+
+  /// Reads a u32 element count and validates it against the bytes left:
+  /// each element must occupy at least `min_element_bytes`, so a count
+  /// claiming more elements than could possibly follow is rejected
+  /// BEFORE any allocation sized by it (malformed input must never
+  /// drive a giant reserve/resize).
+  std::uint32_t count(std::size_t min_element_bytes = 1);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+  /// Throws ParseError unless the entire input has been consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aegis

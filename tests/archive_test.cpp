@@ -1,0 +1,962 @@
+// Integration tests for the archive core: every encoding end-to-end over
+// the simulated cluster, failure/corruption handling, refresh and rewrap
+// semantics, key custody, the Table 1 classifier and the HNDL exposure
+// analyzer, and full obsolescence timelines.
+#include <gtest/gtest.h>
+
+#include "archive/analyzer.h"
+#include "archive/aont.h"
+#include "archive/archive.h"
+#include "archive/cost.h"
+#include "archive/multi.h"
+#include "archive/obsolescence.h"
+#include "archive/workload.h"
+#include "crypto/chacha20.h"
+#include "node/adversary.h"
+#include "util/entropy.h"
+#include "util/error.h"
+
+#include <algorithm>
+
+namespace aegis {
+namespace {
+
+struct Harness {
+  Cluster cluster;
+  SchemeRegistry registry;
+  ChaChaRng rng;
+  TimestampAuthority tsa;
+  Archive archive;
+
+  Harness(ArchivalPolicy policy, unsigned nodes, std::uint64_t seed = 1)
+      : cluster(nodes, policy.channel, seed),
+        rng(seed),
+        tsa(rng),
+        archive(cluster, std::move(policy), registry, tsa, rng) {}
+};
+
+Bytes test_data(std::size_t size, std::uint64_t seed = 9) {
+  SimRng rng(seed);
+  return rng.bytes(size);
+}
+
+// ---------------------------------------------------------------- AONT
+
+TEST(Aont, PackageRoundTrip) {
+  ChaChaRng rng(1);
+  const Bytes data = test_data(10000);
+  const Bytes package = aont_package(data, SchemeId::kAes256Ctr, rng);
+  EXPECT_EQ(package.size(), aont_package_size(data.size()));
+  EXPECT_EQ(aont_unpackage(package), data);
+  EXPECT_EQ(aont_package_cipher(package), SchemeId::kAes256Ctr);
+}
+
+TEST(Aont, PackageIsKeyless) {
+  // Two packages of the same data differ (fresh random key), yet both
+  // unpack without any external key.
+  ChaChaRng rng(2);
+  const Bytes data = test_data(500);
+  const Bytes p1 = aont_package(data, SchemeId::kChaCha20, rng);
+  const Bytes p2 = aont_package(data, SchemeId::kChaCha20, rng);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(aont_unpackage(p1), data);
+  EXPECT_EQ(aont_unpackage(p2), data);
+}
+
+TEST(Aont, MalformedPackageRejected) {
+  EXPECT_THROW(aont_unpackage(Bytes(10, 0)), ParseError);
+  ChaChaRng rng(3);
+  Bytes p = aont_package(test_data(100), SchemeId::kAes128Ctr, rng);
+  p.resize(p.size() - 1);
+  EXPECT_THROW(aont_unpackage(p), ParseError);
+}
+
+TEST(Aont, OtpRejected) {
+  ChaChaRng rng(4);
+  EXPECT_THROW(aont_package(test_data(10), SchemeId::kOneTimePad, rng),
+               InvalidArgument);
+}
+
+// -------------------------------------------------- put/get per encoding
+
+class ArchiveEncoding : public ::testing::TestWithParam<ArchivalPolicy> {};
+
+TEST_P(ArchiveEncoding, PutGetRoundTrip) {
+  Harness h(GetParam(), 12);
+  const Bytes data = test_data(3000);
+  h.archive.put("doc", data);
+  EXPECT_EQ(h.archive.get("doc"), data);
+}
+
+TEST_P(ArchiveEncoding, SurvivesMaximumNodeLoss) {
+  const ArchivalPolicy policy = GetParam();
+  Harness h(policy, 12);
+  const Bytes data = test_data(2000);
+  h.archive.put("doc", data);
+
+  // Kill nodes until only the reconstruction threshold remains reachable.
+  const unsigned threshold = policy.reconstruction_threshold();
+  for (unsigned i = threshold; i < policy.n; ++i) h.cluster.fail_node(i);
+  EXPECT_EQ(h.archive.get("doc"), data);
+
+  // One more loss crosses the threshold.
+  h.cluster.fail_node(0);
+  EXPECT_THROW(h.archive.get("doc"), UnrecoverableError);
+}
+
+TEST_P(ArchiveEncoding, MeasuredOverheadMatchesNominalFloor) {
+  const ArchivalPolicy policy = GetParam();
+  Harness h(policy, 12);
+  h.archive.put("doc", test_data(4096));
+  const StorageReport r = h.archive.storage_report();
+  EXPECT_GE(r.overhead(), policy.nominal_overhead() * 0.99)
+      << policy.name;
+  // Within 2x of nominal (LRSS sources and AONT canary add overhead).
+  EXPECT_LE(r.overhead(), policy.nominal_overhead() * 2.0 + 0.5)
+      << policy.name;
+}
+
+TEST_P(ArchiveEncoding, VerifyCleanArchive) {
+  Harness h(GetParam(), 12);
+  h.archive.put("doc", test_data(1000));
+  const VerifyReport r = h.archive.verify("doc");
+  EXPECT_TRUE(r.ok()) << "bad=" << r.shards_bad
+                      << " chain=" << to_string(r.chain_status);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodings, ArchiveEncoding,
+    ::testing::Values(
+        ArchivalPolicy::FigReplication(), ArchivalPolicy::FigErasure(),
+        ArchivalPolicy::FigEncryption(), ArchivalPolicy::FigEntropic(),
+        ArchivalPolicy::FigShamir(), ArchivalPolicy::FigPacked(),
+        ArchivalPolicy::FigLrss(), ArchivalPolicy::ArchiveSafeLT(),
+        ArchivalPolicy::AontRs(), ArchivalPolicy::HasDpss(),
+        ArchivalPolicy::Lincos()),
+    [](const ::testing::TestParamInfo<ArchivalPolicy>& info) {
+      std::string n = info.param.name;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+// ------------------------------------------------------ corruption paths
+
+TEST(Archive, CorruptedShardSkippedOnRead) {
+  Harness h(ArchivalPolicy::FigErasure(), 12);
+  const Bytes data = test_data(999);
+  h.archive.put("doc", data);
+
+  // Flip a byte in node 0's shard.
+  StorageNode& n0 = h.cluster.node(0);
+  StoredBlob bad = *n0.get("doc", 0);
+  bad.data[0] ^= 1;
+  n0.put(bad);
+
+  EXPECT_EQ(h.archive.get("doc"), data);  // parity covers it
+  const VerifyReport r = h.archive.verify("doc");
+  EXPECT_EQ(r.shards_bad, 1u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Archive, DuplicateAndUnknownIds) {
+  Harness h(ArchivalPolicy::FigShamir(), 8);
+  h.archive.put("doc", test_data(10));
+  EXPECT_THROW(h.archive.put("doc", test_data(10)), InvalidArgument);
+  EXPECT_THROW(h.archive.get("nope"), InvalidArgument);
+  h.archive.remove("doc");
+  EXPECT_THROW(h.archive.get("doc"), InvalidArgument);
+}
+
+TEST(Archive, PolicyNeedsEnoughNodes) {
+  ArchivalPolicy p = ArchivalPolicy::FigShamir();  // n = 5
+  Cluster cluster(3, p.channel, 1);
+  SchemeRegistry reg;
+  ChaChaRng rng(1);
+  TimestampAuthority tsa(rng);
+  EXPECT_THROW(Archive(cluster, p, reg, tsa, rng), InvalidArgument);
+}
+
+// ------------------------------------------------------------- refresh
+
+TEST(Archive, RefreshBumpsGenerationAndPreservesData) {
+  Harness h(ArchivalPolicy::VsrArchive(), 8);
+  const Bytes data = test_data(512);
+  h.archive.put("doc", data);
+  EXPECT_EQ(h.archive.manifest("doc").generation, 0u);
+
+  h.archive.refresh();
+  EXPECT_EQ(h.archive.manifest("doc").generation, 1u);
+  EXPECT_EQ(h.archive.get("doc"), data);
+
+  h.archive.refresh();
+  EXPECT_EQ(h.archive.manifest("doc").generation, 2u);
+  EXPECT_EQ(h.archive.get("doc"), data);
+  EXPECT_GT(h.cluster.stats().refresh_messages, 0u);
+}
+
+TEST(Archive, RefreshRerandomizesStoredShares) {
+  Harness h(ArchivalPolicy::VsrArchive(), 8);
+  h.archive.put("doc", test_data(256));
+  const Bytes before = h.cluster.node(0).get("doc", 0)->data;
+  h.archive.refresh();
+  const Bytes after = h.cluster.node(0).get("doc", 0)->data;
+  EXPECT_NE(before, after);
+}
+
+TEST(Archive, LrssAndPackedRefreshViaReshare) {
+  for (ArchivalPolicy p :
+       {ArchivalPolicy::FigLrss(), ArchivalPolicy::FigPacked()}) {
+    p.proactive_refresh = true;
+    Harness h(p, 12);
+    const Bytes data = test_data(800);
+    h.archive.put("doc", data);
+    h.archive.refresh();
+    EXPECT_EQ(h.archive.manifest("doc").generation, 1u);
+    EXPECT_EQ(h.archive.get("doc"), data) << p.name;
+  }
+}
+
+// ------------------------------------------------------- rewrap/migrate
+
+TEST(Archive, CascadeRewrapAddsLayerKeepsPlaintext) {
+  Harness h(ArchivalPolicy::ArchiveSafeLT(), 12);
+  const Bytes data = test_data(1500);
+  h.archive.put("doc", data);
+  EXPECT_EQ(h.archive.manifest("doc").current_ciphers().size(), 3u);
+
+  h.archive.rewrap(SchemeId::kAes128Ctr);
+  const auto& m = h.archive.manifest("doc");
+  EXPECT_EQ(m.current_ciphers().size(), 4u);
+  EXPECT_EQ(m.generation, 1u);
+  // History preserves the old stack for old harvested material.
+  EXPECT_EQ(m.cipher_history[0].size(), 3u);
+  EXPECT_EQ(h.archive.get("doc"), data);
+}
+
+TEST(Archive, RewrapOnlyForCascades) {
+  Harness h(ArchivalPolicy::FigShamir(), 8);
+  EXPECT_THROW(h.archive.rewrap(SchemeId::kChaCha20), InvalidArgument);
+}
+
+TEST(Archive, ReencryptSwapsStack) {
+  Harness h(ArchivalPolicy::CloudBaseline(), 12);
+  const Bytes data = test_data(1024);
+  h.archive.put("doc", data);
+  h.archive.reencrypt({SchemeId::kChaCha20});
+  const auto& m = h.archive.manifest("doc");
+  EXPECT_EQ(m.current_ciphers(),
+            (std::vector<SchemeId>{SchemeId::kChaCha20}));
+  EXPECT_EQ(m.cipher_history[0],
+            (std::vector<SchemeId>{SchemeId::kAes256Ctr}));
+  EXPECT_EQ(h.archive.get("doc"), data);
+}
+
+// ------------------------------------------------- timestamps under breaks
+
+TEST(Archive, ChainExpiresWithoutRenewal) {
+  Harness h(ArchivalPolicy::CloudBaseline(), 12);
+  h.registry.set_break_epoch(SchemeId::kSigGenA, 5);
+  h.archive.put("doc", test_data(100));
+  for (int i = 0; i < 6; ++i) h.cluster.advance_epoch();
+  const VerifyReport r = h.archive.verify("doc");
+  EXPECT_EQ(r.chain_status, ChainStatus::kExpiredGuarantee);
+}
+
+TEST(Archive, RenewedChainSurvivesBreak) {
+  Harness h(ArchivalPolicy::CloudBaseline(), 12);
+  h.registry.set_break_epoch(SchemeId::kSigGenA, 5);
+  h.archive.put("doc", test_data(100));
+  for (int i = 0; i < 4; ++i) h.cluster.advance_epoch();
+  h.tsa.rotate(SchemeId::kSigGenB, h.rng);
+  h.archive.renew_timestamps();  // at epoch 4, before the break at 5
+  for (int i = 0; i < 10; ++i) h.cluster.advance_epoch();
+  EXPECT_EQ(h.archive.verify("doc").chain_status, ChainStatus::kValid);
+}
+
+TEST(Archive, NotaryKeepsArchiveChainsValidThroughBreaks) {
+  Harness h(ArchivalPolicy::CloudBaseline(), 12);
+  h.registry.set_break_epoch(SchemeId::kSigGenA, 8);
+  h.registry.set_break_epoch(SchemeId::kSigGenB, 16);
+
+  h.archive.put("a", test_data(100, 1));
+  h.archive.put("b", test_data(100, 2));
+
+  NotaryService notary(h.tsa, h.registry, h.rng);
+  h.archive.watch_timestamps(notary);
+
+  for (int e = 0; e < 20; ++e) {
+    notary.tick(h.cluster.now());
+    h.cluster.advance_epoch();
+  }
+  EXPECT_EQ(h.archive.verify("a").chain_status, ChainStatus::kValid);
+  EXPECT_EQ(h.archive.verify("b").chain_status, ChainStatus::kValid);
+}
+
+// -------------------------------------------------------------- classify
+
+TEST(Classify, Table1Rows) {
+  // ArchiveSafeLT: Computational / Computational / Low
+  auto c = classify(ArchivalPolicy::ArchiveSafeLT());
+  EXPECT_EQ(c.at_rest, SecurityClass::kComputational);
+  EXPECT_EQ(c.in_transit, SecurityClass::kComputational);
+  EXPECT_LT(c.nominal_overhead, 2.0);
+
+  // AONT-RS: Computational / Computational / Low
+  c = classify(ArchivalPolicy::AontRs());
+  EXPECT_EQ(c.at_rest, SecurityClass::kComputational);
+  EXPECT_LT(c.nominal_overhead, 2.0);
+
+  // HasDPSS: ITS keys... at-rest data is computational ciphertext with
+  // ITS-shared keys; the paper's row says Computational/ITS — our
+  // classifier reports the data plane; key custody is separate.
+  c = classify(ArchivalPolicy::HasDpss());
+  EXPECT_EQ(c.at_rest, SecurityClass::kComputational);
+
+  // LINCOS: ITS / ITS / High
+  c = classify(ArchivalPolicy::Lincos());
+  EXPECT_EQ(c.at_rest, SecurityClass::kInformationTheoretic);
+  EXPECT_EQ(c.in_transit, SecurityClass::kInformationTheoretic);
+  EXPECT_GE(c.nominal_overhead, 3.0);
+  EXPECT_TRUE(c.hiding_timestamps);
+
+  // POTSHARDS: Computational transit / ITS rest / High cost
+  c = classify(ArchivalPolicy::Potshards());
+  EXPECT_EQ(c.at_rest, SecurityClass::kInformationTheoretic);
+  EXPECT_EQ(c.in_transit, SecurityClass::kComputational);
+  EXPECT_GE(c.nominal_overhead, 3.0);
+
+  // Cloud: Computational / Computational / Low
+  c = classify(ArchivalPolicy::CloudBaseline());
+  EXPECT_EQ(c.at_rest, SecurityClass::kComputational);
+  EXPECT_LT(c.nominal_overhead, 2.0);
+}
+
+// ------------------------------------------------------------- exposure
+
+TEST(Exposure, CloudHndlFallsAtCipherBreak) {
+  // Sweep adversary harvests everything over time; ciphertext held early,
+  // plaintext only when AES falls — and retroactively over old harvest.
+  ArchivalPolicy p = ArchivalPolicy::CloudBaseline();
+  TimelineConfig cfg;
+  cfg.epochs = 20;
+  cfg.object_count = 3;
+  cfg.breaks = {{SchemeId::kAes256Ctr, 15}};
+  const TimelineResult r = run_timeline(p, cfg);
+
+  EXPECT_EQ(r.exposure.exposed_count, 3u);
+  // Harvest completed well before the break; exposure lands AT the break.
+  EXPECT_EQ(r.exposure.first_exposure, 15u);
+  for (const auto& o : r.exposure.objects) {
+    EXPECT_TRUE(o.ciphertext_held);
+    EXPECT_LT(o.ciphertext_at, 15u);
+  }
+}
+
+TEST(Exposure, CloudSafeWhileCipherHolds) {
+  ArchivalPolicy p = ArchivalPolicy::CloudBaseline();
+  TimelineConfig cfg;
+  cfg.epochs = 20;
+  cfg.object_count = 3;  // no breaks scheduled
+  const TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 0u);
+  for (const auto& o : r.exposure.objects) EXPECT_TRUE(o.ciphertext_held);
+}
+
+TEST(Exposure, CascadeFallsOnlyWhenAllLayersFall) {
+  ArchivalPolicy p = ArchivalPolicy::ArchiveSafeLT();
+  TimelineConfig cfg;
+  cfg.epochs = 30;
+  cfg.object_count = 2;
+  cfg.breaks = {{SchemeId::kAes256Ctr, 10}, {SchemeId::kChaCha20, 18}};
+  // Speck never breaks -> cascade holds.
+  TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 0u);
+
+  cfg.breaks.push_back({SchemeId::kSpeck128Ctr, 25});
+  r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 2u);
+  EXPECT_EQ(r.exposure.first_exposure, 25u);  // the LAST layer's break
+}
+
+TEST(Exposure, StaticShamirFallsToMobileAdversary) {
+  // POTSHARDS without refresh: the sweep adversary reaches t distinct
+  // nodes after t epochs; no cryptanalysis needed, ever.
+  ArchivalPolicy p = ArchivalPolicy::Potshards();  // t=3, n=5
+  TimelineConfig cfg;
+  cfg.epochs = 10;
+  cfg.object_count = 2;
+  const TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 2u);
+  EXPECT_EQ(r.exposure.first_exposure, 2u);  // epochs 0,1,2 = 3 nodes
+}
+
+TEST(Exposure, ProactiveRefreshDefeatsMobileAdversary) {
+  // Same sharing, but refreshed every epoch: one share per generation is
+  // all the adversary ever holds.
+  ArchivalPolicy p = ArchivalPolicy::VsrArchive();
+  TimelineConfig cfg;
+  cfg.epochs = 30;
+  cfg.object_count = 2;
+  const TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 0u);
+  for (const auto& o : r.exposure.objects)
+    EXPECT_LT(o.best_generation_shards, 3u);
+}
+
+TEST(Exposure, RefreshedShamirStillFallsViaTlsWiretapBreak) {
+  // The §3.2 transit observation: ITS at rest + proactive refresh, but
+  // every refresh re-uploads all n shares over TLS. Break ECDH and the
+  // recorded conversations hand the adversary a full same-generation
+  // share set.
+  ArchivalPolicy p = ArchivalPolicy::VsrArchive();  // TLS transport
+  TimelineConfig cfg;
+  cfg.epochs = 20;
+  cfg.object_count = 2;
+  cfg.breaks = {{SchemeId::kEcdhSecp256k1, 12}};
+  const TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 2u);
+  EXPECT_EQ(r.exposure.first_exposure, 12u);
+}
+
+TEST(Exposure, LincosSurvivesEverything) {
+  // QKD transport + refreshed Shamir + Pedersen stamps: break every
+  // computational scheme we have and harvest for 40 epochs — nothing.
+  ArchivalPolicy p = ArchivalPolicy::Lincos();
+  TimelineConfig cfg;
+  cfg.epochs = 40;
+  cfg.object_count = 3;
+  cfg.breaks = {{SchemeId::kAes256Ctr, 5},
+                {SchemeId::kEcdhSecp256k1, 5},
+                {SchemeId::kChaCha20, 5},
+                {SchemeId::kSpeck128Ctr, 5},
+                {SchemeId::kSha256, 5},
+                {SchemeId::kSchnorrSecp256k1, 5}};
+  const TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 0u);
+  EXPECT_TRUE(r.all_objects_retrievable);
+}
+
+TEST(Exposure, AontFullPackageNeedsNoBreak) {
+  ArchivalPolicy p = ArchivalPolicy::AontRs();  // k=6, n=9
+  TimelineConfig cfg;
+  cfg.epochs = 10;  // sweep reaches 6 nodes by epoch 5
+  cfg.object_count = 1;
+  const TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 1u);
+  EXPECT_EQ(r.exposure.first_exposure, 5u);
+  EXPECT_NE(r.exposure.objects[0].mechanism.find("keyless"),
+            std::string::npos);
+}
+
+TEST(Exposure, AontSingleShardPlusBreak) {
+  ArchivalPolicy p = ArchivalPolicy::AontRs();
+  // Package under Speck so breaking it does NOT also break the TLS
+  // transport (which would expose through the wiretap route instead).
+  p.ciphers = {SchemeId::kSpeck128Ctr};
+  TimelineConfig cfg;
+  cfg.epochs = 3;  // sweep touches only 3 of 9 nodes: below k
+  cfg.object_count = 1;
+  cfg.breaks = {{SchemeId::kSpeck128Ctr, 2}};
+  const TimelineResult r = run_timeline(p, cfg);
+  ASSERT_EQ(r.exposure.exposed_count, 1u);
+  EXPECT_EQ(r.exposure.first_exposure, 2u);
+  EXPECT_NE(r.exposure.objects[0].mechanism.find("primitive broken"),
+            std::string::npos);
+}
+
+TEST(Exposure, HasDpssKeyTheftRoute) {
+  // Keys VSS'd on-cluster WITHOUT refresh: the sweeping adversary
+  // collects vault_threshold key shares of generation 0 plus the
+  // ciphertext, and decrypts with zero cryptanalysis.
+  ArchivalPolicy p = ArchivalPolicy::HasDpss();
+  p.proactive_refresh = false;  // ablate the defence
+  TimelineConfig cfg;
+  cfg.epochs = 12;
+  cfg.object_count = 1;
+  const TimelineResult r = run_timeline(p, cfg);
+  ASSERT_EQ(r.exposure.exposed_count, 1u);
+  EXPECT_NE(r.exposure.objects[0].mechanism.find("key shares"),
+            std::string::npos);
+
+  // With refresh on (the actual HasDPSS design) the route closes.
+  const TimelineResult r2 = run_timeline(ArchivalPolicy::HasDpss(), cfg);
+  EXPECT_EQ(r2.exposure.exposed_count, 0u);
+}
+
+TEST(Exposure, EntropicCaveatReported) {
+  ArchivalPolicy p = ArchivalPolicy::FigEntropic();
+  TimelineConfig cfg;
+  cfg.epochs = 12;
+  cfg.object_count = 1;
+  const TimelineResult r = run_timeline(p, cfg);
+  EXPECT_EQ(r.exposure.exposed_count, 0u);
+  EXPECT_TRUE(r.exposure.objects[0].entropy_caveat);
+}
+
+TEST(Exposure, ReplicationExposesImmediately) {
+  ArchivalPolicy p = ArchivalPolicy::FigReplication();
+  TimelineConfig cfg;
+  cfg.epochs = 2;
+  cfg.object_count = 1;
+  const TimelineResult r = run_timeline(p, cfg);
+  ASSERT_EQ(r.exposure.exposed_count, 1u);
+  EXPECT_EQ(r.exposure.first_exposure, 0u);
+}
+
+// ----------------------------------------------------------- repair/audit
+
+TEST(Archive, RepairErasureRebuildsDamagedShardsInPlace) {
+  Harness h(ArchivalPolicy::FigErasure(), 12);
+  const Bytes data = test_data(2222);
+  h.archive.put("doc", data);
+  const std::uint32_t gen_before = h.archive.manifest("doc").generation;
+
+  // Destroy one shard, corrupt another.
+  h.cluster.node(1).erase("doc", 1);
+  StoredBlob bad = *h.cluster.node(4).get("doc", 4);
+  bad.data[3] ^= 0xff;
+  h.cluster.node(4).put(bad);
+
+  EXPECT_EQ(h.archive.repair("doc"), 2u);
+  // Erasure repair keeps the generation (same codeword).
+  EXPECT_EQ(h.archive.manifest("doc").generation, gen_before);
+  EXPECT_TRUE(h.archive.verify("doc").ok());
+  EXPECT_EQ(h.archive.get("doc"), data);
+  // Idempotent: nothing left to do.
+  EXPECT_EQ(h.archive.repair("doc"), 0u);
+}
+
+TEST(Archive, RepairReplication) {
+  Harness h(ArchivalPolicy::FigReplication(), 6);
+  const Bytes data = test_data(100);
+  h.archive.put("doc", data);
+  h.cluster.node(0).erase("doc", 0);
+  h.cluster.node(2).erase("doc", 2);
+  EXPECT_EQ(h.archive.repair("doc"), 2u);
+  EXPECT_TRUE(h.archive.verify("doc").ok());
+}
+
+TEST(Archive, RepairShamirResharesAtNewGeneration) {
+  Harness h(ArchivalPolicy::FigShamir(), 8);
+  const Bytes data = test_data(300);
+  h.archive.put("doc", data);
+  h.cluster.node(2).erase("doc", 2);
+
+  EXPECT_EQ(h.archive.repair("doc"), 5u);  // full re-share
+  EXPECT_EQ(h.archive.manifest("doc").generation, 1u);
+  EXPECT_TRUE(h.archive.verify("doc").ok());
+  EXPECT_EQ(h.archive.get("doc"), data);
+}
+
+TEST(Archive, RepairBelowThresholdFails) {
+  Harness h(ArchivalPolicy::FigErasure(), 12);  // k=6, n=9
+  h.archive.put("doc", test_data(100));
+  for (std::uint32_t i = 0; i < 4; ++i) h.cluster.node(i).erase("doc", i);
+  EXPECT_THROW(h.archive.repair("doc"), UnrecoverableError);
+}
+
+TEST(Archive, AuditCleanAndDamaged) {
+  Harness h(ArchivalPolicy::FigErasure(), 12);
+  h.archive.put("doc", test_data(500));
+
+  auto r = h.archive.audit("doc");
+  EXPECT_EQ(r.challenges, 9u);
+  EXPECT_EQ(r.passed, 9u);
+  EXPECT_TRUE(r.clean());
+
+  // Corrupt one shard, take one node offline, delete one shard.
+  StoredBlob bad = *h.cluster.node(1).get("doc", 1);
+  bad.data[0] ^= 1;
+  h.cluster.node(1).put(bad);
+  h.cluster.fail_node(2);
+  h.cluster.node(3).erase("doc", 3);
+
+  r = h.archive.audit("doc");
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.silent, 2u);
+  EXPECT_EQ(r.passed, 6u);
+  EXPECT_FALSE(r.clean());
+
+  // Audit found it; repair fixes it (restore the offline node first).
+  h.cluster.restore_node(2);
+  EXPECT_EQ(h.archive.repair("doc"), 2u);
+  EXPECT_TRUE(h.archive.audit("doc").clean());
+}
+
+TEST(Archive, AuditRotatesChallenges) {
+  Harness h(ArchivalPolicy::FigReplication(), 6);
+  h.archive.put("doc", test_data(64));
+  // More audits than the precomputed pool: wraps without error.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(h.archive.audit("doc").clean());
+}
+
+TEST(Archive, ScrubAuditsAndRepairsEverything) {
+  Harness h(ArchivalPolicy::FigErasure(), 12);
+  for (int i = 0; i < 4; ++i)
+    h.archive.put("obj-" + std::to_string(i), test_data(500 + i, i));
+
+  // Damage a spread of shards across objects.
+  h.cluster.node(0).erase("obj-0", 0);
+  StoredBlob bad = *h.cluster.node(2).get("obj-1", 2);
+  bad.data[1] ^= 4;
+  h.cluster.node(2).put(bad);
+  h.cluster.node(5).erase("obj-3", 5);
+
+  const auto report = h.archive.scrub();
+  EXPECT_EQ(report.objects, 4u);
+  EXPECT_EQ(report.shards_repaired, 3u);
+  EXPECT_EQ(report.unrecoverable, 0u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(h.archive.audit("obj-" + std::to_string(i)).clean()) << i;
+}
+
+TEST(Archive, ScrubReportsUnrecoverable) {
+  Harness h(ArchivalPolicy::FigErasure(), 12);  // k=6, n=9
+  h.archive.put("doomed", test_data(100));
+  for (std::uint32_t i = 0; i < 5; ++i) h.cluster.node(i).erase("doomed", i);
+  const auto report = h.archive.scrub();
+  EXPECT_EQ(report.unrecoverable, 1u);
+}
+
+// ----------------------------------------------------- entropy escalation
+
+TEST(Exposure, EntropicEncodingLowEntropyContentEscalates) {
+  // The same policy: random content keeps the caveat, an all-zeros
+  // "message" is measurably unprotected and the analyzer says so.
+  ArchivalPolicy p = ArchivalPolicy::FigEntropic();
+  Harness h(p, 12);
+  SimRng sim(5);
+  h.archive.put("highent", sim.bytes(65536));
+  h.archive.put("lowent", Bytes(65536, 0));
+  EXPECT_NEAR(h.archive.manifest("lowent").est_entropy_per_byte, 0.0, 1e-9);
+  EXPECT_GT(h.archive.manifest("highent").est_entropy_per_byte, 7.0);
+
+  // Give the adversary k shards of each.
+  MobileAdversary adv(6, CorruptionStrategy::kSweep, 3);
+  adv.corrupt_epoch(h.cluster);
+
+  const ExposureAnalyzer analyzer(h.archive, h.registry);
+  const auto report =
+      analyzer.analyze(adv.harvest(), h.cluster.wiretap(), 10);
+
+  const auto* low = report.find("lowent");
+  const auto* high = report.find("highent");
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  EXPECT_TRUE(low->content_exposed);
+  EXPECT_NE(low->mechanism.find("low-entropy"), std::string::npos);
+  EXPECT_FALSE(high->content_exposed);
+  EXPECT_TRUE(high->entropy_caveat);
+}
+
+// ------------------------------------------------------- redistribution
+
+TEST(Archive, RedistributeNodesGrowsAccessStructure) {
+  Harness h(ArchivalPolicy::Potshards(), 12);  // (3,5)
+  const Bytes data = test_data(700);
+  h.archive.put("doc", data);
+
+  h.archive.redistribute_nodes(4, 9);
+  const auto& m = h.archive.manifest("doc");
+  EXPECT_EQ(m.t, 4u);
+  EXPECT_EQ(m.n, 9u);
+  EXPECT_EQ(h.archive.policy().t, 4u);
+  EXPECT_EQ(h.archive.get("doc"), data);
+  EXPECT_TRUE(h.archive.verify("doc").ok());
+
+  // New threshold enforced: 5 node losses leave 4 shares = t, ok...
+  for (unsigned i = 4; i < 9; ++i) h.cluster.fail_node(i);
+  EXPECT_EQ(h.archive.get("doc"), data);
+  h.cluster.fail_node(0);  // now 3 < t
+  EXPECT_THROW(h.archive.get("doc"), UnrecoverableError);
+}
+
+TEST(Archive, RedistributeNodesShrinks) {
+  Harness h(ArchivalPolicy::Potshards(), 8);
+  const Bytes data = test_data(128);
+  h.archive.put("doc", data);
+  h.archive.redistribute_nodes(2, 3);
+  EXPECT_EQ(h.archive.get("doc"), data);
+  // Old shards beyond the new n are gone from their nodes.
+  EXPECT_EQ(h.cluster.node(4).get("doc", 4), nullptr);
+}
+
+TEST(Archive, RedistributeNodesValidation) {
+  Harness h(ArchivalPolicy::Potshards(), 8);
+  EXPECT_THROW(h.archive.redistribute_nodes(5, 3), InvalidArgument);
+  EXPECT_THROW(h.archive.redistribute_nodes(2, 100), InvalidArgument);
+  Harness h2(ArchivalPolicy::CloudBaseline(), 12);
+  EXPECT_THROW(h2.archive.redistribute_nodes(2, 3), InvalidArgument);
+}
+
+// ------------------------------------------------------------ catalog
+
+TEST(Archive, ManifestSerializationRoundTrip) {
+  Harness h(ArchivalPolicy::Lincos(), 8);  // commitment + chain + seedless
+  h.archive.put("doc", test_data(400));
+  const ObjectManifest& m = h.archive.manifest("doc");
+  const ObjectManifest back = ObjectManifest::deserialize(m.serialize());
+  EXPECT_EQ(back.id, m.id);
+  EXPECT_EQ(back.size, m.size);
+  EXPECT_EQ(back.encoding, m.encoding);
+  EXPECT_EQ(back.generation, m.generation);
+  EXPECT_EQ(back.shard_hashes, m.shard_hashes);
+  EXPECT_EQ(back.merkle_root, m.merkle_root);
+  EXPECT_EQ(back.has_commitment, m.has_commitment);
+  EXPECT_TRUE(back.commitment == m.commitment);
+  EXPECT_EQ(back.chain.length(), m.chain.length());
+  EXPECT_EQ(back.cipher_history, m.cipher_history);
+}
+
+TEST(Archive, CatalogExportImportRestoresFullOperation) {
+  ArchivalPolicy policy = ArchivalPolicy::ArchiveSafeLT();
+  Cluster cluster(12, policy.channel, 7);
+  SchemeRegistry registry;
+  ChaChaRng rng(7);
+  TimestampAuthority tsa(rng);
+
+  Bytes blob;
+  Bytes d1 = test_data(900, 1), d2 = test_data(50, 2);
+  {
+    Archive original(cluster, policy, registry, tsa, rng);
+    original.put("alpha", d1);
+    original.put("beta", d2);
+    blob = original.export_catalog();
+  }  // client machine dies; manifests and keys gone
+
+  Archive restored(cluster, policy, registry, tsa, rng);
+  EXPECT_THROW(restored.get("alpha"), InvalidArgument);  // no catalog yet
+  restored.import_catalog(blob);
+  EXPECT_EQ(restored.get("alpha"), d1);
+  EXPECT_EQ(restored.get("beta"), d2);
+  EXPECT_TRUE(restored.verify("alpha").ok());
+  // Audits still work (challenges traveled in the catalog).
+  EXPECT_TRUE(restored.audit("beta").clean());
+}
+
+TEST(Archive, CatalogImportRejectsGarbage) {
+  Harness h(ArchivalPolicy::FigShamir(), 8);
+  EXPECT_THROW(h.archive.import_catalog(Bytes(7, 0xab)), ParseError);
+}
+
+// -------------------------------------------------------------- workload
+
+TEST(Workload, DeterministicAndShaped) {
+  WorkloadConfig cfg;
+  cfg.object_count = 50;
+  cfg.seed = 9;
+  WorkloadGenerator a(cfg), b(cfg);
+  for (int i = 0; i < 50; ++i) {
+    const WorkloadItem x = a.next();
+    const WorkloadItem y = b.next();
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.data, y.data);
+    EXPECT_GE(x.data.size(), cfg.min_size);
+    EXPECT_LE(x.data.size(), cfg.max_size);
+  }
+  EXPECT_EQ(a.remaining(), 0u);
+  EXPECT_GT(a.bytes_generated(), 0u);
+}
+
+TEST(Workload, StructuredContentHasLowEntropy) {
+  WorkloadConfig cfg;
+  cfg.object_count = 200;
+  cfg.text_fraction = 0.5;
+  cfg.median_size = 8192;
+  cfg.seed = 4;
+  WorkloadGenerator gen(cfg);
+  int structured = 0;
+  for (int i = 0; i < 200; ++i) {
+    const WorkloadItem item = gen.next();
+    if (item.data.size() < 1024) continue;  // too small to judge
+    const double h = estimate_entropy_per_byte(item.data);
+    if (item.structured) {
+      ++structured;
+      EXPECT_LT(h, 4.0) << item.id;
+    } else {
+      EXPECT_GT(h, 6.0) << item.id;
+    }
+  }
+  EXPECT_GT(structured, 50);  // the mix is actually mixed
+}
+
+TEST(Workload, SizesAreHeavyTailed) {
+  WorkloadConfig cfg;
+  cfg.object_count = 500;
+  cfg.median_size = 4096;
+  cfg.size_sigma = 1.2;
+  cfg.seed = 11;
+  WorkloadGenerator gen(cfg);
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 500; ++i) sizes.push_back(gen.next().data.size());
+  std::sort(sizes.begin(), sizes.end());
+  const std::size_t median = sizes[250];
+  // Median near the configured value, max far above it.
+  EXPECT_GT(median, 2000u);
+  EXPECT_LT(median, 9000u);
+  EXPECT_GT(sizes.back(), median * 8);
+}
+
+TEST(Workload, Validation) {
+  WorkloadConfig cfg;
+  cfg.object_count = 0;
+  EXPECT_THROW(WorkloadGenerator{cfg}, InvalidArgument);
+}
+
+// ------------------------------------------------------------ MultiArchive
+
+TEST(MultiArchive, RoutesByClassAndRetrieves) {
+  Cluster cluster(12, ChannelKind::kTls, 3);
+  SchemeRegistry registry;
+  ChaChaRng rng(3);
+  TimestampAuthority tsa(rng);
+  MultiArchive pasis(cluster, registry, tsa, rng);
+
+  const Bytes pub = test_data(400, 1);
+  const Bytes sec = test_data(400, 2);
+  pasis.put("bulletin", pub, Sensitivity::kPublic);
+  pasis.put("dossier", sec, Sensitivity::kTopSecret);
+
+  EXPECT_EQ(pasis.get("bulletin"), pub);
+  EXPECT_EQ(pasis.get("dossier"), sec);
+  EXPECT_EQ(pasis.sensitivity("dossier"), Sensitivity::kTopSecret);
+  EXPECT_TRUE(pasis.verify("bulletin").ok());
+  EXPECT_TRUE(pasis.verify("dossier").ok());
+}
+
+TEST(MultiArchive, PerClassCostSplitMatchesPolicies) {
+  Cluster cluster(12, ChannelKind::kTls, 4);
+  SchemeRegistry registry;
+  ChaChaRng rng(4);
+  TimestampAuthority tsa(rng);
+  MultiArchive pasis(cluster, registry, tsa, rng);
+
+  pasis.put("a", test_data(4096, 1), Sensitivity::kPublic);
+  pasis.put("b", test_data(4096, 2), Sensitivity::kTopSecret);
+
+  // Public rides 1.5x erasure; top-secret rides 5x Shamir — the
+  // "Low-High" spread of PASIS's Table 1 row.
+  EXPECT_NEAR(pasis.storage_report(Sensitivity::kPublic).overhead(), 1.5,
+              0.05);
+  EXPECT_NEAR(pasis.storage_report(Sensitivity::kTopSecret).overhead(), 5.0,
+              0.05);
+  const StorageReport total = pasis.storage_report();
+  EXPECT_NEAR(total.overhead(), (1.5 + 5.0) / 2, 0.1);
+}
+
+TEST(MultiArchive, RefreshOnlyTouchesProactiveClasses) {
+  Cluster cluster(12, ChannelKind::kTls, 5);
+  SchemeRegistry registry;
+  ChaChaRng rng(5);
+  TimestampAuthority tsa(rng);
+  MultiArchive pasis(cluster, registry, tsa, rng);
+
+  pasis.put("pub", test_data(100, 1), Sensitivity::kPublic);
+  pasis.put("top", test_data(100, 2), Sensitivity::kTopSecret);
+  pasis.refresh();
+
+  EXPECT_EQ(pasis.archive_for(Sensitivity::kPublic).manifest("pub").generation,
+            0u);
+  EXPECT_EQ(
+      pasis.archive_for(Sensitivity::kTopSecret).manifest("top").generation,
+      1u);
+  EXPECT_EQ(pasis.get("top"), test_data(100, 2));
+}
+
+TEST(MultiArchive, DuplicateIdsRejectedAcrossClasses) {
+  Cluster cluster(12, ChannelKind::kTls, 6);
+  SchemeRegistry registry;
+  ChaChaRng rng(6);
+  TimestampAuthority tsa(rng);
+  MultiArchive pasis(cluster, registry, tsa, rng);
+  pasis.put("x", test_data(10), Sensitivity::kPublic);
+  EXPECT_THROW(pasis.put("x", test_data(10), Sensitivity::kSecret),
+               InvalidArgument);
+  EXPECT_THROW(pasis.get("unknown"), InvalidArgument);
+}
+
+TEST(MultiArchive, PolicyOverrideBeforeUseOnly) {
+  Cluster cluster(12, ChannelKind::kTls, 7);
+  SchemeRegistry registry;
+  ChaChaRng rng(7);
+  TimestampAuthority tsa(rng);
+  MultiArchive pasis(cluster, registry, tsa, rng);
+
+  ArchivalPolicy lincos = ArchivalPolicy::Lincos();
+  pasis.set_policy(Sensitivity::kTopSecret, lincos);
+  EXPECT_EQ(pasis.policy(Sensitivity::kTopSecret).name, "LINCOS");
+
+  pasis.put("doc", test_data(64), Sensitivity::kTopSecret);
+  EXPECT_THROW(pasis.set_policy(Sensitivity::kTopSecret, lincos),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------ cost model
+
+TEST(Cost, PaperReencryptionNumbers) {
+  // §3.2: read-out times for the four cited archives. We reproduce the
+  // arithmetic (decimal TB, 30.44-day months); see EXPERIMENTS.md for
+  // the rounding deltas vs. the paper's printed values.
+  const auto hpss = estimate_reencryption(SiteModel::OakRidgeHpss());
+  EXPECT_NEAR(hpss.read_months, 6.57, 0.05);
+  const auto mars = estimate_reencryption(SiteModel::EcmwfMars());
+  EXPECT_NEAR(mars.read_months, 10.38, 0.05);
+  const auto eos = estimate_reencryption(SiteModel::CernEos());
+  EXPECT_NEAR(eos.read_months, 8.31, 0.05);
+  const auto perg = estimate_reencryption(SiteModel::Pergamum());
+  EXPECT_NEAR(perg.read_months, 0.76, 0.02);
+}
+
+TEST(Cost, PracticalPenaltiesMultiply) {
+  const auto e = estimate_reencryption(SiteModel::CernEos(), 2.0, 2.0);
+  EXPECT_NEAR(e.practical_months, e.read_months * 4.0, 1e-9);
+}
+
+TEST(Cost, CpuBoundEstimate) {
+  const auto e =
+      estimate_reencryption(SiteModel::Pergamum(), 2, 2, 100.0, 10);
+  EXPECT_GT(e.cpu_bound_months, 0.0);
+}
+
+TEST(Cost, MediaEconomicsOrdering) {
+  // At archival scale over a century: DNA's synthesis cost dominates a
+  // small archive; glass needs no migration; tape re-buys itself 10x.
+  const double tb = 1000.0;  // 1 PB
+  const double glass = total_cost_usd(MediaModel::Glass(), tb, 1.5, 100);
+  const double tape = total_cost_usd(MediaModel::Tape(), tb, 1.5, 100);
+  const double hdd = total_cost_usd(MediaModel::Hdd(), tb, 1.5, 100);
+  EXPECT_LT(glass, tape);
+  EXPECT_LT(tape, hdd);
+}
+
+TEST(Cost, MttdlOrderingMatchesTolerance) {
+  // More tolerated failures -> astronomically more MTTDL; and the
+  // paper's POTSHARDS jab in one line: Shamir(3,5) at 5x storage has a
+  // WORSE MTTDL than replication(3) at 3x.
+  const double afr = 0.04, repair = 24.0;
+  const double repl3 = mttdl_years(3, 1, afr, repair);       // r=2
+  const double rs69 = mttdl_years(9, 6, afr, repair);        // r=3
+  const double shamir35 = mttdl_years(5, 3, afr, repair);    // r=2
+  EXPECT_GT(rs69, repl3);
+  EXPECT_GT(repl3, shamir35);
+  // Faster repair helps superlinearly in r.
+  EXPECT_GT(mttdl_years(9, 6, afr, 6.0), rs69);
+}
+
+TEST(Cost, MttdlValidation) {
+  EXPECT_THROW(mttdl_years(0, 1, 0.04, 24), InvalidArgument);
+  EXPECT_THROW(mttdl_years(3, 4, 0.04, 24), InvalidArgument);
+  EXPECT_THROW(mttdl_years(3, 1, -1, 24), InvalidArgument);
+  EXPECT_THROW(mttdl_years(3, 1, 0.04, 0), InvalidArgument);
+}
+
+TEST(Cost, Validation) {
+  EXPECT_THROW(total_cost_usd(MediaModel::Tape(), 10, 0.5, 100),
+               InvalidArgument);
+  SiteModel s{"x", 100.0, 0.0};
+  EXPECT_THROW(estimate_reencryption(s), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aegis

@@ -1,0 +1,585 @@
+// Tests for the crypto substrate: known-answer vectors for every
+// primitive, algebraic properties for the group-based constructions, and
+// behaviour tests for the scheme registry.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/cipher.h"
+#include "crypto/combiner.h"
+#include "crypto/entropic.h"
+#include "crypto/hmac.h"
+#include "crypto/pedersen.h"
+#include "crypto/scheme.h"
+#include "crypto/schnorr.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+#include "crypto/sha3.h"
+#include "crypto/speck.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+// ----------------------------------------------------------------- SHA-2
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(hex_encode(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_encode(Sha256::hash(to_bytes(std::string_view("abc")))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex_encode(Sha256::hash(to_bytes(std::string_view(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  SimRng rng(1);
+  const Bytes msg = rng.bytes(1000);
+  for (std::size_t split : {0ul, 1ul, 63ul, 64ul, 65ul, 999ul, 1000ul}) {
+    Sha256 h;
+    h.update(ByteView(msg).subspan(0, split));
+    h.update(ByteView(msg).subspan(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha512, Fips180Vectors) {
+  EXPECT_EQ(
+      hex_encode(Sha512::hash(to_bytes(std::string_view("abc")))),
+      "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+      "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+  EXPECT_EQ(
+      hex_encode(Sha512::hash({})),
+      "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+      "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha3, Fips202Vectors) {
+  EXPECT_EQ(hex_encode(Sha3_256::hash({})),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+  EXPECT_EQ(hex_encode(Sha3_256::hash(to_bytes(std::string_view("abc")))),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+  EXPECT_EQ(
+      hex_encode(Sha3_256::hash(to_bytes(std::string_view(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))),
+      "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376");
+}
+
+TEST(Sha3, IncrementalMatchesOneShot) {
+  SimRng rng(50);
+  const Bytes msg = rng.bytes(1000);
+  for (std::size_t split : {0ul, 1ul, 135ul, 136ul, 137ul, 999ul}) {
+    Sha3_256 h;
+    h.update(ByteView(msg).subspan(0, split));
+    h.update(ByteView(msg).subspan(split));
+    EXPECT_EQ(h.finish(), Sha3_256::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha3, IndependentFamilyFromSha2) {
+  const Bytes msg = to_bytes(std::string_view("generation test"));
+  EXPECT_NE(Sha3_256::hash(msg), Sha256::hash(msg));
+  // And the registry treats them as independently breakable.
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSha256, 10);
+  EXPECT_TRUE(reg.is_broken(SchemeId::kSha256, 10));
+  EXPECT_FALSE(reg.is_broken(SchemeId::kSha3_256, 1000));
+}
+
+TEST(Hmac, Rfc4231Vectors) {
+  // Test case 1
+  const Bytes key1(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha256(key1, to_bytes(std::string_view("Hi There")))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: key "Jefe", data "what do ya want for nothing?"
+  EXPECT_EQ(hex_encode(hmac_sha256(
+                to_bytes(std::string_view("Jefe")),
+                to_bytes(std::string_view("what do ya want for nothing?")))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hkdf, Rfc5869TestCase1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = hex_decode("000102030405060708090a0b0c");
+  const Bytes info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(ikm, salt, info, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandLengthLimits) {
+  const Bytes prk(32, 1);
+  EXPECT_THROW(hkdf_expand(prk, {}, 0), InvalidArgument);
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), InvalidArgument);
+  EXPECT_EQ(hkdf_expand(prk, {}, 255 * 32).size(), 255u * 32);
+}
+
+// ------------------------------------------------------------------- AES
+
+TEST(Aes, Fips197BlockVectors) {
+  // AES-128
+  {
+    const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+    Bytes block = hex_decode("00112233445566778899aabbccddeeff");
+    Aes aes(key);
+    aes.encrypt_block(block.data());
+    EXPECT_EQ(hex_encode(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  }
+  // AES-256
+  {
+    const Bytes key = hex_decode(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+    Bytes block = hex_decode("00112233445566778899aabbccddeeff");
+    Aes aes(key);
+    aes.encrypt_block(block.data());
+    EXPECT_EQ(hex_encode(block), "8ea2b7ca516745bfeafc49904b496089");
+  }
+}
+
+TEST(Aes, CtrRoundTripAndInvolution) {
+  SimRng rng(2);
+  const Bytes key = rng.bytes(16);
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = rng.bytes(1000);
+  const Bytes ct = aes_ctr(key, iv, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(aes_ctr(key, iv, ct), msg);
+}
+
+TEST(Aes, CtrNistSp80038aVector) {
+  // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt
+  const Bytes key = hex_decode("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes iv = hex_decode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = hex_decode("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(hex_encode(aes_ctr(key, iv, pt)),
+            "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Bytes(15)), InvalidArgument);
+  EXPECT_THROW(Aes(Bytes(24)), InvalidArgument);  // AES-192 unsupported
+  EXPECT_THROW(aes_ctr(Bytes(16), Bytes(8), Bytes(4)), InvalidArgument);
+}
+
+// -------------------------------------------------------------- ChaCha20
+
+TEST(ChaCha20, Rfc8439Vector) {
+  const Bytes key = hex_decode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = hex_decode("000000000000004a00000000");
+  const std::string pt =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const Bytes ct = chacha20(key, nonce, to_bytes(pt), 1);
+  EXPECT_EQ(hex_encode(ByteView(ct).subspan(0, 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+  EXPECT_EQ(chacha20(key, nonce, ct, 1), to_bytes(pt));
+}
+
+TEST(ChaCha20, RejectsBadParams) {
+  EXPECT_THROW(chacha20(Bytes(31), Bytes(12), Bytes(1)), InvalidArgument);
+  EXPECT_THROW(chacha20(Bytes(32), Bytes(11), Bytes(1)), InvalidArgument);
+}
+
+TEST(ChaChaRng, DeterministicAndDistinct) {
+  ChaChaRng a(42), b(42), c(43);
+  const Bytes x = a.bytes(100);
+  EXPECT_EQ(x, b.bytes(100));
+  EXPECT_NE(x, c.bytes(100));
+}
+
+TEST(ChaChaRng, FillChunkingConsistent) {
+  // Drawing 100 bytes at once == drawing 10 x 10 bytes.
+  ChaChaRng a(7), b(7);
+  const Bytes whole = a.bytes(100);
+  Bytes parts;
+  for (int i = 0; i < 10; ++i) {
+    const Bytes p = b.bytes(10);
+    parts.insert(parts.end(), p.begin(), p.end());
+  }
+  EXPECT_EQ(whole, parts);
+}
+
+// ----------------------------------------------------------------- Speck
+
+TEST(Speck, PaperTestVector) {
+  // Speck128/128 vector from the 2013 NSA paper (appendix).
+  const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+  Speck128 cipher(key);
+  std::uint64_t x = 0x6c61766975716520ULL, y = 0x7469206564616d20ULL;
+  cipher.encrypt_block(x, y);
+  EXPECT_EQ(x, 0xa65d985179783265ULL);
+  EXPECT_EQ(y, 0x7860fedf5c570d18ULL);
+}
+
+TEST(Speck, CtrRoundTrip) {
+  SimRng rng(3);
+  const Bytes key = rng.bytes(16);
+  const Bytes iv = rng.bytes(16);
+  const Bytes msg = rng.bytes(333);
+  EXPECT_EQ(speck_ctr(key, iv, speck_ctr(key, iv, msg)), msg);
+}
+
+// -------------------------------------------------------------- Entropic
+
+TEST(EntropicXor, InvolutionAndKeySize) {
+  SimRng rng(4);
+  const Bytes key = rng.bytes(EntropicXor::kKeySize);
+  const Bytes msg = rng.bytes(500);
+  EntropicXor enc(key);
+  const Bytes ct = enc.apply(msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(enc.apply(ct), msg);
+  EXPECT_THROW(EntropicXor(Bytes(8)), InvalidArgument);
+}
+
+TEST(EntropicXor, DifferentKeysDifferentPads) {
+  SimRng rng(5);
+  const Bytes zero(256, 0);
+  const Bytes pad1 = EntropicXor(rng.bytes(16)).apply(zero);
+  const Bytes pad2 = EntropicXor(rng.bytes(16)).apply(zero);
+  EXPECT_NE(pad1, pad2);
+}
+
+TEST(EntropicXor, BiasBoundGrowsWithLength) {
+  EXPECT_LT(EntropicXor::bias_bound(64), EntropicXor::bias_bound(1 << 20));
+  EXPECT_GT(EntropicXor::bias_bound(8), 0.0);
+}
+
+TEST(Gf64, MulFieldProperties) {
+  SimRng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.next_u64(), b = rng.next_u64(),
+                        c = rng.next_u64();
+    EXPECT_EQ(gf64_mul(a, b), gf64_mul(b, a));
+    EXPECT_EQ(gf64_mul(gf64_mul(a, b), c), gf64_mul(a, gf64_mul(b, c)));
+    EXPECT_EQ(gf64_mul(a, b ^ c),
+              gf64_mul(a, b) ^ gf64_mul(a, c));
+    EXPECT_EQ(gf64_mul(a, 1), a);
+  }
+}
+
+// ---------------------------------------------------------------- Cipher
+
+TEST(CipherFacade, AllCiphersRoundTrip) {
+  ChaChaRng rng(7);
+  SimRng sim(7);
+  const Bytes msg = sim.bytes(777);
+  for (SchemeId id :
+       {SchemeId::kAes128Ctr, SchemeId::kAes256Ctr, SchemeId::kChaCha20,
+        SchemeId::kSpeck128Ctr, SchemeId::kOneTimePad,
+        SchemeId::kEntropicXor}) {
+    const SecureBytes key = generate_key(id, rng, msg.size());
+    const Bytes iv = generate_iv(id, rng);
+    const ByteView kv(key.data(), key.size());
+    const Bytes ct = cipher_apply(id, kv, iv, msg);
+    EXPECT_NE(ct, msg) << scheme_name(id);
+    EXPECT_EQ(cipher_apply(id, kv, iv, ct), msg) << scheme_name(id);
+  }
+}
+
+TEST(CipherFacade, NonCipherRejected) {
+  EXPECT_THROW(cipher_params(SchemeId::kSha256), InvalidArgument);
+  EXPECT_THROW(cipher_params(SchemeId::kReedSolomon), InvalidArgument);
+}
+
+// ------------------------------------------------------------- Combiners
+
+TEST(CascadeCombiner, RoundTripAllDepths) {
+  ChaChaRng rng(40);
+  SimRng sim(40);
+  const Bytes msg = sim.bytes(500);
+  for (unsigned depth = 1; depth <= 3; ++depth) {
+    std::vector<SchemeId> comps(
+        {SchemeId::kAes256Ctr, SchemeId::kChaCha20, SchemeId::kSpeck128Ctr});
+    comps.resize(depth);
+    const CascadeCombiner cc(comps);
+    const auto keys = cc.keygen(rng);
+    const Bytes ct = cc.seal(msg, keys);
+    EXPECT_EQ(ct.size(), msg.size());  // no expansion
+    EXPECT_NE(ct, msg);
+    EXPECT_EQ(cc.open(ct, keys), msg);
+  }
+}
+
+TEST(CascadeCombiner, FallsWithLastComponent) {
+  const CascadeCombiner cc({SchemeId::kAes256Ctr, SchemeId::kChaCha20});
+  SchemeRegistry reg;
+  EXPECT_EQ(cc.falls_at(reg), kNever);
+  reg.set_break_epoch(SchemeId::kAes256Ctr, 10);
+  EXPECT_EQ(cc.falls_at(reg), kNever);  // ChaCha still stands
+  reg.set_break_epoch(SchemeId::kChaCha20, 25);
+  EXPECT_EQ(cc.falls_at(reg), 25u);
+}
+
+TEST(CascadeCombiner, Validation) {
+  EXPECT_THROW(CascadeCombiner({}), InvalidArgument);
+  EXPECT_THROW(CascadeCombiner({SchemeId::kSha256}), InvalidArgument);
+  EXPECT_THROW(CascadeCombiner({SchemeId::kOneTimePad}), InvalidArgument);
+}
+
+TEST(XorCombiner, RoundTripAndExpansion) {
+  ChaChaRng rng(41);
+  SimRng sim(41);
+  const Bytes msg = sim.bytes(333);
+  const XorCombiner xc(SchemeId::kAes256Ctr, SchemeId::kSpeck128Ctr);
+  const auto keys = xc.keygen(rng);
+  const Bytes ct = xc.seal(msg, keys, rng);
+  EXPECT_GE(ct.size(), 2 * msg.size());  // the storage price
+  EXPECT_EQ(xc.open(ct, keys), msg);
+}
+
+TEST(XorCombiner, FreshRandomnessPerSeal) {
+  ChaChaRng rng(42);
+  const Bytes msg(64, 0x11);
+  const XorCombiner xc(SchemeId::kChaCha20, SchemeId::kAes128Ctr);
+  const auto keys = xc.keygen(rng);
+  EXPECT_NE(xc.seal(msg, keys, rng), xc.seal(msg, keys, rng));
+}
+
+TEST(XorCombiner, FallsOnlyWhenBothBreak) {
+  const XorCombiner xc(SchemeId::kAes256Ctr, SchemeId::kChaCha20);
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kAes256Ctr, 5);
+  EXPECT_EQ(xc.falls_at(reg), kNever);
+  reg.set_break_epoch(SchemeId::kChaCha20, 9);
+  EXPECT_EQ(xc.falls_at(reg), 9u);
+}
+
+TEST(XorCombiner, BrokenHalfAloneRevealsNothingStructural) {
+  // With E2 "broken" (we just decrypt r honestly), the remaining half
+  // E1(m xor r) xor r == m xor pad1 — still ciphertext under E1. Sanity:
+  // reconstructing with only one half fails structurally.
+  ChaChaRng rng(43);
+  const XorCombiner xc(SchemeId::kAes256Ctr, SchemeId::kChaCha20);
+  const auto keys = xc.keygen(rng);
+  const Bytes ct = xc.seal(Bytes(100, 0x5c), keys, rng);
+  Bytes truncated(ct.begin(), ct.begin() + ct.size() / 2);
+  EXPECT_THROW(xc.open(truncated, keys), ParseError);
+}
+
+// --------------------------------------------------------------- Schemes
+
+TEST(SchemeRegistry, BreakSemantics) {
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kAes128Ctr, 10);
+  EXPECT_FALSE(reg.is_broken(SchemeId::kAes128Ctr, 9));
+  EXPECT_TRUE(reg.is_broken(SchemeId::kAes128Ctr, 10));
+  EXPECT_TRUE(reg.is_broken(SchemeId::kAes128Ctr, 1000));
+  EXPECT_FALSE(reg.is_broken(SchemeId::kChaCha20, 1000));
+  reg.clear_break(SchemeId::kAes128Ctr);
+  EXPECT_FALSE(reg.is_broken(SchemeId::kAes128Ctr, 1000));
+}
+
+TEST(SchemeRegistry, ItsSchemesCannotBreak) {
+  SchemeRegistry reg;
+  EXPECT_THROW(reg.set_break_epoch(SchemeId::kOneTimePad, 5),
+               InvalidArgument);
+  EXPECT_THROW(reg.set_break_epoch(SchemeId::kShamirGf256, 5),
+               InvalidArgument);
+  EXPECT_THROW(reg.set_break_epoch(SchemeId::kPedersenCommit, 5),
+               InvalidArgument);
+}
+
+TEST(SchemeRegistry, CascadeBreakEpochs) {
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kAes256Ctr, 10);
+  reg.set_break_epoch(SchemeId::kChaCha20, 20);
+  // A single-cipher object falls at its cipher's break.
+  EXPECT_EQ(reg.earliest_break({SchemeId::kAes256Ctr}), 10u);
+  // A cascade survives until the *last* layer falls.
+  EXPECT_EQ(reg.latest_break({SchemeId::kAes256Ctr, SchemeId::kChaCha20}),
+            20u);
+  // A cascade containing an unbroken cipher never falls.
+  EXPECT_EQ(reg.latest_break({SchemeId::kAes256Ctr, SchemeId::kSpeck128Ctr}),
+            kNever);
+  // earliest_break with nothing scheduled.
+  EXPECT_EQ(reg.earliest_break({SchemeId::kSpeck128Ctr}), kNever);
+}
+
+TEST(SchemeInfo, Classifications) {
+  EXPECT_EQ(scheme_info(SchemeId::kAes256Ctr).confidentiality,
+            SecurityClass::kComputational);
+  EXPECT_EQ(scheme_info(SchemeId::kOneTimePad).confidentiality,
+            SecurityClass::kInformationTheoretic);
+  EXPECT_EQ(scheme_info(SchemeId::kEntropicXor).confidentiality,
+            SecurityClass::kEntropic);
+  EXPECT_EQ(scheme_info(SchemeId::kShamirGf256).kind, SchemeKind::kSharing);
+  EXPECT_EQ(scheme_name(SchemeId::kChaCha20), "ChaCha20");
+}
+
+// ------------------------------------------------------------- secp256k1
+
+TEST(Secp256k1, GeneratorSanity) {
+  const auto& curve = ec::Secp256k1::instance();
+  // 2G has the known x-coordinate.
+  U256 x, y;
+  curve.to_affine(curve.dbl(curve.generator()), x, y);
+  EXPECT_EQ(x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+}
+
+TEST(Secp256k1, OrderAnnihilatesGenerator) {
+  const auto& curve = ec::Secp256k1::instance();
+  const ec::Point zero = curve.mul(curve.generator(), curve.order());
+  EXPECT_TRUE(curve.is_infinity(zero));
+}
+
+TEST(Secp256k1, GroupLaws) {
+  const auto& curve = ec::Secp256k1::instance();
+  SimRng rng(8);
+  const U256 a = curve.random_scalar(rng);
+  const U256 b = curve.random_scalar(rng);
+  // (a+b)G == aG + bG
+  const U256 ab = curve.fn().add(a, b);
+  EXPECT_TRUE(curve.eq(curve.mul_gen(ab),
+                       curve.add(curve.mul_gen(a), curve.mul_gen(b))));
+  // P + (-P) == identity
+  const ec::Point p = curve.mul_gen(a);
+  EXPECT_TRUE(curve.is_infinity(curve.add(p, curve.neg(p))));
+  // P + identity == P
+  EXPECT_TRUE(curve.eq(curve.add(p, ec::Point{}), p));
+}
+
+TEST(Secp256k1, EncodeDecodeRoundTrip) {
+  const auto& curve = ec::Secp256k1::instance();
+  SimRng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    const ec::Point p = curve.mul_gen(curve.random_scalar(rng));
+    const Bytes enc = curve.encode(p);
+    EXPECT_EQ(enc.size(), 33u);
+    EXPECT_TRUE(curve.eq(curve.decode(enc), p));
+  }
+  // Identity encodes to the 1-byte sentinel.
+  const Bytes id_enc = curve.encode(ec::Point{});
+  EXPECT_EQ(id_enc, Bytes{0x00});
+  EXPECT_TRUE(curve.is_infinity(curve.decode(id_enc)));
+}
+
+TEST(Secp256k1, DecodeRejectsGarbage) {
+  const auto& curve = ec::Secp256k1::instance();
+  EXPECT_THROW(curve.decode(Bytes(33, 0xff)), ParseError);
+  EXPECT_THROW(curve.decode(Bytes(32, 0x02)), ParseError);
+}
+
+TEST(Secp256k1, PedersenHIndependentOfG) {
+  const auto& curve = ec::Secp256k1::instance();
+  EXPECT_FALSE(curve.is_infinity(curve.pedersen_h()));
+  EXPECT_FALSE(curve.eq(curve.pedersen_h(), curve.generator()));
+}
+
+// -------------------------------------------------------------- Pedersen
+
+TEST(Pedersen, CommitVerifyRoundTrip) {
+  ChaChaRng rng(10);
+  PedersenOpening open;
+  const auto c = pedersen_commit(U256(12345), rng, open);
+  EXPECT_TRUE(pedersen_verify(c, open));
+  // Wrong value or blind fails.
+  PedersenOpening bad = open;
+  bad.value = U256(12346);
+  EXPECT_FALSE(pedersen_verify(c, bad));
+  bad = open;
+  bad.blind = U256(999);
+  EXPECT_FALSE(pedersen_verify(c, bad));
+}
+
+TEST(Pedersen, BytesCommitRoundTrip) {
+  ChaChaRng rng(11);
+  PedersenOpening open;
+  const Bytes msg = to_bytes(std::string_view("the archive record"));
+  const auto c = pedersen_commit_bytes(msg, rng, open);
+  EXPECT_TRUE(pedersen_verify_bytes(c, msg, open.blind));
+  EXPECT_FALSE(pedersen_verify_bytes(
+      c, to_bytes(std::string_view("another record")), open.blind));
+}
+
+TEST(Pedersen, Homomorphism) {
+  const auto& curve = ec::Secp256k1::instance();
+  ChaChaRng rng(12);
+  const U256 v1 = curve.random_scalar(rng), v2 = curve.random_scalar(rng);
+  const U256 r1 = curve.random_scalar(rng), r2 = curve.random_scalar(rng);
+  const auto c1 = pedersen_commit(v1, r1);
+  const auto c2 = pedersen_commit(v2, r2);
+  const auto sum = pedersen_add(c1, c2);
+  EXPECT_TRUE(pedersen_verify(
+      sum, {curve.fn().add(v1, v2), curve.fn().add(r1, r2)}));
+}
+
+TEST(Pedersen, HidingCommitmentsLookUnrelated) {
+  // Same value, different blinds -> different commitments (the hiding
+  // property's observable footprint).
+  ChaChaRng rng(13);
+  PedersenOpening o1, o2;
+  const auto c1 = pedersen_commit(U256(7), rng, o1);
+  const auto c2 = pedersen_commit(U256(7), rng, o2);
+  EXPECT_FALSE(c1 == c2);
+}
+
+TEST(Pedersen, EncodingRoundTrip) {
+  ChaChaRng rng(14);
+  PedersenOpening open;
+  const auto c = pedersen_commit(U256(42), rng, open);
+  EXPECT_TRUE(PedersenCommitment::decode(c.encode()) == c);
+}
+
+// --------------------------------------------------------------- Schnorr
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  ChaChaRng rng(15);
+  const auto kp = schnorr_keygen(rng);
+  const Bytes msg = to_bytes(std::string_view("timestamp me"));
+  const auto sig = schnorr_sign(kp, msg);
+  EXPECT_TRUE(schnorr_verify(kp.public_key, msg, sig));
+}
+
+TEST(Schnorr, RejectsTamperedMessageAndSignature) {
+  ChaChaRng rng(16);
+  const auto kp = schnorr_keygen(rng);
+  const Bytes msg = to_bytes(std::string_view("original"));
+  auto sig = schnorr_sign(kp, msg);
+  EXPECT_FALSE(schnorr_verify(kp.public_key,
+                              to_bytes(std::string_view("forged")), sig));
+  sig.bytes[40] ^= 1;
+  EXPECT_FALSE(schnorr_verify(kp.public_key, msg, sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  ChaChaRng rng(17);
+  const auto kp1 = schnorr_keygen(rng);
+  const auto kp2 = schnorr_keygen(rng);
+  const Bytes msg = to_bytes(std::string_view("msg"));
+  EXPECT_FALSE(schnorr_verify(kp2.public_key, msg, schnorr_sign(kp1, msg)));
+}
+
+TEST(Schnorr, DeterministicSignatures) {
+  ChaChaRng rng(18);
+  const auto kp = schnorr_keygen(rng);
+  const Bytes msg = to_bytes(std::string_view("same message"));
+  EXPECT_EQ(schnorr_sign(kp, msg).bytes, schnorr_sign(kp, msg).bytes);
+}
+
+TEST(Schnorr, MalformedSignatureRejectedGracefully) {
+  ChaChaRng rng(19);
+  const auto kp = schnorr_keygen(rng);
+  SchnorrSignature sig;
+  sig.bytes = Bytes(65, 0xab);  // not even a valid point
+  EXPECT_FALSE(schnorr_verify(kp.public_key, Bytes{1}, sig));
+  sig.bytes = Bytes(10, 0);  // wrong length
+  EXPECT_FALSE(schnorr_verify(kp.public_key, Bytes{1}, sig));
+}
+
+}  // namespace
+}  // namespace aegis

@@ -1,0 +1,245 @@
+// Cross-module end-to-end property sweeps: every policy crossed with
+// awkward object sizes, long operation sequences (refresh + rewrap +
+// repair + redistribute interleaved), catalog portability for every
+// policy, and channel-kind matrices. These are the "does the whole
+// machine stay consistent under realistic use" checks that unit tests
+// per module cannot see.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "archive/archive.h"
+#include "crypto/chacha20.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+std::vector<ArchivalPolicy> all_policies() {
+  return {ArchivalPolicy::FigReplication(), ArchivalPolicy::FigErasure(),
+          ArchivalPolicy::FigEncryption(),  ArchivalPolicy::FigEntropic(),
+          ArchivalPolicy::FigShamir(),      ArchivalPolicy::FigPacked(),
+          ArchivalPolicy::FigLrss(),        ArchivalPolicy::ArchiveSafeLT(),
+          ArchivalPolicy::AontRs(),         ArchivalPolicy::HasDpss(),
+          ArchivalPolicy::Lincos(),         ArchivalPolicy::VsrArchive()};
+}
+
+std::string policy_label(const ArchivalPolicy& p) {
+  std::string n = p.name;
+  for (char& c : n)
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  return n;
+}
+
+// ------------------------------------------------- size x policy matrix
+
+class SizeMatrix
+    : public ::testing::TestWithParam<std::tuple<ArchivalPolicy, std::size_t>> {
+};
+
+TEST_P(SizeMatrix, PutGetAcrossAwkwardSizes) {
+  const auto& [policy, size] = GetParam();
+  Cluster cluster(12, policy.channel, size + 1);
+  SchemeRegistry reg;
+  ChaChaRng rng(size + 1);
+  SimRng sim(size + 7);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, policy, reg, tsa, rng);
+
+  const Bytes data = sim.bytes(size);
+  archive.put("obj", data);
+  EXPECT_EQ(archive.get("obj"), data);
+  const VerifyReport r = archive.verify("obj");
+  EXPECT_TRUE(r.ok()) << "size=" << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SizeMatrix,
+    ::testing::Combine(::testing::ValuesIn(all_policies()),
+                       // 0, 1, sub-block, block boundaries, odd, big
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{15}, std::size_t{16},
+                                         std::size_t{4097},
+                                         std::size_t{65536})),
+    [](const auto& info) {
+      return policy_label(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "B";
+    });
+
+// ---------------------------------------------------- operation sequences
+
+TEST(E2e, LongMixedOperationSequenceStaysConsistent) {
+  ArchivalPolicy p = ArchivalPolicy::VsrArchive();
+  Cluster cluster(12, p.channel, 42);
+  SchemeRegistry reg;
+  ChaChaRng rng(42);
+  SimRng sim(42);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, p, reg, tsa, rng);
+
+  std::map<ObjectId, Bytes> truth;
+  for (int i = 0; i < 6; ++i) {
+    const ObjectId id = "seq-" + std::to_string(i);
+    truth[id] = sim.bytes(200 + 37 * i);
+    archive.put(id, truth[id]);
+  }
+
+  for (int step = 0; step < 30; ++step) {
+    switch (sim.uniform(6)) {
+      case 0:
+        archive.refresh();
+        break;
+      case 1: {  // bit rot + scrub
+        const NodeId victim = static_cast<NodeId>(sim.uniform(12));
+        auto blobs = cluster.node(victim).all_blobs();
+        if (!blobs.empty()) {
+          StoredBlob bad = *blobs[sim.uniform(blobs.size())];
+          if (!bad.data.empty()) {
+            bad.data[sim.uniform(bad.data.size())] ^= 1;
+            cluster.node(victim).put(bad);
+          }
+        }
+        archive.scrub();
+        break;
+      }
+      case 2: {  // transient node outage during reads
+        const NodeId down = static_cast<NodeId>(sim.uniform(5));
+        cluster.fail_node(down);
+        for (const auto& [id, data] : truth)
+          EXPECT_EQ(archive.get(id), data);
+        cluster.restore_node(down);
+        break;
+      }
+      case 3:
+        archive.redistribute_nodes(3, 5 + sim.uniform(5));
+        break;
+      case 4:
+        archive.renew_timestamps();
+        break;
+      case 5:
+        cluster.advance_epoch();
+        break;
+    }
+    // Invariant: everything reads back exactly, every step.
+    for (const auto& [id, data] : truth)
+      ASSERT_EQ(archive.get(id), data) << "step " << step;
+  }
+}
+
+TEST(E2e, CascadeLifecycle) {
+  // Put -> rewrap x2 -> reencrypt -> repair -> catalog round trip.
+  ArchivalPolicy p = ArchivalPolicy::ArchiveSafeLT();
+  Cluster cluster(12, p.channel, 5);
+  SchemeRegistry reg;
+  ChaChaRng rng(5);
+  SimRng sim(5);
+  TimestampAuthority tsa(rng);
+
+  const Bytes data = sim.bytes(3000);
+  Bytes catalog;
+  {
+    Archive archive(cluster, p, reg, tsa, rng);
+    archive.put("doc", data);
+    archive.rewrap(SchemeId::kAes128Ctr);
+    archive.rewrap(SchemeId::kChaCha20);
+    EXPECT_EQ(archive.manifest("doc").current_ciphers().size(), 5u);
+    archive.reencrypt({SchemeId::kSpeck128Ctr});
+    EXPECT_EQ(archive.get("doc"), data);
+
+    cluster.node(3).erase("doc", 3);
+    EXPECT_EQ(archive.repair("doc"), 1u);
+    catalog = archive.export_catalog();
+  }
+
+  Archive restored(cluster, p, reg, tsa, rng);
+  restored.import_catalog(catalog);
+  EXPECT_EQ(restored.get("doc"), data);
+  EXPECT_TRUE(restored.verify("doc").ok());
+}
+
+// -------------------------------------------------- catalog for all kinds
+
+class CatalogMatrix : public ::testing::TestWithParam<ArchivalPolicy> {};
+
+TEST_P(CatalogMatrix, ExportImportEveryPolicy) {
+  const ArchivalPolicy p = GetParam();
+  Cluster cluster(12, p.channel, 9);
+  SchemeRegistry reg;
+  ChaChaRng rng(9);
+  SimRng sim(9);
+  TimestampAuthority tsa(rng);
+
+  const Bytes data = sim.bytes(1234);
+  Bytes catalog;
+  {
+    Archive archive(cluster, p, reg, tsa, rng);
+    archive.put("doc", data);
+    if (p.proactive_refresh) archive.refresh();
+    catalog = archive.export_catalog();
+  }
+  Archive restored(cluster, p, reg, tsa, rng);
+  restored.import_catalog(catalog);
+  EXPECT_EQ(restored.get("doc"), data) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CatalogMatrix,
+                         ::testing::ValuesIn(all_policies()),
+                         [](const auto& info) {
+                           return policy_label(info.param);
+                         });
+
+// ------------------------------------------------- channels x encodings
+
+class ChannelMatrix
+    : public ::testing::TestWithParam<std::tuple<EncodingKind, ChannelKind>> {
+};
+
+TEST_P(ChannelMatrix, EveryEncodingOverEveryChannel) {
+  const auto& [encoding, channel] = GetParam();
+  ArchivalPolicy p;
+  p.name = "matrix";
+  p.encoding = encoding;
+  p.n = 9;
+  p.k = 6;
+  p.t = 3;
+  p.channel = channel;
+  if (encoding == EncodingKind::kPacked) {
+    p.k = 4;
+    p.n = 10;
+  }
+  if (encoding == EncodingKind::kEntropicErasure)
+    p.ciphers = {SchemeId::kEntropicXor};
+
+  Cluster cluster(12, channel, 77);
+  SchemeRegistry reg;
+  ChaChaRng rng(77);
+  SimRng sim(77);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, p, reg, tsa, rng);
+
+  const Bytes data = sim.bytes(900);
+  archive.put("obj", data);
+  EXPECT_EQ(archive.get("obj"), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ChannelMatrix,
+    ::testing::Combine(
+        ::testing::Values(EncodingKind::kReplication, EncodingKind::kErasure,
+                          EncodingKind::kEncryptErasure,
+                          EncodingKind::kEntropicErasure,
+                          EncodingKind::kAontRs, EncodingKind::kShamir,
+                          EncodingKind::kPacked, EncodingKind::kLrss),
+        ::testing::Values(ChannelKind::kPlain, ChannelKind::kTls,
+                          ChannelKind::kQkd, ChannelKind::kBsm)),
+    [](const auto& info) {
+      std::string n = std::string(to_string(std::get<0>(info.param))) + "_" +
+                      to_string(std::get<1>(info.param));
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace aegis

@@ -1,0 +1,203 @@
+// Tests for systematic Reed-Solomon coding, including property sweeps
+// over (k, n) geometries and erasure patterns.
+#include <gtest/gtest.h>
+
+#include "erasure/reed_solomon.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+std::vector<std::optional<Bytes>> as_optionals(const std::vector<Bytes>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(ReedSolomon, RoundTripNoLoss) {
+  SimRng rng(1);
+  const ReedSolomon rs(4, 7);
+  const Bytes data = rng.bytes(1000);
+  const auto shards = rs.encode(data);
+  ASSERT_EQ(shards.size(), 7u);
+  EXPECT_EQ(rs.decode(as_optionals(shards), data.size()), data);
+}
+
+TEST(ReedSolomon, SystematicPrefix) {
+  // First k shards concatenated == data (plus padding).
+  SimRng rng(2);
+  const ReedSolomon rs(3, 5);
+  const Bytes data = rng.bytes(299);  // not a multiple of k
+  const auto shards = rs.encode(data);
+  Bytes joined;
+  for (unsigned i = 0; i < 3; ++i)
+    joined.insert(joined.end(), shards[i].begin(), shards[i].end());
+  EXPECT_EQ(Bytes(joined.begin(), joined.begin() + 299), data);
+}
+
+TEST(ReedSolomon, RecoversFromAnyKSubset) {
+  SimRng rng(3);
+  const ReedSolomon rs(3, 6);
+  const Bytes data = rng.bytes(500);
+  const auto shards = rs.encode(data);
+
+  // Exhaustively drop every possible set of 3 shards (C(6,3) = 20).
+  for (unsigned a = 0; a < 6; ++a) {
+    for (unsigned b = a + 1; b < 6; ++b) {
+      for (unsigned c = b + 1; c < 6; ++c) {
+        auto partial = as_optionals(shards);
+        partial[a].reset();
+        partial[b].reset();
+        partial[c].reset();
+        EXPECT_EQ(rs.decode(partial, data.size()), data)
+            << "dropped " << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(ReedSolomon, FailsBelowThreshold) {
+  SimRng rng(4);
+  const ReedSolomon rs(4, 6);
+  const auto shards = rs.encode(rng.bytes(100));
+  auto partial = as_optionals(shards);
+  partial[0].reset();
+  partial[2].reset();
+  partial[4].reset();  // only 3 < k=4 left
+  EXPECT_THROW(rs.decode(partial, 100), UnrecoverableError);
+}
+
+TEST(ReedSolomon, ReconstructShardsRepairsAll) {
+  SimRng rng(5);
+  const ReedSolomon rs(3, 6);
+  const Bytes data = rng.bytes(333);
+  const auto shards = rs.encode(data);
+  auto partial = as_optionals(shards);
+  partial[1].reset();
+  partial[5].reset();
+  const auto repaired = rs.reconstruct_shards(partial);
+  ASSERT_EQ(repaired.size(), 6u);
+  for (unsigned i = 0; i < 6; ++i) EXPECT_EQ(repaired[i], shards[i]) << i;
+}
+
+TEST(ReedSolomon, EmptyInput) {
+  const ReedSolomon rs(2, 4);
+  const auto shards = rs.encode(Bytes{});
+  ASSERT_EQ(shards.size(), 4u);
+  for (const auto& s : shards) EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(rs.decode(as_optionals(shards), 0).empty());
+}
+
+TEST(ReedSolomon, SingleByteAndTinyInputs) {
+  SimRng rng(6);
+  const ReedSolomon rs(3, 5);
+  for (std::size_t len : {1ul, 2ul, 3ul, 4ul}) {
+    const Bytes data = rng.bytes(len);
+    auto partial = as_optionals(rs.encode(data));
+    partial[0].reset();
+    partial[1].reset();
+    EXPECT_EQ(rs.decode(partial, len), data) << "len=" << len;
+  }
+}
+
+TEST(ReedSolomon, ParamValidation) {
+  EXPECT_THROW(ReedSolomon(0, 5), InvalidArgument);
+  EXPECT_THROW(ReedSolomon(6, 5), InvalidArgument);
+  EXPECT_THROW(ReedSolomon(2, 256), InvalidArgument);
+  EXPECT_NO_THROW(ReedSolomon(1, 1));
+  EXPECT_NO_THROW(ReedSolomon(255, 255));
+}
+
+TEST(ReedSolomon, K1IsReplication) {
+  const ReedSolomon rs(1, 3);
+  const Bytes data = {1, 2, 3, 4};
+  const auto shards = rs.encode(data);
+  for (const auto& s : shards) EXPECT_EQ(s, data);
+}
+
+TEST(ReedSolomon, StorageOverhead) {
+  EXPECT_DOUBLE_EQ(ReedSolomon(4, 6).storage_overhead(), 1.5);
+  EXPECT_DOUBLE_EQ(ReedSolomon(1, 3).storage_overhead(), 3.0);
+}
+
+TEST(ReedSolomon, EncodeShardsValidatesInput) {
+  const ReedSolomon rs(2, 4);
+  EXPECT_THROW(rs.encode_shards({Bytes{1}}), InvalidArgument);  // != k
+  EXPECT_THROW(rs.encode_shards({Bytes{1}, Bytes{1, 2}}), InvalidArgument);
+}
+
+TEST(ReedSolomon, CauchyRoundTripAndExhaustiveErasures) {
+  SimRng rng(7);
+  const ReedSolomon rs(3, 6, RsMatrix::kCauchy);
+  const Bytes data = rng.bytes(500);
+  const auto shards = rs.encode(data);
+
+  // Systematic property holds for Cauchy too.
+  Bytes joined;
+  for (unsigned i = 0; i < 3; ++i)
+    joined.insert(joined.end(), shards[i].begin(), shards[i].end());
+  EXPECT_EQ(Bytes(joined.begin(), joined.begin() + 500), data);
+
+  // All C(6,3) erasure patterns decode.
+  for (unsigned a = 0; a < 6; ++a)
+    for (unsigned b = a + 1; b < 6; ++b)
+      for (unsigned c = b + 1; c < 6; ++c) {
+        auto partial = as_optionals(shards);
+        partial[a].reset();
+        partial[b].reset();
+        partial[c].reset();
+        EXPECT_EQ(rs.decode(partial, data.size()), data);
+      }
+}
+
+TEST(ReedSolomon, CauchyAndVandermondeAgreeOnData) {
+  // Different parity, same recovered data from any k shards.
+  SimRng rng(8);
+  const Bytes data = rng.bytes(301);
+  const ReedSolomon vand(4, 8, RsMatrix::kVandermonde);
+  const ReedSolomon cauchy(4, 8, RsMatrix::kCauchy);
+  auto sv = as_optionals(vand.encode(data));
+  auto sc = as_optionals(cauchy.encode(data));
+  for (int i : {0, 2, 5, 7}) {
+    sv[i].reset();
+    sc[i].reset();
+  }
+  EXPECT_EQ(vand.decode(sv, data.size()), data);
+  EXPECT_EQ(cauchy.decode(sc, data.size()), data);
+}
+
+TEST(ReedSolomon, CauchyGeometryLimit) {
+  EXPECT_THROW(ReedSolomon(128, 200, RsMatrix::kCauchy), InvalidArgument);
+  EXPECT_NO_THROW(ReedSolomon(100, 156, RsMatrix::kCauchy));
+}
+
+// Property sweep: round-trip across geometries with random erasures.
+class RsGeometry : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(RsGeometry, RoundTripWithMaxErasures) {
+  const auto [k, n] = GetParam();
+  SimRng rng(k * 1000 + n);
+  const ReedSolomon rs(k, n);
+  const Bytes data = rng.bytes(257);
+  auto partial = as_optionals(rs.encode(data));
+  // Erase exactly n-k random distinct shards.
+  unsigned erased = 0;
+  while (erased < n - k) {
+    const auto idx = static_cast<std::size_t>(rng.uniform(n));
+    if (partial[idx]) {
+      partial[idx].reset();
+      ++erased;
+    }
+  }
+  EXPECT_EQ(rs.decode(partial, data.size()), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RsGeometry,
+    ::testing::Values(std::pair{1u, 2u}, std::pair{2u, 3u}, std::pair{3u, 5u},
+                      std::pair{4u, 10u}, std::pair{8u, 12u},
+                      std::pair{10u, 14u}, std::pair{16u, 20u},
+                      std::pair{32u, 40u}, std::pair{100u, 120u},
+                      std::pair{200u, 255u}));
+
+}  // namespace
+}  // namespace aegis

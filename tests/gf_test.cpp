@@ -1,0 +1,286 @@
+// Unit + property tests for the finite-field substrate: GF(2^8),
+// GF(2^16), U256 and Montgomery arithmetic.
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+#include "gf/gf65536.h"
+#include "gf/mont.h"
+#include "gf/u256.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+// ---------------------------------------------------------------- GF(2^8)
+
+TEST(Gf256, FieldAxiomsExhaustiveInverse) {
+  // Every nonzero element has a multiplicative inverse.
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto inv = gf256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, MulCommutativeAssociativeSampled) {
+  SimRng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+    EXPECT_EQ(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+    // Distributivity over XOR-addition.
+    EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+              gf256::add(gf256::mul(a, b), gf256::mul(a, c)));
+  }
+}
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(x, 1), x);
+    EXPECT_EQ(gf256::mul(x, 0), 0);
+  }
+}
+
+TEST(Gf256, DivInvertsMul) {
+  SimRng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    EXPECT_EQ(gf256::div(gf256::mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a = 1; a < 256; a += 7) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(gf256::pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = gf256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // g=2 generates the multiplicative group: 2^255 == 1, 2^k != 1 for k<255.
+  std::uint8_t acc = 1;
+  for (int i = 0; i < 255; ++i) {
+    acc = gf256::mul(acc, 2);
+    if (i < 254) EXPECT_NE(acc, 1) << "order divides " << i + 1;
+  }
+  EXPECT_EQ(acc, 1);
+}
+
+TEST(Gf256, PolyEvalHorner) {
+  // p(x) = 3 + 5x + 7x^2 at x=2 computed manually.
+  const Bytes coeffs = {3, 5, 7};
+  const auto expect = gf256::add(
+      3, gf256::add(gf256::mul(5, 2), gf256::mul(7, gf256::mul(2, 2))));
+  EXPECT_EQ(gf256::poly_eval(coeffs, 2), expect);
+}
+
+TEST(Gf256, MulAddRowMatchesScalarLoop) {
+  SimRng rng(3);
+  Bytes dst = rng.bytes(257), src = rng.bytes(257);
+  Bytes expect = dst;
+  const std::uint8_t c = 0x53;
+  for (std::size_t i = 0; i < src.size(); ++i)
+    expect[i] = gf256::add(expect[i], gf256::mul(c, src[i]));
+  gf256::mul_add_row(MutByteView(dst.data(), dst.size()), src, c);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(Gf256, MulRowSpecialCases) {
+  Bytes src = {1, 2, 3};
+  Bytes dst(3);
+  gf256::mul_row(MutByteView(dst.data(), 3), src, 0);
+  EXPECT_EQ(dst, Bytes({0, 0, 0}));
+  gf256::mul_row(MutByteView(dst.data(), 3), src, 1);
+  EXPECT_EQ(dst, src);
+}
+
+// --------------------------------------------------------------- GF(2^16)
+
+TEST(Gf65536, InverseSampled) {
+  SimRng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint16_t>(1 + rng.uniform(65535));
+    EXPECT_EQ(gf65536::mul(a, gf65536::inv(a)), 1);
+  }
+}
+
+TEST(Gf65536, FieldAxiomsSampled) {
+  SimRng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng.uniform(65536));
+    const auto b = static_cast<std::uint16_t>(rng.uniform(65536));
+    const auto c = static_cast<std::uint16_t>(rng.uniform(65536));
+    EXPECT_EQ(gf65536::mul(a, b), gf65536::mul(b, a));
+    EXPECT_EQ(gf65536::mul(gf65536::mul(a, b), c),
+              gf65536::mul(a, gf65536::mul(b, c)));
+    EXPECT_EQ(gf65536::mul(a, gf65536::add(b, c)),
+              gf65536::add(gf65536::mul(a, b), gf65536::mul(a, c)));
+  }
+}
+
+TEST(Gf65536, InvZeroThrows) {
+  EXPECT_THROW(gf65536::inv(0), InvalidArgument);
+  EXPECT_THROW(gf65536::div(1, 0), InvalidArgument);
+}
+
+TEST(Gf65536, InterpolationRecoversPolynomial) {
+  // Fix a degree-4 polynomial, evaluate at 6 points, interpolate back.
+  const std::vector<gf65536::Elem> coeffs = {1000, 2000, 3000, 4000, 5000};
+  std::vector<gf65536::Elem> xs, ys;
+  for (gf65536::Elem x = 1; x <= 5; ++x) {
+    xs.push_back(x);
+    ys.push_back(gf65536::poly_eval(coeffs, x));
+  }
+  // P(0) must equal the constant coefficient.
+  EXPECT_EQ(gf65536::interpolate_at(xs, ys, 0), coeffs[0]);
+  // And an out-of-sample evaluation must match.
+  EXPECT_EQ(gf65536::interpolate_at(xs, ys, 77),
+            gf65536::poly_eval(coeffs, 77));
+}
+
+TEST(Gf65536, InterpolationDuplicateXThrows) {
+  std::vector<gf65536::Elem> xs = {1, 1}, ys = {2, 3};
+  EXPECT_THROW(gf65536::interpolate_at(xs, ys, 0), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ U256
+
+TEST(U256, HexRoundTrip) {
+  const U256 v = U256::from_hex(
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(v.to_hex(),
+            "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(U256(0x1234).to_hex(),
+            "0000000000000000000000000000000000000000000000000000000000001234");
+}
+
+TEST(U256, BytesRoundTrip) {
+  SimRng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    Bytes b = rng.bytes(32);
+    EXPECT_EQ(U256::from_bytes_be(b).to_bytes_be(), b);
+  }
+}
+
+TEST(U256, Comparisons) {
+  EXPECT_LT(U256(1), U256(2));
+  EXPECT_GT(U256(0, 0, 0, 1), U256(0xffffffffffffffffULL, 0, 0, 0));
+  EXPECT_EQ(U256(5), U256(5));
+}
+
+TEST(U256, AddSubInverse) {
+  SimRng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = U256::from_bytes_be(rng.bytes(32));
+    const U256 b = U256::from_bytes_be(rng.bytes(32));
+    U256 s, d;
+    const auto carry = add_carry(a, b, s);
+    const auto borrow = sub_borrow(s, b, d);
+    // (a + b) - b == a modulo 2^256, and carry==borrow.
+    EXPECT_EQ(d, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(U256().bit_length(), 0u);
+  EXPECT_EQ(U256(1).bit_length(), 1u);
+  EXPECT_EQ(U256(0xff).bit_length(), 8u);
+  EXPECT_EQ(U256(0, 1, 0, 0).bit_length(), 65u);
+}
+
+TEST(U256, ShiftRoundTrip) {
+  U256 v(0x8000000000000001ULL, 0, 0, 0);
+  U256 copy = v;
+  const auto out = shl1(copy);
+  EXPECT_EQ(out, 0u);
+  shr1(copy);
+  EXPECT_EQ(copy, v);
+}
+
+TEST(U256, MulWideSmall) {
+  const U512 p = mul_wide(U256(0xffffffffffffffffULL), U256(2));
+  EXPECT_EQ(p.w[0], 0xfffffffffffffffeULL);
+  EXPECT_EQ(p.w[1], 1ULL);
+}
+
+TEST(U256, ModGenericAgainstKnown) {
+  // 10^2 mod 7 == 2
+  const U512 x = mul_wide(U256(10), U256(10));
+  EXPECT_EQ(mod_generic(x, U256(7)), U256(2));
+}
+
+// ------------------------------------------------------------ Montgomery
+
+TEST(Montgomery, MatchesGenericReduction) {
+  const U256 p = U256::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  const MontgomeryCtx ctx(p);
+  SimRng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    U256 a = U256::from_bytes_be(rng.bytes(32));
+    U256 b = U256::from_bytes_be(rng.bytes(32));
+    if (a >= p) { U256 t; sub_borrow(a, p, t); a = t; }
+    if (b >= p) { U256 t; sub_borrow(b, p, t); b = t; }
+    const U256 expect = mod_generic(mul_wide(a, b), p);
+    const U256 got =
+        ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(Montgomery, ToFromMontIdentity) {
+  const U256 m = U256::from_hex(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  const MontgomeryCtx ctx(m);
+  SimRng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = U256::from_bytes_be(rng.bytes(32));
+    if (a >= m) { U256 t; sub_borrow(a, m, t); a = t; }
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery, PowSmallCases) {
+  const MontgomeryCtx ctx(U256(101));  // prime
+  const U256 three_m = ctx.to_mont(U256(3));
+  // 3^5 = 243 = 41 mod 101
+  EXPECT_EQ(ctx.from_mont(ctx.pow(three_m, U256(5))), U256(41));
+  // Fermat: a^(p-1) == 1
+  EXPECT_EQ(ctx.from_mont(ctx.pow(three_m, U256(100))), U256(1));
+}
+
+TEST(Montgomery, InverseFermat) {
+  const U256 p = U256::from_hex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  const MontgomeryCtx ctx(p);
+  SimRng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = U256::from_bytes_be(rng.bytes(32));
+    if (a >= p) { U256 t; sub_borrow(a, p, t); a = t; }
+    if (a.is_zero()) continue;
+    const U256 am = ctx.to_mont(a);
+    EXPECT_EQ(ctx.from_mont(ctx.mul(am, ctx.inv(am))), U256(1));
+  }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(MontgomeryCtx(U256(100)), InvalidArgument);
+  EXPECT_THROW(MontgomeryCtx(U256(0)), InvalidArgument);
+}
+
+TEST(Montgomery, AddSubModular) {
+  const MontgomeryCtx ctx(U256(13));
+  EXPECT_EQ(ctx.add(U256(9), U256(9)), U256(5));
+  EXPECT_EQ(ctx.sub(U256(3), U256(9)), U256(7));
+}
+
+}  // namespace
+}  // namespace aegis

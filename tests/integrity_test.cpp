@@ -1,0 +1,328 @@
+// Tests for Merkle trees and timestamp chains, including the temporal
+// verification rules under simulated scheme breaks.
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+#include "integrity/merkle.h"
+#include "integrity/notary.h"
+#include "integrity/timestamp.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+// ---------------------------------------------------------------- Merkle
+
+std::vector<Bytes> make_leaves(std::size_t n, std::uint64_t seed = 7) {
+  SimRng rng(seed);
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(rng.bytes(50 + i));
+  return leaves;
+}
+
+TEST(Merkle, SingleLeaf) {
+  const auto leaves = make_leaves(1);
+  const MerkleTree tree(leaves);
+  const auto proof = tree.prove(0);
+  EXPECT_TRUE(proof.steps.empty());
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+TEST(Merkle, AllProofsVerifyAcrossSizes) {
+  for (std::size_t n : {2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 9ul, 33ul}) {
+    const auto leaves = make_leaves(n, n);
+    const MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], tree.prove(i)))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Merkle, WrongLeafFails) {
+  const auto leaves = make_leaves(5);
+  const MerkleTree tree(leaves);
+  const auto proof = tree.prove(2);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[3], proof));
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), to_bytes(std::string_view("x")), proof));
+}
+
+TEST(Merkle, TamperedProofFails) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  auto proof = tree.prove(3);
+  proof.steps[1].hash[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[3], proof));
+  // Tampered direction bit also fails.
+  auto proof2 = tree.prove(3);
+  proof2.steps[0].sibling_on_left = !proof2.steps[0].sibling_on_left;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[3], proof2));
+}
+
+TEST(Merkle, DifferentLeavesDifferentRoots) {
+  auto leaves = make_leaves(4);
+  const Bytes root1 = MerkleTree(leaves).root();
+  leaves[2][0] ^= 1;
+  EXPECT_NE(MerkleTree(leaves).root(), root1);
+}
+
+TEST(Merkle, EmptyRejected) {
+  EXPECT_THROW(MerkleTree({}), InvalidArgument);
+}
+
+TEST(Merkle, ProofIndexOutOfRange) {
+  const MerkleTree tree(make_leaves(3));
+  EXPECT_THROW(tree.prove(3), InvalidArgument);
+}
+
+// ------------------------------------------------------------ Timestamps
+
+TEST(Timestamp, SingleLinkVerifies) {
+  ChaChaRng rng(1);
+  TimestampAuthority tsa(rng);
+  SchemeRegistry reg;
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  const auto chain =
+      TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+  EXPECT_EQ(chain.verify(digest, reg, 5), ChainStatus::kValid);
+}
+
+TEST(Timestamp, WrongPayloadRejected) {
+  ChaChaRng rng(2);
+  TimestampAuthority tsa(rng);
+  SchemeRegistry reg;
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  const auto chain =
+      TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+  const Bytes other = Sha256::hash(to_bytes(std::string_view("forged")));
+  EXPECT_EQ(chain.verify(other, reg, 5), ChainStatus::kBrokenChainLink);
+}
+
+TEST(Timestamp, UnrenewedChainExpiresAtBreak) {
+  // Signature generation A breaks at epoch 10; an un-renewed chain is
+  // worthless from then on — the §3.3 failure mode.
+  ChaChaRng rng(3);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSigGenA, 10);
+
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  const auto chain =
+      TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+  EXPECT_EQ(chain.verify(digest, reg, 9), ChainStatus::kValid);
+  EXPECT_EQ(chain.verify(digest, reg, 10), ChainStatus::kExpiredGuarantee);
+  EXPECT_EQ(chain.verify(digest, reg, 100), ChainStatus::kExpiredGuarantee);
+}
+
+TEST(Timestamp, RenewalBeforeBreakPreservesValidity) {
+  // Renewing with generation B before A breaks keeps the chain valid
+  // forever after A's break — the Haber–Stornetta argument.
+  ChaChaRng rng(4);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSigGenA, 10);
+
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  auto chain = TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+
+  tsa.rotate(SchemeId::kSigGenB, rng);
+  chain.renew(tsa, 8);  // before A breaks at 10
+
+  EXPECT_EQ(chain.length(), 2u);
+  EXPECT_EQ(chain.verify(digest, reg, 50), ChainStatus::kValid);
+}
+
+TEST(Timestamp, RenewalAfterBreakIsTooLate) {
+  // If A already broke when the renewal happened, the old guarantee had
+  // lapsed — an attacker could have forged history in the gap.
+  ChaChaRng rng(5);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSigGenA, 10);
+
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  auto chain = TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+
+  tsa.rotate(SchemeId::kSigGenB, rng);
+  chain.renew(tsa, 12);  // A broke at 10: gap!
+
+  EXPECT_EQ(chain.verify(digest, reg, 50), ChainStatus::kExpiredGuarantee);
+}
+
+TEST(Timestamp, ThreeGenerationChain) {
+  ChaChaRng rng(6);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSigGenA, 10);
+  reg.set_break_epoch(SchemeId::kSigGenB, 20);
+
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  auto chain = TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+  tsa.rotate(SchemeId::kSigGenB, rng);
+  chain.renew(tsa, 9);
+  tsa.rotate(SchemeId::kSigGenC, rng);
+  chain.renew(tsa, 19);
+
+  EXPECT_EQ(chain.length(), 3u);
+  EXPECT_EQ(chain.verify(digest, reg, 1000), ChainStatus::kValid);
+}
+
+TEST(Timestamp, TamperedLinkDetected) {
+  ChaChaRng rng(7);
+  TimestampAuthority tsa(rng);
+  SchemeRegistry reg;
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  auto chain = TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+  chain.renew(tsa, 1);
+
+  // Mutate the first link after the fact: the second link's prev_hash
+  // no longer matches.
+  auto links = chain.links();
+  // (links() is a copy accessor; rebuild a chain through serialization
+  // to tamper — simpler: verify that deserialized+reserialized links
+  // round-trip, and that a bitflip breaks the signature.)
+  TimestampLink l = TimestampLink::deserialize(links[0].serialize());
+  EXPECT_EQ(l.serialize(), links[0].serialize());
+  l.epoch ^= 1;
+  SchnorrSignature sig;
+  sig.bytes = l.signature;
+  EXPECT_FALSE(schnorr_verify(l.signer_pub, l.serialize_unsigned(), sig));
+}
+
+TEST(Timestamp, HashChainLeaksCommitChainHides) {
+  ChaChaRng rng(8);
+  TimestampAuthority tsa(rng);
+  const Bytes digest = Sha256::hash(to_bytes(std::string_view("doc")));
+  const auto hash_chain =
+      TimestampChain::begin(tsa, digest, SchemeId::kSha256, 0);
+  EXPECT_TRUE(hash_chain.leaks_content_on_digest_break());
+
+  const auto stamp =
+      commit_and_stamp(tsa, to_bytes(std::string_view("doc")), 0, rng);
+  EXPECT_FALSE(stamp.chain.leaks_content_on_digest_break());
+}
+
+TEST(Timestamp, CommittedStampRoundTrip) {
+  ChaChaRng rng(9);
+  TimestampAuthority tsa(rng);
+  SchemeRegistry reg;
+  const Bytes doc = to_bytes(std::string_view("the medical record"));
+  const auto stamp = commit_and_stamp(tsa, doc, 0, rng);
+  EXPECT_TRUE(verify_committed_stamp(stamp, doc, reg, 5));
+  EXPECT_FALSE(verify_committed_stamp(
+      stamp, to_bytes(std::string_view("another record")), reg, 5));
+}
+
+TEST(Timestamp, LinkSerializationRoundTrip) {
+  ChaChaRng rng(10);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenB);
+  const auto link =
+      tsa.stamp(Bytes{1, 2, 3}, SchemeId::kSha256, Bytes{9, 9}, 42);
+  const auto back = TimestampLink::deserialize(link.serialize());
+  EXPECT_EQ(back.epoch, 42u);
+  EXPECT_EQ(back.payload, (Bytes{1, 2, 3}));
+  EXPECT_EQ(back.prev_hash, (Bytes{9, 9}));
+  EXPECT_EQ(back.sig_scheme, SchemeId::kSigGenB);
+  EXPECT_EQ(back.signature, link.signature);
+}
+
+// ---------------------------------------------------------------- Notary
+
+TEST(Notary, KeepsChainsAliveAcrossACenturyOfBreaks) {
+  ChaChaRng rng(20);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSigGenA, 30);
+  reg.set_break_epoch(SchemeId::kSigGenB, 60);
+  // GenC survives the horizon.
+
+  NotaryService notary(tsa, reg, rng);
+
+  const Bytes d1 = Sha256::hash(to_bytes(std::string_view("doc-1")));
+  const Bytes d2 = Sha256::hash(to_bytes(std::string_view("doc-2")));
+  auto c1 = TimestampChain::begin(tsa, d1, SchemeId::kSha256, 0);
+  auto c2 = TimestampChain::begin(tsa, d2, SchemeId::kSha256, 0);
+  notary.watch(&c1);
+  notary.watch(&c2);
+  EXPECT_EQ(notary.watched(), 2u);
+
+  unsigned total_renewals = 0;
+  for (Epoch e = 0; e < 100; ++e) total_renewals += notary.tick(e);
+
+  // Two breaks to outlive -> exactly two renewals per chain, not one
+  // per epoch: the notary renews only when needed.
+  EXPECT_EQ(total_renewals, 4u);
+  EXPECT_EQ(c1.length(), 3u);
+  EXPECT_EQ(c1.verify(d1, reg, 100), ChainStatus::kValid);
+  EXPECT_EQ(c2.verify(d2, reg, 100), ChainStatus::kValid);
+}
+
+TEST(Notary, UnwatchedChainDiesWatchedChainLives) {
+  ChaChaRng rng(21);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kSigGenA, 10);
+
+  NotaryService notary(tsa, reg, rng);
+  const Bytes d = Sha256::hash(to_bytes(std::string_view("doc")));
+  auto watched = TimestampChain::begin(tsa, d, SchemeId::kSha256, 0);
+  auto orphan = TimestampChain::begin(tsa, d, SchemeId::kSha256, 0);
+  notary.watch(&watched);
+
+  for (Epoch e = 0; e < 20; ++e) notary.tick(e);
+
+  EXPECT_EQ(watched.verify(d, reg, 20), ChainStatus::kValid);
+  EXPECT_EQ(orphan.verify(d, reg, 20), ChainStatus::kExpiredGuarantee);
+}
+
+TEST(Notary, ExhaustedLadderIsAHardError) {
+  ChaChaRng rng(22);
+  TimestampAuthority tsa(rng, SchemeId::kSigGenA);
+  SchemeRegistry reg;
+  // Everything breaks at 5: nowhere to rotate.
+  reg.set_break_epoch(SchemeId::kSigGenA, 5);
+  reg.set_break_epoch(SchemeId::kSigGenB, 5);
+  reg.set_break_epoch(SchemeId::kSigGenC, 5);
+
+  NotaryService notary(tsa, reg, rng);
+  const Bytes d = Sha256::hash(to_bytes(std::string_view("doc")));
+  auto chain = TimestampChain::begin(tsa, d, SchemeId::kSha256, 0);
+  notary.watch(&chain);
+  EXPECT_THROW(notary.tick(4), IntegrityError);
+}
+
+TEST(Notary, NoBreaksMeansNoChurn) {
+  ChaChaRng rng(23);
+  TimestampAuthority tsa(rng);
+  SchemeRegistry reg;
+  NotaryService notary(tsa, reg, rng);
+  const Bytes d = Sha256::hash(to_bytes(std::string_view("doc")));
+  auto chain = TimestampChain::begin(tsa, d, SchemeId::kSha256, 0);
+  notary.watch(&chain);
+  for (Epoch e = 0; e < 50; ++e) EXPECT_EQ(notary.tick(e), 0u);
+  EXPECT_EQ(chain.length(), 1u);
+}
+
+TEST(Notary, Validation) {
+  ChaChaRng rng(24);
+  TimestampAuthority tsa(rng);
+  SchemeRegistry reg;
+  EXPECT_THROW(NotaryService(tsa, reg, rng, {}), InvalidArgument);
+  EXPECT_THROW(NotaryService(tsa, reg, rng, {SchemeId::kSha256}),
+               InvalidArgument);
+  NotaryService notary(tsa, reg, rng);
+  EXPECT_THROW(notary.watch(nullptr), InvalidArgument);
+}
+
+TEST(Timestamp, NonSignatureSchemeRejected) {
+  ChaChaRng rng(11);
+  EXPECT_THROW(TimestampAuthority(rng, SchemeId::kSha256), InvalidArgument);
+  TimestampAuthority tsa(rng);
+  EXPECT_THROW(tsa.rotate(SchemeId::kAes128Ctr, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aegis

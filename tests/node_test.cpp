@@ -1,0 +1,210 @@
+// Tests for the node substrate: storage nodes, cluster transport with
+// wiretapping, and the mobile adversary.
+#include <gtest/gtest.h>
+
+#include "node/adversary.h"
+#include "node/cluster.h"
+#include "node/node.h"
+#include "util/error.h"
+
+namespace aegis {
+namespace {
+
+StoredBlob blob(const std::string& obj, std::uint32_t shard,
+                std::uint32_t gen = 0, std::size_t size = 10) {
+  StoredBlob b;
+  b.object = obj;
+  b.shard_index = shard;
+  b.generation = gen;
+  b.data = Bytes(size, static_cast<std::uint8_t>(shard));
+  return b;
+}
+
+TEST(StorageNode, PutGetEraseAccounting) {
+  StorageNode node(0);
+  node.put(blob("a", 0, 0, 100));
+  node.put(blob("a", 1, 0, 50));
+  EXPECT_EQ(node.bytes_stored(), 150u);
+  EXPECT_NE(node.get("a", 0), nullptr);
+  EXPECT_EQ(node.get("a", 2), nullptr);
+
+  // Replacing a shard updates accounting instead of double counting.
+  node.put(blob("a", 0, 1, 70));
+  EXPECT_EQ(node.bytes_stored(), 120u);
+  EXPECT_EQ(node.get("a", 0)->generation, 1u);
+
+  node.erase("a", 0);
+  EXPECT_EQ(node.bytes_stored(), 50u);
+  node.erase_object("a");
+  EXPECT_EQ(node.bytes_stored(), 0u);
+  EXPECT_EQ(node.blob_count(), 0u);
+}
+
+TEST(StorageNode, OfflineAnswersNothing) {
+  StorageNode node(0);
+  node.put(blob("a", 0));
+  node.set_online(false);
+  EXPECT_EQ(node.get("a", 0), nullptr);
+  node.set_online(true);
+  EXPECT_NE(node.get("a", 0), nullptr);
+}
+
+TEST(StoredBlob, SerializationRoundTrip) {
+  StoredBlob b = blob("object-name", 3, 7, 20);
+  b.stored_at = 99;
+  const StoredBlob back = StoredBlob::deserialize(b.serialize());
+  EXPECT_EQ(back.object, "object-name");
+  EXPECT_EQ(back.shard_index, 3u);
+  EXPECT_EQ(back.generation, 7u);
+  EXPECT_EQ(back.stored_at, 99u);
+  EXPECT_EQ(back.data, b.data);
+}
+
+TEST(Cluster, UploadDownloadRoundTrip) {
+  for (ChannelKind kind :
+       {ChannelKind::kPlain, ChannelKind::kTls, ChannelKind::kQkd}) {
+    Cluster cluster(3, kind, 42);
+    EXPECT_TRUE(cluster.upload(1, blob("obj", 0, 0, 64)));
+    const auto got = cluster.download(1, "obj", 0);
+    ASSERT_TRUE(got.has_value()) << to_string(kind);
+    EXPECT_EQ(got->data, Bytes(64, 0));
+    EXPECT_EQ(cluster.stats().uploads, 1u);
+    EXPECT_EQ(cluster.stats().downloads, 1u);
+  }
+}
+
+TEST(Cluster, OfflineNodeRefusesTraffic) {
+  Cluster cluster(3, ChannelKind::kPlain, 1);
+  cluster.fail_node(2);
+  EXPECT_FALSE(cluster.upload(2, blob("x", 0)));
+  EXPECT_EQ(cluster.online_count(), 2u);
+  cluster.restore_node(2);
+  EXPECT_TRUE(cluster.upload(2, blob("x", 0)));
+}
+
+TEST(Cluster, WiretapRecordsEveryConversation) {
+  Cluster cluster(2, ChannelKind::kTls, 7);
+  cluster.upload(0, blob("a", 0));
+  cluster.upload(1, blob("a", 1));
+  cluster.download(0, "a", 0);
+  ASSERT_EQ(cluster.wiretap().size(), 3u);
+  EXPECT_EQ(cluster.wiretap()[0].payload.object, "a");
+  EXPECT_EQ(cluster.wiretap()[0].transcript.cipher, SchemeId::kAes256Ctr);
+}
+
+TEST(Cluster, TlsWiretapFallsWithBreak) {
+  Cluster cluster(2, ChannelKind::kTls, 7);
+  cluster.upload(0, blob("a", 0));
+  SchemeRegistry reg;
+  EXPECT_EQ(cluster.wiretap()[0].transcript.falls_at(reg), kNever);
+  reg.set_break_epoch(SchemeId::kEcdhSecp256k1, 25);
+  EXPECT_EQ(cluster.wiretap()[0].transcript.falls_at(reg), 25u);
+}
+
+TEST(Cluster, QkdWiretapNeverFalls) {
+  Cluster cluster(2, ChannelKind::kQkd, 7);
+  cluster.upload(0, blob("a", 0));
+  SchemeRegistry reg;
+  reg.set_break_epoch(SchemeId::kEcdhSecp256k1, 1);
+  reg.set_break_epoch(SchemeId::kAes256Ctr, 1);
+  EXPECT_EQ(cluster.wiretap()[0].transcript.falls_at(reg), kNever);
+}
+
+TEST(Cluster, EpochClock) {
+  Cluster cluster(1, ChannelKind::kPlain, 1);
+  EXPECT_EQ(cluster.now(), 0u);
+  cluster.advance_epoch();
+  cluster.advance_epoch();
+  EXPECT_EQ(cluster.now(), 2u);
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(Cluster(0, ChannelKind::kPlain, 1), InvalidArgument);
+  Cluster cluster(2, ChannelKind::kPlain, 1);
+  EXPECT_THROW(cluster.node(5), InvalidArgument);
+}
+
+TEST(Cluster, VirtualTimeAccounting) {
+  Cluster cluster(2, ChannelKind::kPlain, 5);
+  EXPECT_DOUBLE_EQ(cluster.simulated_ms(), 0.0);
+
+  // Node 0: default WAN (40ms, 50 MB/s). Node 1: LAN-fast.
+  cluster.set_node_profile(1, {1.0, 1000.0});
+  cluster.upload(0, blob("a", 0, 0, 50000));
+  const double after0 = cluster.simulated_ms();
+  EXPECT_GT(after0, 40.0);   // latency floor
+  EXPECT_LT(after0, 45.0);   // 50 KB at 50 MB/s ~ 1ms
+
+  cluster.upload(1, blob("a", 1, 0, 50000));
+  const double delta1 = cluster.simulated_ms() - after0;
+  EXPECT_LT(delta1, after0);  // the fast node is cheaper
+
+  cluster.download(0, "a", 0);
+  EXPECT_GT(cluster.simulated_ms(), after0 + delta1 + 40.0);
+}
+
+TEST(Cluster, NodeProfileValidation) {
+  Cluster cluster(2, ChannelKind::kPlain, 5);
+  EXPECT_THROW(cluster.set_node_profile(9, {1, 1}), InvalidArgument);
+  EXPECT_THROW(cluster.set_node_profile(0, {1, 0}), InvalidArgument);
+  EXPECT_THROW(cluster.set_node_profile(0, {-1, 10}), InvalidArgument);
+}
+
+// -------------------------------------------------------------- Adversary
+
+Cluster populated_cluster(unsigned n) {
+  Cluster cluster(n, ChannelKind::kPlain, 3);
+  for (unsigned i = 0; i < n; ++i)
+    cluster.upload(i, blob("obj", i, 0, 32));
+  return cluster;
+}
+
+TEST(MobileAdversary, BudgetRespected) {
+  auto cluster = populated_cluster(10);
+  MobileAdversary adv(3, CorruptionStrategy::kRandom, 1);
+  const auto touched = adv.corrupt_epoch(cluster);
+  EXPECT_EQ(touched.size(), 3u);
+  EXPECT_EQ(adv.harvest().size(), 3u);  // one blob per corrupted node
+}
+
+TEST(MobileAdversary, SweepCoversAllNodesOverTime) {
+  auto cluster = populated_cluster(6);
+  MobileAdversary adv(2, CorruptionStrategy::kSweep, 1);
+  for (int e = 0; e < 3; ++e) {
+    adv.corrupt_epoch(cluster);
+    cluster.advance_epoch();
+  }
+  EXPECT_EQ(adv.nodes_ever_corrupted(), 6u);
+}
+
+TEST(MobileAdversary, StickyStaysPut) {
+  auto cluster = populated_cluster(8);
+  MobileAdversary adv(2, CorruptionStrategy::kSticky, 1);
+  for (int e = 0; e < 5; ++e) {
+    adv.corrupt_epoch(cluster);
+    cluster.advance_epoch();
+  }
+  EXPECT_EQ(adv.nodes_ever_corrupted(), 2u);
+  // But it re-harvests those nodes every epoch.
+  EXPECT_EQ(adv.harvest().size(), 10u);
+}
+
+TEST(MobileAdversary, HarvestRecordsEpochAndGeneration) {
+  auto cluster = populated_cluster(4);
+  cluster.advance_epoch();
+  cluster.advance_epoch();
+  MobileAdversary adv(1, CorruptionStrategy::kSweep, 1);
+  adv.corrupt_epoch(cluster);
+  ASSERT_EQ(adv.harvest().size(), 1u);
+  EXPECT_EQ(adv.harvest()[0].taken_at, 2u);
+  EXPECT_EQ(adv.harvest()[0].blob.generation, 0u);
+  EXPECT_GT(adv.bytes_harvested(), 0u);
+}
+
+TEST(MobileAdversary, ZeroBudgetRejected) {
+  EXPECT_THROW(MobileAdversary(0, CorruptionStrategy::kRandom, 1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aegis

@@ -1,0 +1,206 @@
+// Unit tests for src/util: byte helpers, RNG determinism, serialization.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/entropy.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/serde.h"
+
+namespace aegis {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes b = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(hex_encode(b), "0001deadbeefff");
+  EXPECT_EQ(hex_decode("0001deadbeefff"), b);
+  EXPECT_EQ(hex_decode("0001DEADBEEFFF"), b);  // upper case accepted
+}
+
+TEST(Bytes, HexDecodeRejectsBadInput) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);    // non-hex
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(hex_encode({}), "");
+  EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(Bytes, XorBasics) {
+  const Bytes a = {0xff, 0x00, 0xaa};
+  const Bytes b = {0x0f, 0xf0, 0xaa};
+  EXPECT_EQ(xor_bytes(a, b), Bytes({0xf0, 0xf0, 0x00}));
+  // Involution: (a ^ b) ^ b == a.
+  EXPECT_EQ(xor_bytes(xor_bytes(a, b), b), a);
+  EXPECT_THROW(xor_bytes(a, Bytes{0x01}), std::invalid_argument);
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  xor_inplace(MutByteView(a.data(), a.size()), b);
+  EXPECT_EQ(a, Bytes({0, 0, 0}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_TRUE(ct_equal(a, Bytes({1, 2, 3})));
+  EXPECT_FALSE(ct_equal(a, Bytes({1, 2, 4})));
+  EXPECT_FALSE(ct_equal(a, Bytes({1, 2})));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {};
+  const Bytes c = {3};
+  EXPECT_EQ(concat({a, b, c}), Bytes({1, 2, 3}));
+}
+
+TEST(Bytes, ToStringRoundTrip) {
+  const Bytes b = to_bytes(std::string_view("hello"));
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, SecureWipeZeroes) {
+  Bytes b = {1, 2, 3, 4};
+  secure_wipe(b.data(), b.size());
+  EXPECT_EQ(b, Bytes({0, 0, 0, 0}));
+}
+
+TEST(SimRng, DeterministicGivenSeed) {
+  SimRng a(42), b(42), c(43);
+  const auto x = a.bytes(64);
+  EXPECT_EQ(x, b.bytes(64));
+  EXPECT_NE(x, c.bytes(64));
+}
+
+TEST(SimRng, UniformBoundsRespected) {
+  SimRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), InvalidArgument);
+}
+
+TEST(SimRng, UniformDoubleInRange) {
+  SimRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SimRng, UniformCoversRange) {
+  SimRng rng(1);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.uniform(10)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(SimRng, ChanceExtremes) {
+  SimRng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Entropy, ExtremesAndOrdering) {
+  // All-zero content: zero entropy by every measure.
+  const Bytes zeros(4096, 0);
+  EXPECT_DOUBLE_EQ(shannon_entropy_per_byte(zeros), 0.0);
+  EXPECT_DOUBLE_EQ(min_entropy_per_byte(zeros), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_entropy_per_byte(zeros), 0.0);
+
+  // Uniform random content: close to 8 bits/byte on order-0 and high on
+  // every estimator.
+  SimRng rng(1);
+  const Bytes random = rng.bytes(1 << 16);
+  EXPECT_GT(shannon_entropy_per_byte(random), 7.9);
+  EXPECT_GT(min_entropy_per_byte(random), 7.0);
+  EXPECT_GT(estimate_entropy_per_byte(random), 7.0);
+
+  // Ordering: structured < random.
+  const Bytes text = to_bytes(std::string_view(
+      "the quick brown fox jumps over the lazy dog, again and again and "
+      "again and again and again and again and again and again and"));
+  EXPECT_LT(estimate_entropy_per_byte(text),
+            estimate_entropy_per_byte(random));
+}
+
+TEST(Entropy, MarkovCatchesPeriodicStructure) {
+  // "abab..." has 1 bit/byte order-0 entropy but ~0 conditional entropy:
+  // the first-order model must see through it.
+  Bytes ab;
+  for (int i = 0; i < 2048; ++i) ab.push_back(i % 2 ? 'b' : 'a');
+  EXPECT_NEAR(shannon_entropy_per_byte(ab), 1.0, 0.01);
+  EXPECT_LT(markov1_entropy_per_byte(ab), 0.05);
+  EXPECT_LT(estimate_entropy_per_byte(ab), 0.05);
+}
+
+TEST(Entropy, EmptyAndTinyInputs) {
+  EXPECT_DOUBLE_EQ(shannon_entropy_per_byte({}), 0.0);
+  EXPECT_DOUBLE_EQ(min_entropy_per_byte({}), 0.0);
+  const Bytes one = {42};
+  EXPECT_DOUBLE_EQ(estimate_entropy_per_byte(one), 0.0);
+}
+
+TEST(Serde, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.bytes(Bytes{1, 2, 3});
+  w.str("archive");
+  const Bytes buf = std::move(w).take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.bytes(), Bytes({1, 2, 3}));
+  EXPECT_EQ(r.str(), "archive");
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serde, TruncationThrows) {
+  ByteWriter w;
+  w.u32(1234);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.u64(), ParseError);
+}
+
+TEST(Serde, LengthPrefixTruncationThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow, but none do
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.bytes(), ParseError);
+}
+
+TEST(Serde, TrailingBytesDetected) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), ParseError);
+}
+
+TEST(Serde, EmptyByteString) {
+  ByteWriter w;
+  w.bytes(Bytes{});
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+}
+
+}  // namespace
+}  // namespace aegis

@@ -307,12 +307,56 @@ Bytes Archive::decode(const ObjectManifest& m,
 
 namespace {
 constexpr unsigned kAuditChallengesPerShard = 4;
+
+bool retryable(TransferStatus s) {
+  return s == TransferStatus::kDropped || s == TransferStatus::kCorrupted;
+}
+}  // namespace
+
+TransferStatus Archive::upload_with_retry(NodeId node,
+                                          const StoredBlob& blob) {
+  double backoff = policy_.backoff_base_ms;
+  TransferStatus status = TransferStatus::kNodeOffline;
+  for (unsigned attempt = 0; attempt <= policy_.io_retries; ++attempt) {
+    if (attempt > 0) {
+      cluster_.charge_ms(backoff);
+      backoff *= 2.0;
+      ++io_stats_.upload_retries;
+    }
+    ++io_stats_.upload_attempts;
+    status = cluster_.upload(node, blob, policy_.channel);
+    if (!retryable(status)) break;
+  }
+  if (status != TransferStatus::kOk) ++io_stats_.upload_failures;
+  return status;
 }
 
-void Archive::disperse(ObjectManifest& m, const std::vector<Bytes>& shards) {
+DownloadResult Archive::download_with_retry(NodeId node,
+                                            const ObjectId& object,
+                                            std::uint32_t shard) {
+  double backoff = policy_.backoff_base_ms;
+  DownloadResult result;
+  for (unsigned attempt = 0; attempt <= policy_.io_retries; ++attempt) {
+    if (attempt > 0) {
+      cluster_.charge_ms(backoff);
+      backoff *= 2.0;
+      ++io_stats_.download_retries;
+    }
+    ++io_stats_.download_attempts;
+    result = cluster_.download(node, object, shard, policy_.channel);
+    if (!retryable(result.status)) break;
+  }
+  if (!result.ok() && result.status != TransferStatus::kMissing)
+    ++io_stats_.download_failures;
+  return result;
+}
+
+Archive::DisperseReport Archive::disperse(ObjectManifest& m,
+                                          const std::vector<Bytes>& shards) {
   m.shard_hashes.clear();
   m.audit_challenges.assign(shards.size(), {});
   m.audit_round = 0;
+  DisperseReport report;
   std::vector<Bytes> leaves;
   leaves.reserve(shards.size());
   for (std::uint32_t i = 0; i < shards.size(); ++i) {
@@ -331,12 +375,17 @@ void Archive::disperse(ObjectManifest& m, const std::vector<Bytes>& shards) {
     blob.generation = m.generation;
     blob.data = shards[i];
     blob.stored_at = cluster_.now();
-    cluster_.upload(shard_node(i), std::move(blob), policy_.channel);
+    if (upload_with_retry(shard_node(i), blob) == TransferStatus::kOk) {
+      ++report.written;
+    } else {
+      report.failed.push_back(i);
+    }
   }
   m.merkle_root = MerkleTree(leaves).root();
+  return report;
 }
 
-void Archive::put(const ObjectId& id, ByteView data) {
+PutReport Archive::put(const ObjectId& id, ByteView data) {
   if (manifests_.count(id) > 0)
     throw InvalidArgument("Archive: duplicate object id " + id);
 
@@ -354,16 +403,37 @@ void Archive::put(const ObjectId& id, ByteView data) {
           ? policy_.ciphers
           : std::vector<SchemeId>{});
 
+  PutReport report;
   if (uses_cipher_stack(m.encoding)) {
     vault_.create(id);
     if (policy_.key_custody == KeyCustody::kVssOnCluster) {
       vault_.share_one(id, policy_.vault_threshold, policy_.n);
-      upload_key_shares(id);
+      report.key_shares_failed = upload_key_shares(id);
     }
   }
 
   const std::vector<Bytes> shards = encode(id, data, m);
-  disperse(m, shards);
+  const DisperseReport d = disperse(m, shards);
+  report.shards_total = static_cast<unsigned>(shards.size());
+  report.shards_written = d.written;
+  report.failed_shards = d.failed;
+
+  if (report.shards_written < policy_.reconstruction_threshold()) {
+    // The write can never be read back: roll it back rather than leave a
+    // zombie object behind (shards land on node-local state directly —
+    // deleting tolerates offline nodes).
+    for (std::uint32_t i = 0; i < shards.size(); ++i)
+      cluster_.node(shard_node(i)).erase(id, i);
+    if (vault_.find(id) != nullptr) {
+      for (std::uint32_t i = 0; i < m.n; ++i)
+        cluster_.node(shard_node(i)).erase(key_object_id(id), i);
+      vault_.erase(id);
+    }
+    throw UnrecoverableError(
+        "Archive::put: only " + std::to_string(report.shards_written) +
+        " of " + std::to_string(report.shards_total) + " shards of " + id +
+        " landed — below the reconstruction threshold");
+  }
 
   // Integrity stamping.
   if (policy_.pedersen_timestamps) {
@@ -378,6 +448,7 @@ void Archive::put(const ObjectId& id, ByteView data) {
   }
 
   manifests_[id] = std::move(m);
+  return report;
 }
 
 std::vector<std::optional<Bytes>> Archive::gather(const ObjectManifest& m,
@@ -386,8 +457,8 @@ std::vector<std::optional<Bytes>> Archive::gather(const ObjectManifest& m,
   std::vector<std::optional<Bytes>> shards(m.n);
   unsigned have = 0;
   for (std::uint32_t i = 0; i < m.n && have < want; ++i) {
-    auto blob = cluster_.download(shard_node(i), m.id, i, policy_.channel);
-    if (!blob) continue;
+    auto blob = download_with_retry(shard_node(i), m.id, i);
+    if (!blob) continue;  // offline/missing/dropped: an erasure
     if (blob->generation != m.generation) continue;  // stale share
     if (!ct_equal(Sha256::hash(blob->data), m.shard_hashes[i])) {
       if (bad_count) ++*bad_count;
@@ -490,10 +561,11 @@ void Archive::refresh() {
   }
 }
 
-void Archive::upload_key_shares(const ObjectId& id) {
+unsigned Archive::upload_key_shares(const ObjectId& id) {
   const auto it = vault_.shared().find(id);
-  if (it == vault_.shared().end()) return;
+  if (it == vault_.shared().end()) return 0;
   const KeyVault::SharedKey& sk = it->second;
+  unsigned failed = 0;
   for (std::uint32_t i = 0; i < sk.dealing.shares.size(); ++i) {
     const VssShare& s = sk.dealing.shares[i];
     ByteWriter w;
@@ -507,8 +579,10 @@ void Archive::upload_key_shares(const ObjectId& id) {
     blob.generation = sk.generation;
     blob.data = std::move(w).take();
     blob.stored_at = cluster_.now();
-    cluster_.upload(shard_node(i), std::move(blob), policy_.channel);
+    if (upload_with_retry(shard_node(i), blob) != TransferStatus::kOk)
+      ++failed;
   }
+  return failed;
 }
 
 std::string Archive::key_object_id(const ObjectId& id) {
@@ -577,7 +651,7 @@ unsigned Archive::repair(const ObjectId& id) {
   std::vector<bool> damaged(m.n, false);
   unsigned damage_count = 0;
   for (std::uint32_t i = 0; i < m.n; ++i) {
-    auto blob = cluster_.download(shard_node(i), m.id, i, policy_.channel);
+    auto blob = download_with_retry(shard_node(i), m.id, i);
     const bool ok = blob && blob->generation == m.generation &&
                     ct_equal(Sha256::hash(blob->data), m.shard_hashes[i]);
     if (ok) {
@@ -607,6 +681,7 @@ unsigned Archive::repair(const ObjectId& id) {
     } else {
       full = ReedSolomon(m.k, m.n).reconstruct_shards(shards);
     }
+    unsigned rewritten = 0;
     for (std::uint32_t i = 0; i < m.n; ++i) {
       if (!damaged[i]) continue;
       StoredBlob blob;
@@ -615,9 +690,12 @@ unsigned Archive::repair(const ObjectId& id) {
       blob.generation = m.generation;
       blob.data = full[i];
       blob.stored_at = cluster_.now();
-      cluster_.upload(shard_node(i), std::move(blob), policy_.channel);
+      // A shard whose home node is still down stays damaged; the next
+      // scrub pass retries once the node returns.
+      if (upload_with_retry(shard_node(i), blob) == TransferStatus::kOk)
+        ++rewritten;
     }
-    return damage_count;
+    return rewritten;
   }
 
   // Sharing encodings: a partially-new share set must not mix with the
@@ -625,8 +703,7 @@ unsigned Archive::repair(const ObjectId& id) {
   const Bytes data = decode(m, std::move(shards));
   ++m.generation;
   m.cipher_history.push_back(m.current_ciphers());
-  disperse(m, encode(id, data, m));
-  return m.n;
+  return disperse(m, encode(id, data, m)).written;
 }
 
 Archive::AuditReport Archive::audit(const ObjectId& id) {

@@ -82,6 +82,32 @@ struct ObjectManifest {
   static ObjectManifest deserialize(ByteView wire);
 };
 
+/// Outcome of Archive::put. A write is durable once at least the
+/// reconstruction threshold of shards landed (put throws below that);
+/// anything between threshold and n is an under-replicated write that
+/// repair()/scrub() will heal once the missing nodes return.
+struct PutReport {
+  unsigned shards_total = 0;
+  unsigned shards_written = 0;
+  unsigned key_shares_failed = 0;  // VSS key-share uploads that failed
+  std::vector<std::uint32_t> failed_shards;  // indices that never landed
+
+  bool fully_replicated() const {
+    return shards_written == shards_total && key_shares_failed == 0;
+  }
+  unsigned under_replication() const { return shards_total - shards_written; }
+};
+
+/// Client-side I/O accounting across retries.
+struct IoStats {
+  std::uint64_t upload_attempts = 0;
+  std::uint64_t upload_retries = 0;
+  std::uint64_t upload_failures = 0;  // shard writes abandoned
+  std::uint64_t download_attempts = 0;
+  std::uint64_t download_retries = 0;
+  std::uint64_t download_failures = 0;  // shard reads abandoned
+};
+
 /// Outcome of Archive::verify.
 struct VerifyReport {
   unsigned shards_seen = 0;
@@ -117,8 +143,12 @@ class Archive {
   KeyVault& vault() { return vault_; }
   const KeyVault& vault() const { return vault_; }
 
-  /// Stores an object. Throws InvalidArgument on duplicate ids.
-  void put(const ObjectId& id, ByteView data);
+  /// Stores an object. Shard I/O runs under the policy's bounded-retry
+  /// regime; the report surfaces any under-replication left after the
+  /// retries. Throws InvalidArgument on duplicate ids and
+  /// UnrecoverableError (after rolling the partial write back) when
+  /// fewer than the reconstruction threshold of shards land.
+  PutReport put(const ObjectId& id, ByteView data);
 
   /// Retrieves an object from whatever nodes are still online. Shards
   /// failing their manifest hash are skipped silently (they count as
@@ -210,9 +240,23 @@ class Archive {
   /// key-share blobs.
   static std::string key_object_id(const ObjectId& id);
 
+  /// Cumulative retry/failure counts for this archive's shard I/O.
+  const IoStats& io_stats() const { return io_stats_; }
+
  private:
   /// Uploads the current generation of VSS key shares for one object.
-  void upload_key_shares(const ObjectId& id);
+  /// Returns how many share uploads failed after retries.
+  unsigned upload_key_shares(const ObjectId& id);
+
+  /// One shard write under the policy's bounded retry + exponential
+  /// backoff (charged to virtual time). Retries only per-conversation
+  /// faults (drops, in-flight corruption); outages and quarantines
+  /// return immediately.
+  TransferStatus upload_with_retry(NodeId node, const StoredBlob& blob);
+
+  /// One shard read under the same retry regime.
+  DownloadResult download_with_retry(NodeId node, const ObjectId& object,
+                                     std::uint32_t shard);
 
   /// Encoding pipeline: logical bytes -> per-node shard payloads.
   std::vector<Bytes> encode(const ObjectId& id, ByteView data,
@@ -229,7 +273,13 @@ class Archive {
                                            unsigned want,
                                            unsigned* bad_count = nullptr);
 
-  void disperse(ObjectManifest& m, const std::vector<Bytes>& shards);
+  /// Writes one shard set out (with retries), refreshing the manifest's
+  /// integrity metadata. Reports which shard writes failed for good.
+  struct DisperseReport {
+    unsigned written = 0;
+    std::vector<std::uint32_t> failed;
+  };
+  DisperseReport disperse(ObjectManifest& m, const std::vector<Bytes>& shards);
   NodeId shard_node(std::uint32_t shard_index) const;
 
   Cluster& cluster_;
@@ -238,6 +288,7 @@ class Archive {
   TimestampAuthority& tsa_;
   Rng& rng_;
   KeyVault vault_;
+  IoStats io_stats_;
   std::map<ObjectId, ObjectManifest> manifests_;
 };
 

@@ -83,6 +83,8 @@ void ArchivalPolicy::validate() const {
         throw InvalidArgument("policy: need t,k >= 1 and t+k <= n");
       break;
   }
+  if (backoff_base_ms < 0.0)
+    throw InvalidArgument("policy: negative retry backoff");
   const bool needs_cipher = encoding == EncodingKind::kEncryptErasure ||
                             encoding == EncodingKind::kCascade ||
                             encoding == EncodingKind::kAontRs;

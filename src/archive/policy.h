@@ -68,6 +68,14 @@ struct ArchivalPolicy {
 
   ChannelKind channel = ChannelKind::kTls;
 
+  // Client I/O robustness: transient transfer faults (drops, in-flight
+  // corruption) are retried up to io_retries extra attempts per shard,
+  // with exponential backoff (backoff_base_ms * 2^retry) charged to the
+  // cluster's virtual clock. Outages and quarantines are NOT retried —
+  // they span epochs; scrub()/repair() heal them instead.
+  unsigned io_retries = 3;
+  double backoff_base_ms = 5.0;
+
   /// Threshold an adversary must reach to reconstruct content from
   /// at-rest material alone: shares-needed for sharing encodings,
   /// data-shards-needed for erasure encodings, 1 for replication.

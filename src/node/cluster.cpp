@@ -17,13 +17,60 @@ const char* to_string(ChannelKind k) {
   return "?";
 }
 
+const char* to_string(TransferStatus s) {
+  switch (s) {
+    case TransferStatus::kOk: return "ok";
+    case TransferStatus::kNodeOffline: return "node-offline";
+    case TransferStatus::kQuarantined: return "quarantined";
+    case TransferStatus::kDropped: return "dropped";
+    case TransferStatus::kCorrupted: return "corrupted";
+    case TransferStatus::kMissing: return "missing";
+  }
+  return "?";
+}
+
 Cluster::Cluster(unsigned node_count, ChannelKind channel, std::uint64_t seed)
-    : channel_(channel), rng_(seed) {
+    : channel_(channel), rng_(seed), faults_(seed ^ 0xfa017c75ULL) {
   if (node_count == 0)
     throw InvalidArgument("Cluster: need at least one node");
   nodes_.reserve(node_count);
   for (unsigned i = 0; i < node_count; ++i) nodes_.emplace_back(i);
   profiles_.assign(node_count, NodeProfile{});
+  health_.assign(node_count, NodeHealth{});
+}
+
+void Cluster::advance_epoch() {
+  ++now_;
+  faults_.on_epoch(now_, nodes_);
+}
+
+void Cluster::restore_node(NodeId id) {
+  node(id).set_online(true);
+  health_[id].consecutive_failures = 0;
+  health_[id].quarantined_until = 0;
+}
+
+const NodeHealth& Cluster::health(NodeId id) const {
+  if (id >= health_.size()) throw InvalidArgument("Cluster: bad node id");
+  return health_[id];
+}
+
+void Cluster::record_failure(NodeHealth& health) {
+  // A node-attributable failure: feeds the circuit breaker.
+  ++health.failures;
+  ++health.consecutive_failures;
+  if (breaker_.enabled &&
+      health.consecutive_failures >= breaker_.failure_threshold &&
+      !health.quarantined(now_)) {
+    health.quarantined_until = now_ + breaker_.cooldown_epochs;
+    ++health.quarantines;
+  }
+}
+
+void Cluster::record_link_failure(NodeHealth& health) {
+  // A conversation-level fault (drop/corruption): counted, but it does
+  // not advance the breaker — retry is the remedy, not quarantine.
+  ++health.failures;
 }
 
 StorageNode& Cluster::node(NodeId id) {
@@ -95,39 +142,125 @@ Bytes Cluster::converse(ByteView payload, const StoredBlob& blob_for_tap,
   return delivered;
 }
 
-bool Cluster::upload(NodeId id, StoredBlob blob,
-                     std::optional<ChannelKind> kind) {
+TransferStatus Cluster::upload(NodeId id, StoredBlob blob,
+                               std::optional<ChannelKind> kind) {
   StorageNode& target = node(id);
-  if (!target.online()) return false;
+  NodeHealth& health = health_[id];
+  if (breaker_.enabled && health.quarantined(now_)) {
+    ++stats_.quarantine_rejections;
+    return TransferStatus::kQuarantined;
+  }
+  ++health.attempts;
+  if (!target.online()) {
+    record_failure(health);
+    return TransferStatus::kNodeOffline;
+  }
 
   const Bytes wire = blob.serialize();
-  const Bytes delivered = converse(wire, blob, kind.value_or(channel_));
+  const FaultInjector::TransferPlan plan =
+      faults_.plan_transfer(id, now_, wire.size());
+  const NodeProfile& prof = profiles_[id];
+  const double cost =
+      plan.latency_multiplier *
+      (prof.latency_ms + wire.size() / (prof.bandwidth_mbps * 1000.0));
 
+  if (plan.drop) {
+    // The conversation times out: full cost paid, nothing lands.
+    simulated_ms_ += cost;
+    ++stats_.dropped;
+    record_link_failure(health);
+    return TransferStatus::kDropped;
+  }
+
+  Bytes delivered = converse(wire, blob, kind.value_or(channel_));
+  simulated_ms_ += cost;
   stats_.uploads += 1;
   stats_.bytes_up += blob.data.size();
-  const NodeProfile& prof = profiles_[id];
-  simulated_ms_ +=
-      prof.latency_ms + wire.size() / (prof.bandwidth_mbps * 1000.0);
+
+  if (plan.corrupt) {
+    delivered[plan.corrupt_bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (plan.corrupt_bit % 8));
+    ++stats_.corrupted;
+    record_link_failure(health);
+    // The node stores whatever frame still parses — a torn write the
+    // client knows about (status) and scrub/repair can heal later.
+    try {
+      target.put(StoredBlob::deserialize(delivered));
+    } catch (const Error&) {
+      // frame unparseable: the write is simply lost
+    }
+    return TransferStatus::kCorrupted;
+  }
+
   target.put(StoredBlob::deserialize(delivered));
-  return true;
+  health.consecutive_failures = 0;
+  return TransferStatus::kOk;
 }
 
-std::optional<StoredBlob> Cluster::download(NodeId id, const ObjectId& object,
-                                            std::uint32_t shard,
-                                            std::optional<ChannelKind> kind) {
+DownloadResult Cluster::download(NodeId id, const ObjectId& object,
+                                 std::uint32_t shard,
+                                 std::optional<ChannelKind> kind) {
   StorageNode& source = node(id);
+  NodeHealth& health = health_[id];
+  DownloadResult result;
+  if (breaker_.enabled && health.quarantined(now_)) {
+    ++stats_.quarantine_rejections;
+    result.status = TransferStatus::kQuarantined;
+    return result;
+  }
+  ++health.attempts;
+  if (!source.online()) {
+    record_failure(health);
+    result.status = TransferStatus::kNodeOffline;
+    return result;
+  }
   const StoredBlob* blob = source.get(object, shard);
-  if (blob == nullptr) return std::nullopt;
+  if (blob == nullptr) {
+    // The node answered (it just lacks the shard): healthy transport.
+    health.consecutive_failures = 0;
+    result.status = TransferStatus::kMissing;
+    return result;
+  }
 
   const Bytes wire = blob->serialize();
-  const Bytes delivered = converse(wire, *blob, kind.value_or(channel_));
+  const FaultInjector::TransferPlan plan =
+      faults_.plan_transfer(id, now_, wire.size());
+  const NodeProfile& prof = profiles_[id];
+  const double cost =
+      plan.latency_multiplier *
+      (prof.latency_ms + wire.size() / (prof.bandwidth_mbps * 1000.0));
 
+  if (plan.drop) {
+    simulated_ms_ += cost;
+    ++stats_.dropped;
+    record_link_failure(health);
+    result.status = TransferStatus::kDropped;
+    return result;
+  }
+
+  Bytes delivered = converse(wire, *blob, kind.value_or(channel_));
+  simulated_ms_ += cost;
   stats_.downloads += 1;
   stats_.bytes_down += blob->data.size();
-  const NodeProfile& prof = profiles_[id];
-  simulated_ms_ +=
-      prof.latency_ms + wire.size() / (prof.bandwidth_mbps * 1000.0);
-  return StoredBlob::deserialize(delivered);
+
+  if (plan.corrupt) {
+    delivered[plan.corrupt_bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (plan.corrupt_bit % 8));
+    ++stats_.corrupted;
+    record_link_failure(health);
+    result.status = TransferStatus::kCorrupted;
+    try {
+      result.blob = StoredBlob::deserialize(delivered);
+    } catch (const Error&) {
+      // frame unparseable: deliver status only
+    }
+    return result;
+  }
+
+  health.consecutive_failures = 0;
+  result.status = TransferStatus::kOk;
+  result.blob = StoredBlob::deserialize(delivered);
+  return result;
 }
 
 Bytes Cluster::protected_transfer(ByteView payload,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "channel/channel.h"
+#include "node/faults.h"
 #include "node/node.h"
 #include "util/rng.h"
 
@@ -53,6 +54,65 @@ struct NetworkStats {
   std::uint64_t bytes_down = 0;  // payload bytes node -> client
   std::uint64_t refresh_messages = 0;
   std::uint64_t refresh_bytes = 0;
+  std::uint64_t dropped = 0;     // conversations lost in flight
+  std::uint64_t corrupted = 0;   // conversations corrupted in flight
+  std::uint64_t quarantine_rejections = 0;  // refused by open breaker
+};
+
+/// How one transfer ended, so callers can distinguish failure modes —
+/// an outage spans epochs (retrying now is pointless) while a drop or
+/// in-flight corruption is per-conversation (retrying usually works).
+enum class TransferStatus : std::uint8_t {
+  kOk,
+  kNodeOffline,  // target down (outage or manual fail_node)
+  kQuarantined,  // circuit breaker open: request not even attempted
+  kDropped,      // conversation lost in flight
+  kCorrupted,    // payload corrupted in flight (detected end-to-end)
+  kMissing,      // download only: node answered, shard absent
+};
+
+const char* to_string(TransferStatus s);
+
+constexpr bool transfer_ok(TransferStatus s) {
+  return s == TransferStatus::kOk;
+}
+
+/// Download outcome: a status plus the blob when one was delivered. A
+/// corrupted-in-flight transfer may still carry a (damaged) blob when the
+/// frame stayed parseable — callers must treat it as untrusted.
+struct DownloadResult {
+  TransferStatus status = TransferStatus::kMissing;
+  std::optional<StoredBlob> blob;
+
+  bool ok() const { return status == TransferStatus::kOk && blob.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const StoredBlob& operator*() const { return *blob; }
+  const StoredBlob* operator->() const { return &*blob; }
+};
+
+/// Per-node transfer health, driving the circuit breaker.
+struct NodeHealth {
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;     // all failures, link- and node-level
+  unsigned consecutive_failures = 0;  // node-attributable only (offline)
+  unsigned quarantines = 0;       // times the breaker opened
+  Epoch quarantined_until = 0;    // breaker open while now < this
+  bool quarantined(Epoch now) const { return now < quarantined_until; }
+};
+
+/// Circuit-breaker tuning: a node racking up `failure_threshold`
+/// consecutive failures is quarantined for `cooldown_epochs`; the first
+/// request after the cooldown is the re-probe (success closes the
+/// breaker, failure re-opens it immediately).
+///
+/// Only node-attributable failures (offline) feed the breaker. Dropped
+/// or corrupted conversations are link faults: retry handles those, and
+/// letting them trip the breaker turns a flaky network into a cascade of
+/// quarantines that block the very writes repair needs to heal with.
+struct BreakerPolicy {
+  bool enabled = true;
+  unsigned failure_threshold = 4;
+  Epoch cooldown_epochs = 2;
 };
 
 /// A fixed-size cluster of storage nodes with an epoch clock.
@@ -65,23 +125,34 @@ class Cluster {
   const StorageNode& node(NodeId id) const;
 
   Epoch now() const { return now_; }
-  void advance_epoch() { ++now_; }
+
+  /// Advances the epoch clock and applies epoch-scoped faults (scheduled
+  /// and random outages, at-rest bit-rot) via the fault injector.
+  void advance_epoch();
+
+  /// The cluster's fault source. Quiescent until configured.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
 
   ChannelKind channel_kind() const { return channel_; }
 
   /// Sends a blob to a node through a fresh protected conversation.
-  /// Returns false if the node is offline. `kind` selects the channel
-  /// for THIS conversation (policies carry their own transport — a
-  /// LINCOS tier rides QKD over the same cluster a cloud tier rides TLS
-  /// on); nullopt uses the cluster default.
-  bool upload(NodeId id, StoredBlob blob,
-              std::optional<ChannelKind> kind = std::nullopt);
+  /// `kind` selects the channel for THIS conversation (policies carry
+  /// their own transport — a LINCOS tier rides QKD over the same cluster
+  /// a cloud tier rides TLS on); nullopt uses the cluster default.
+  TransferStatus upload(NodeId id, StoredBlob blob,
+                        std::optional<ChannelKind> kind = std::nullopt);
 
   /// Fetches a shard back through a protected conversation.
-  std::optional<StoredBlob> download(NodeId id, const ObjectId& object,
-                                     std::uint32_t shard,
-                                     std::optional<ChannelKind> kind =
-                                         std::nullopt);
+  DownloadResult download(NodeId id, const ObjectId& object,
+                          std::uint32_t shard,
+                          std::optional<ChannelKind> kind = std::nullopt);
+
+  /// Per-node transfer health (attempts, failures, breaker state).
+  const NodeHealth& health(NodeId id) const;
+
+  void set_breaker_policy(const BreakerPolicy& policy) { breaker_ = policy; }
+  const BreakerPolicy& breaker_policy() const { return breaker_; }
 
   /// Records node-to-node refresh traffic (the protocols themselves run
   /// in the sharing module; the cluster just accounts for the I/O).
@@ -102,8 +173,14 @@ class Cluster {
   /// divide by the fan-out for the parallel estimate).
   double simulated_ms() const { return simulated_ms_; }
 
+  /// Charges extra virtual time (client retry backoff, think time).
+  void charge_ms(double ms) { simulated_ms_ += ms; }
+
   void fail_node(NodeId id) { node(id).set_online(false); }
-  void restore_node(NodeId id) { node(id).set_online(true); }
+
+  /// Brings a node back AND clears its breaker state: a manual restore
+  /// is an administrator attesting the node is healthy again.
+  void restore_node(NodeId id);
   unsigned online_count() const;
 
   const NetworkStats& stats() const { return stats_; }
@@ -120,12 +197,20 @@ class Cluster {
   Bytes converse(ByteView payload, const StoredBlob& blob_for_tap,
                  ChannelKind kind);
 
+  /// Health bookkeeping shared by upload/download: records the failure,
+  /// opens the breaker at the threshold.
+  void record_failure(NodeHealth& health);
+  void record_link_failure(NodeHealth& health);
+
   std::vector<StorageNode> nodes_;
   std::vector<NodeProfile> profiles_;
+  std::vector<NodeHealth> health_;
+  BreakerPolicy breaker_;
   ChannelKind channel_;
   double simulated_ms_ = 0.0;
   Epoch now_ = 0;
   SimRng rng_;
+  FaultInjector faults_;
   NetworkStats stats_;
   std::vector<WiretapRecord> wiretap_;
 };

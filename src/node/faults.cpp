@@ -1,0 +1,177 @@
+#include "node/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace aegis {
+
+const char* to_string(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kRestart: return "restart";
+    case FaultEvent::Kind::kBitRot: return "bit-rot";
+    case FaultEvent::Kind::kDrop: return "drop";
+    case FaultEvent::Kind::kCorrupt: return "corrupt";
+    case FaultEvent::Kind::kSpike: return "spike";
+  }
+  return "?";
+}
+
+void FaultInjector::schedule_outage(NodeId node, Epoch start, Epoch duration) {
+  if (duration == 0)
+    throw InvalidArgument("FaultInjector: outage duration must be >= 1");
+  outages_.push_back({node, start, start + duration, false});
+}
+
+void FaultInjector::set_random_outages(double crash_prob, Epoch min_duration,
+                                       Epoch max_duration) {
+  if (crash_prob < 0.0 || crash_prob > 1.0)
+    throw InvalidArgument("FaultInjector: crash probability out of [0,1]");
+  if (min_duration == 0 || min_duration > max_duration)
+    throw InvalidArgument("FaultInjector: bad outage duration range");
+  crash_prob_ = crash_prob;
+  crash_min_ = min_duration;
+  crash_max_ = max_duration;
+}
+
+namespace {
+void check_link(const LinkFaults& f) {
+  if (f.drop_prob < 0.0 || f.drop_prob > 1.0 || f.corrupt_prob < 0.0 ||
+      f.corrupt_prob > 1.0 || f.spike_prob < 0.0 || f.spike_prob > 1.0)
+    throw InvalidArgument("FaultInjector: link probability out of [0,1]");
+  if (f.spike_multiplier < 1.0)
+    throw InvalidArgument("FaultInjector: spike multiplier must be >= 1");
+}
+}  // namespace
+
+void FaultInjector::set_link_faults(const LinkFaults& faults) {
+  check_link(faults);
+  default_link_ = faults;
+}
+
+void FaultInjector::set_link_faults(NodeId node, const LinkFaults& faults) {
+  check_link(faults);
+  per_node_link_[node] = faults;
+}
+
+void FaultInjector::set_bitrot(double flips_per_mib_per_epoch) {
+  if (flips_per_mib_per_epoch < 0.0)
+    throw InvalidArgument("FaultInjector: negative bit-rot rate");
+  bitrot_per_mib_ = flips_per_mib_per_epoch;
+}
+
+bool FaultInjector::active() const {
+  auto live = [](const LinkFaults& f) {
+    return f.drop_prob > 0.0 || f.corrupt_prob > 0.0 || f.spike_prob > 0.0;
+  };
+  if (!outages_.empty() || crash_prob_ > 0.0 || bitrot_per_mib_ > 0.0 ||
+      live(default_link_))
+    return true;
+  return std::any_of(per_node_link_.begin(), per_node_link_.end(),
+                     [&](const auto& e) { return live(e.second); });
+}
+
+const LinkFaults& FaultInjector::faults_for(NodeId node) const {
+  const auto it = per_node_link_.find(node);
+  return it == per_node_link_.end() ? default_link_ : it->second;
+}
+
+void FaultInjector::on_epoch(Epoch now, std::vector<StorageNode>& nodes) {
+  // 1. Restarts: an outage window ended and no other window still covers
+  //    the node. Expired windows are dropped afterwards.
+  for (const Outage& o : outages_) {
+    if (!o.begun || o.end > now || o.node >= nodes.size()) continue;
+    const bool still_down = std::any_of(
+        outages_.begin(), outages_.end(), [&](const Outage& other) {
+          return other.begun && other.node == o.node && other.end > now;
+        });
+    if (still_down || nodes[o.node].online()) continue;
+    nodes[o.node].set_online(true);
+    timeline_.push_back({FaultEvent::Kind::kRestart, now, o.node, 0});
+  }
+  outages_.erase(std::remove_if(outages_.begin(), outages_.end(),
+                                [&](const Outage& o) {
+                                  return o.begun && o.end <= now;
+                                }),
+                 outages_.end());
+
+  // 2. Scheduled crashes reaching their window.
+  for (Outage& o : outages_) {
+    if (o.begun || o.start > now || o.end <= now || o.node >= nodes.size())
+      continue;
+    o.begun = true;
+    if (nodes[o.node].online()) {
+      nodes[o.node].set_online(false);
+      timeline_.push_back({FaultEvent::Kind::kCrash, now, o.node, o.end});
+    }
+  }
+
+  // 3. Random transient crashes.
+  if (crash_prob_ > 0.0) {
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+      if (!nodes[id].online() || !rng_.chance(crash_prob_)) continue;
+      const Epoch duration =
+          crash_min_ + static_cast<Epoch>(rng_.uniform(crash_max_ -
+                                                       crash_min_ + 1));
+      outages_.push_back({id, now, now + duration, true});
+      nodes[id].set_online(false);
+      timeline_.push_back(
+          {FaultEvent::Kind::kCrash, now, id, now + duration});
+    }
+  }
+
+  // 4. At-rest bit-rot, power state notwithstanding.
+  if (bitrot_per_mib_ > 0.0) {
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+      for (StoredBlob* blob : nodes[id].all_blobs_mut()) {
+        if (blob->data.empty()) continue;
+        const double expected =
+            bitrot_per_mib_ * static_cast<double>(blob->data.size()) /
+            (1024.0 * 1024.0);
+        std::uint64_t flips = static_cast<std::uint64_t>(expected);
+        if (rng_.chance(expected - std::floor(expected))) ++flips;
+        if (flips == 0) continue;
+        for (std::uint64_t f = 0; f < flips; ++f) {
+          const std::uint64_t bit = rng_.uniform(blob->data.size() * 8);
+          blob->data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        timeline_.push_back({FaultEvent::Kind::kBitRot, now, id, flips});
+      }
+    }
+  }
+}
+
+FaultInjector::TransferPlan FaultInjector::plan_transfer(
+    NodeId node, Epoch now, std::size_t wire_bytes) {
+  TransferPlan plan;
+  const LinkFaults& f = faults_for(node);
+  if (f.drop_prob == 0.0 && f.corrupt_prob == 0.0 && f.spike_prob == 0.0)
+    return plan;
+
+  // Fixed draw order keeps the rng stream (and so the whole timeline)
+  // independent of which faults are configured at what probability.
+  const bool drop = rng_.chance(f.drop_prob);
+  const bool corrupt = rng_.chance(f.corrupt_prob);
+  const bool spike = rng_.chance(f.spike_prob);
+
+  if (spike) {
+    plan.latency_multiplier = f.spike_multiplier;
+    timeline_.push_back({FaultEvent::Kind::kSpike, now, node, 0});
+  }
+  if (drop) {
+    plan.drop = true;
+    timeline_.push_back({FaultEvent::Kind::kDrop, now, node, 0});
+    return plan;  // nothing arrives; corruption is moot
+  }
+  if (corrupt && wire_bytes > 0) {
+    plan.corrupt = true;
+    plan.corrupt_bit = rng_.uniform(wire_bytes * 8);
+    timeline_.push_back(
+        {FaultEvent::Kind::kCorrupt, now, node, plan.corrupt_bit});
+  }
+  return plan;
+}
+
+}  // namespace aegis

@@ -1,0 +1,133 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The paper's §2 threat model spans decades of geo-dispersed operation:
+// nodes crash and restart, WAN links drop and corrupt conversations, and
+// media rots underneath the shards (Baker et al.: long-term durability is
+// dominated by correlated transient faults and latent sector errors, not
+// whole-node loss). The FaultInjector is the single, seeded source of all
+// three fault classes so every chaos experiment replays exactly:
+//
+//   * transient node outages — scheduled crash/restart windows plus an
+//     optional random crash process, applied as epochs advance;
+//   * flaky links — per-conversation drop / corrupt-in-flight
+//     probabilities and latency-spike multipliers folded into the
+//     cluster's virtual-time accounting;
+//   * at-rest bit-rot — bits flipped in stored shards as epochs advance.
+//
+// Every fault lands in a timeline log, so "same seed + same schedule =>
+// identical fault sequence" is a testable property, and experiments can
+// report exactly what they survived.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "node/node.h"
+#include "util/rng.h"
+
+namespace aegis {
+
+/// Per-conversation link fault process. Probabilities are evaluated
+/// independently for every conversation with the node.
+struct LinkFaults {
+  double drop_prob = 0.0;        // conversation times out, nothing lands
+  double corrupt_prob = 0.0;     // one wire bit flips in flight
+  double spike_prob = 0.0;       // latency spike (congestion, reroute)
+  double spike_multiplier = 8.0; // virtual-time multiplier for a spike
+};
+
+/// One entry in the fault timeline.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,    // node went offline (detail = restart epoch)
+    kRestart,  // node came back online
+    kBitRot,   // stored shard lost bits (detail = flip count)
+    kDrop,     // conversation dropped in flight
+    kCorrupt,  // conversation corrupted in flight (detail = bit index)
+    kSpike,    // conversation hit a latency spike
+  };
+  Kind kind{};
+  Epoch epoch = 0;
+  NodeId node = 0;
+  std::uint64_t detail = 0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+const char* to_string(FaultEvent::Kind k);
+
+/// Seeded source of node outages, link faults and bit-rot. Owned by
+/// Cluster; quiescent until configured, so fault-free simulations pay
+/// nothing and behave exactly as before.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  // ---- configuration ---------------------------------------------------
+
+  /// Takes the node down at `start` for `duration` epochs (restart at
+  /// start + duration). Windows may overlap; the node restarts when the
+  /// last covering window ends.
+  void schedule_outage(NodeId node, Epoch start, Epoch duration);
+
+  /// Random transient crash process: each epoch every online node crashes
+  /// with probability `crash_prob`, staying down for a uniform duration
+  /// in [min_duration, max_duration] epochs.
+  void set_random_outages(double crash_prob, Epoch min_duration,
+                          Epoch max_duration);
+
+  /// Installs a link fault process for every node.
+  void set_link_faults(const LinkFaults& faults);
+
+  /// Per-node override (e.g. one flaky WAN replica in a healthy fleet).
+  void set_link_faults(NodeId node, const LinkFaults& faults);
+
+  /// At-rest decay: expected bit flips per MiB of stored shard data per
+  /// epoch, applied to every node (online or not — rot ignores power
+  /// state) as epochs advance.
+  void set_bitrot(double flips_per_mib_per_epoch);
+
+  /// True once any fault source is configured.
+  bool active() const;
+
+  // ---- hooks driven by Cluster ------------------------------------------
+
+  /// Applies epoch-scoped faults: ends expired outages, starts scheduled
+  /// and random ones, then rots stored shards.
+  void on_epoch(Epoch now, std::vector<StorageNode>& nodes);
+
+  /// What happens to one conversation with `node` right now.
+  struct TransferPlan {
+    bool drop = false;
+    bool corrupt = false;
+    std::size_t corrupt_bit = 0;    // which wire bit flips
+    double latency_multiplier = 1.0;
+  };
+  TransferPlan plan_transfer(NodeId node, Epoch now, std::size_t wire_bytes);
+
+  /// Every fault injected so far, in injection order.
+  const std::vector<FaultEvent>& timeline() const { return timeline_; }
+
+ private:
+  const LinkFaults& faults_for(NodeId node) const;
+
+  struct Outage {
+    NodeId node = 0;
+    Epoch start = 0;
+    Epoch end = 0;  // exclusive: node restarts at this epoch
+    bool begun = false;
+  };
+
+  SimRng rng_;
+  std::vector<Outage> outages_;
+  double crash_prob_ = 0.0;
+  Epoch crash_min_ = 1;
+  Epoch crash_max_ = 1;
+  LinkFaults default_link_;
+  std::map<NodeId, LinkFaults> per_node_link_;
+  double bitrot_per_mib_ = 0.0;
+  std::vector<FaultEvent> timeline_;
+};
+
+}  // namespace aegis

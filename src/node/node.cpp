@@ -1,8 +1,18 @@
 #include "node/node.h"
 
+#include <type_traits>
+
 #include "util/serde.h"
 
 namespace aegis {
+
+// The wire format narrows stored_at through ByteWriter::u32, and
+// proactive-refresh semantics depend on exact epoch round-trips. If Epoch
+// ever widens, widen the wire field (and bump the blob format) with it.
+static_assert(std::is_unsigned_v<Epoch> &&
+                  sizeof(Epoch) <= sizeof(std::uint32_t),
+              "StoredBlob stores stored_at as a u32 on the wire; a wider "
+              "Epoch would silently truncate");
 
 Bytes StoredBlob::serialize() const {
   ByteWriter w;
@@ -68,6 +78,13 @@ std::vector<const StoredBlob*> StorageNode::all_blobs() const {
   std::vector<const StoredBlob*> out;
   out.reserve(blobs_.size());
   for (const auto& [k, b] : blobs_) out.push_back(&b);
+  return out;
+}
+
+std::vector<StoredBlob*> StorageNode::all_blobs_mut() {
+  std::vector<StoredBlob*> out;
+  out.reserve(blobs_.size());
+  for (auto& [k, b] : blobs_) out.push_back(&b);
   return out;
 }
 

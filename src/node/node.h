@@ -59,6 +59,11 @@ class StorageNode {
   /// Full contents — the mobile adversary's view when it owns the node.
   std::vector<const StoredBlob*> all_blobs() const;
 
+  /// Mutable contents — the fault injector's hook for at-rest bit-rot.
+  /// Bit flips keep sizes constant, so storage accounting stays valid;
+  /// anything that resizes a blob must go through put()/erase().
+  std::vector<StoredBlob*> all_blobs_mut();
+
   std::uint64_t bytes_stored() const { return bytes_stored_; }
   std::size_t blob_count() const { return blobs_.size(); }
 

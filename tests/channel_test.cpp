@@ -189,9 +189,9 @@ TEST(BsmChannel, ClusterTransportWorks) {
   b.object = "x";
   b.shard_index = 0;
   b.data = Bytes(100, 7);
-  EXPECT_TRUE(cluster.upload(0, b));
+  EXPECT_EQ(cluster.upload(0, b), TransferStatus::kOk);
   const auto got = cluster.download(0, "x", 0);
-  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->data, Bytes(100, 7));
 }
 

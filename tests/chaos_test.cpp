@@ -1,0 +1,214 @@
+// Seeded end-to-end chaos scenarios: epoch loops mixing scheduled
+// outages, flaky links, at-rest bit-rot, the mobile adversary, and
+// periodic scrubbing. The contract under test is the archive's
+// self-healing story — while faults stay within a policy's tolerance the
+// archive loses nothing and never returns wrong bytes; beyond tolerance
+// it degrades to UnrecoverableError, never a crash or silent corruption.
+#include <gtest/gtest.h>
+
+#include "archive/archive.h"
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+#include "node/adversary.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+struct Rig {
+  Cluster cluster;
+  SchemeRegistry registry;
+  ChaChaRng rng;
+  TimestampAuthority tsa;
+  Archive archive;
+
+  Rig(ArchivalPolicy policy, std::uint64_t seed = 1)
+      : cluster(policy.n, policy.channel, seed),
+        rng(seed),
+        tsa(rng),
+        archive(cluster, std::move(policy), registry, tsa, rng) {}
+};
+
+Bytes test_data(std::size_t size, std::uint64_t seed) {
+  SimRng rng(seed);
+  return rng.bytes(size);
+}
+
+// ------------------------------------------------- put() under degradation
+
+TEST(Chaos, PutAgainstPartiallyOfflineClusterReportsUnderReplication) {
+  Rig rig(ArchivalPolicy::FigErasure());  // RS(6,9)
+  const Bytes data = test_data(4000, 21);
+  rig.cluster.fail_node(2);
+  rig.cluster.fail_node(7);
+
+  const PutReport report = rig.archive.put("doc", data);
+  EXPECT_EQ(report.shards_total, 9u);
+  EXPECT_EQ(report.shards_written, 7u);
+  EXPECT_EQ(report.under_replication(), 2u);
+  EXPECT_FALSE(report.fully_replicated());
+  EXPECT_EQ(report.failed_shards, (std::vector<std::uint32_t>{2, 7}));
+
+  // Degraded but durable: the data reads back through 7 of 9 shards.
+  EXPECT_EQ(rig.archive.get("doc"), data);
+}
+
+TEST(Chaos, RepairHealsUnderReplicatedWrite) {
+  Rig rig(ArchivalPolicy::FigErasure());
+  const Bytes data = test_data(4000, 22);
+  rig.cluster.fail_node(2);
+  rig.cluster.fail_node(7);
+  ASSERT_EQ(rig.archive.put("doc", data).under_replication(), 2u);
+
+  rig.cluster.restore_node(2);
+  rig.cluster.restore_node(7);
+  EXPECT_EQ(rig.archive.repair("doc"), 2u);
+  EXPECT_EQ(rig.archive.put("doc2", data).under_replication(), 0u);
+  EXPECT_EQ(rig.archive.get("doc"), data);
+  EXPECT_TRUE(rig.archive.verify("doc").ok());
+}
+
+TEST(Chaos, PutBelowThresholdThrowsAndRollsBack) {
+  Rig rig(ArchivalPolicy::FigErasure());  // needs k=6 of 9
+  for (NodeId id : {0u, 1u, 2u, 3u}) rig.cluster.fail_node(id);
+  EXPECT_THROW(rig.archive.put("doc", test_data(1000, 23)),
+               UnrecoverableError);
+  // No zombie object: manifest gone, surviving nodes hold no shards.
+  EXPECT_EQ(rig.archive.manifests().count("doc"), 0u);
+  for (NodeId id = 4; id < 9; ++id)
+    EXPECT_EQ(rig.cluster.node(id).get("doc", id), nullptr);
+}
+
+TEST(Chaos, PutThroughFlakyLinksRetriesToFullReplication) {
+  Rig rig(ArchivalPolicy::FigErasure());
+  LinkFaults flaky;
+  flaky.drop_prob = 0.25;
+  flaky.corrupt_prob = 0.2;
+  rig.cluster.faults().set_link_faults(flaky);
+
+  const Bytes data = test_data(6000, 24);
+  const PutReport report = rig.archive.put("doc", data);
+  // Bounded retry rode out every transient fault for this seed.
+  EXPECT_TRUE(report.fully_replicated());
+  EXPECT_GT(rig.archive.io_stats().upload_retries, 0u);
+  EXPECT_EQ(rig.archive.get("doc"), data);
+}
+
+// --------------------------------------------------------- epoch chaos loops
+
+// One policy's chaos loop: scheduled rolling outages (one node at a time,
+// every other epoch), flaky links, light bit-rot, the mobile adversary
+// harvesting away, and a scrub every epoch. Faults stay within tolerance,
+// so every read of every epoch must return exactly the stored bytes.
+void chaos_loop_zero_loss(ArchivalPolicy policy, std::uint64_t seed) {
+  SCOPED_TRACE(policy.name + " seed " + std::to_string(seed));
+  const unsigned n = policy.n;
+  // Redundancy margin: shards the policy can lose and still decode.
+  const unsigned margin = n - std::max(policy.k, policy.t);
+  Rig rig(std::move(policy), seed);
+
+  LinkFaults flaky;
+  flaky.drop_prob = 0.1;
+  flaky.corrupt_prob = 0.08;
+  flaky.spike_prob = 0.1;
+  rig.cluster.faults().set_link_faults(flaky);
+  rig.cluster.faults().set_bitrot(4.0);
+  // Rolling one-node outages, at most one node dark at a time. An
+  // outage consumes margin for ~2 epochs (offline, then the breaker's
+  // cooldown during which the stale shard cannot be rewritten), so the
+  // cadence scales with the policy's margin: thin-margin policies get
+  // recovery room between outages, fat-margin ones get hammered.
+  const Epoch stride = margin >= 3 ? 2 : 4;
+  for (Epoch e = 2; e <= 20; e += stride)
+    rig.cluster.faults().schedule_outage((e / stride) % n, e, 1);
+
+  std::map<ObjectId, Bytes> truth;
+  for (int i = 0; i < 3; ++i) {
+    const ObjectId id = "obj" + std::to_string(i);
+    truth[id] = test_data(2000 + 700 * i, seed * 10 + i);
+    rig.archive.put(id, truth[id]);
+  }
+
+  MobileAdversary adversary(1, CorruptionStrategy::kSweep, seed);
+
+  for (Epoch e = 1; e <= 20; ++e) {
+    rig.cluster.advance_epoch();
+    adversary.corrupt_epoch(rig.cluster);  // harvests, per the threat model
+
+    const Archive::ScrubReport scrub = rig.archive.scrub();
+    EXPECT_EQ(scrub.unrecoverable, 0u) << "epoch " << e;
+
+    for (const auto& [id, data] : truth)
+      EXPECT_EQ(rig.archive.get(id), data) << "epoch " << e;
+  }
+
+  // The chaos was real: faults actually fired.
+  EXPECT_FALSE(rig.cluster.faults().timeline().empty());
+  EXPECT_GT(adversary.bytes_harvested(), 0u);
+  for (const auto& [id, data] : truth)
+    EXPECT_TRUE(rig.archive.verify(id).ok()) << id;
+}
+
+TEST(Chaos, ErasureSurvivesEpochLoopWithinTolerance) {
+  chaos_loop_zero_loss(ArchivalPolicy::FigErasure(), 101);
+}
+
+TEST(Chaos, ShamirSurvivesEpochLoopWithinTolerance) {
+  chaos_loop_zero_loss(ArchivalPolicy::FigShamir(), 102);
+}
+
+TEST(Chaos, LincosSurvivesEpochLoopWithinTolerance) {
+  chaos_loop_zero_loss(ArchivalPolicy::Lincos(), 103);
+}
+
+// ------------------------------------------------------- beyond tolerance
+
+TEST(Chaos, BeyondToleranceFailsCleanlyNeverWrongBytes) {
+  Rig rig(ArchivalPolicy::FigErasure());  // tolerance: n - k = 3
+  const Bytes data = test_data(3000, 31);
+  rig.archive.put("doc", data);
+
+  // Rot 4 shards at rest — one past tolerance.
+  for (NodeId id = 0; id < 4; ++id) {
+    for (StoredBlob* blob : rig.cluster.node(id).all_blobs_mut())
+      blob->data[blob->data.size() / 2] ^= 0x40;
+  }
+
+  // Reads degrade to a clean failure: never a crash, never wrong bytes.
+  try {
+    const Bytes got = rig.archive.get("doc");
+    FAIL() << "read beyond tolerance returned "
+           << (got == data ? "impossibly-correct" : "WRONG") << " bytes";
+  } catch (const UnrecoverableError&) {
+    // expected
+  }
+
+  Archive::ScrubReport scrub = rig.archive.scrub();
+  EXPECT_EQ(scrub.unrecoverable, 1u);
+
+  // Within tolerance the same machinery heals: un-rot one shard.
+  for (StoredBlob* blob : rig.cluster.node(3).all_blobs_mut())
+    blob->data[blob->data.size() / 2] ^= 0x40;
+  EXPECT_EQ(rig.archive.repair("doc"), 3u);
+  EXPECT_EQ(rig.archive.get("doc"), data);
+  EXPECT_TRUE(rig.archive.verify("doc").ok());
+}
+
+TEST(Chaos, TotalBlackoutIsUnrecoverableNotACrash) {
+  Rig rig(ArchivalPolicy::FigShamir());  // (3,5)
+  const Bytes data = test_data(800, 32);
+  rig.archive.put("doc", data);
+  for (NodeId id = 0; id < 5; ++id) rig.cluster.fail_node(id);
+  EXPECT_THROW(rig.archive.get("doc"), UnrecoverableError);
+  EXPECT_THROW(rig.archive.repair("doc"), UnrecoverableError);
+  const Archive::ScrubReport scrub = rig.archive.scrub();
+  EXPECT_EQ(scrub.unrecoverable, 1u);
+
+  // Power restored: nothing was actually lost at rest.
+  for (NodeId id = 0; id < 5; ++id) rig.cluster.restore_node(id);
+  EXPECT_EQ(rig.archive.get("doc"), data);
+}
+
+}  // namespace
+}  // namespace aegis

@@ -64,9 +64,9 @@ TEST(Cluster, UploadDownloadRoundTrip) {
   for (ChannelKind kind :
        {ChannelKind::kPlain, ChannelKind::kTls, ChannelKind::kQkd}) {
     Cluster cluster(3, kind, 42);
-    EXPECT_TRUE(cluster.upload(1, blob("obj", 0, 0, 64)));
+    EXPECT_EQ(cluster.upload(1, blob("obj", 0, 0, 64)), TransferStatus::kOk);
     const auto got = cluster.download(1, "obj", 0);
-    ASSERT_TRUE(got.has_value()) << to_string(kind);
+    ASSERT_TRUE(got.ok()) << to_string(kind);
     EXPECT_EQ(got->data, Bytes(64, 0));
     EXPECT_EQ(cluster.stats().uploads, 1u);
     EXPECT_EQ(cluster.stats().downloads, 1u);
@@ -76,10 +76,13 @@ TEST(Cluster, UploadDownloadRoundTrip) {
 TEST(Cluster, OfflineNodeRefusesTraffic) {
   Cluster cluster(3, ChannelKind::kPlain, 1);
   cluster.fail_node(2);
-  EXPECT_FALSE(cluster.upload(2, blob("x", 0)));
+  EXPECT_EQ(cluster.upload(2, blob("x", 0)), TransferStatus::kNodeOffline);
+  EXPECT_EQ(cluster.download(2, "x", 0).status,
+            TransferStatus::kNodeOffline);
   EXPECT_EQ(cluster.online_count(), 2u);
   cluster.restore_node(2);
-  EXPECT_TRUE(cluster.upload(2, blob("x", 0)));
+  EXPECT_EQ(cluster.upload(2, blob("x", 0)), TransferStatus::kOk);
+  EXPECT_EQ(cluster.download(2, "y", 9).status, TransferStatus::kMissing);
 }
 
 TEST(Cluster, WiretapRecordsEveryConversation) {
@@ -204,6 +207,174 @@ TEST(MobileAdversary, HarvestRecordsEpochAndGeneration) {
 TEST(MobileAdversary, ZeroBudgetRejected) {
   EXPECT_THROW(MobileAdversary(0, CorruptionStrategy::kRandom, 1),
                InvalidArgument);
+}
+
+// ---------------------------------------------------------- Fault injection
+
+TEST(FaultInjector, ScheduledOutageCrashesAndRestarts) {
+  Cluster cluster(3, ChannelKind::kPlain, 5);
+  cluster.faults().schedule_outage(1, 2, 3);  // down epochs 2,3,4
+  for (Epoch e = 1; e <= 6; ++e) {
+    cluster.advance_epoch();
+    const bool expect_online = e < 2 || e >= 5;
+    EXPECT_EQ(cluster.node(1).online(), expect_online) << "epoch " << e;
+  }
+  // Timeline recorded exactly one crash and one restart for node 1.
+  unsigned crashes = 0, restarts = 0;
+  for (const FaultEvent& ev : cluster.faults().timeline()) {
+    crashes += ev.kind == FaultEvent::Kind::kCrash;
+    restarts += ev.kind == FaultEvent::Kind::kRestart;
+  }
+  EXPECT_EQ(crashes, 1u);
+  EXPECT_EQ(restarts, 1u);
+}
+
+TEST(FaultInjector, DroppedConversationsReportAndCharge) {
+  Cluster cluster(2, ChannelKind::kPlain, 6);
+  LinkFaults flaky;
+  flaky.drop_prob = 1.0;
+  cluster.faults().set_link_faults(0, flaky);
+
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kDropped);
+  EXPECT_GT(cluster.simulated_ms(), 0.0);  // the timeout is not free
+  EXPECT_EQ(cluster.stats().uploads, 0u);  // nothing landed
+  EXPECT_EQ(cluster.stats().dropped, 1u);
+  // The healthy node is unaffected.
+  EXPECT_EQ(cluster.upload(1, blob("a", 1)), TransferStatus::kOk);
+}
+
+TEST(FaultInjector, CorruptedUploadNeverStoresCleanShard) {
+  Cluster cluster(1, ChannelKind::kPlain, 7);
+  LinkFaults noisy;
+  noisy.corrupt_prob = 1.0;
+  cluster.faults().set_link_faults(noisy);
+
+  const StoredBlob sent = blob("a", 0, 0, 256);
+  EXPECT_EQ(cluster.upload(0, sent), TransferStatus::kCorrupted);
+  // Whatever (if anything) landed must differ from the sent frame.
+  const StoredBlob* stored = cluster.node(0).get("a", 0);
+  if (stored != nullptr) {
+    EXPECT_FALSE(stored->object == sent.object &&
+                 stored->shard_index == sent.shard_index &&
+                 stored->generation == sent.generation &&
+                 stored->stored_at == sent.stored_at &&
+                 stored->data == sent.data);
+  }
+}
+
+TEST(FaultInjector, LatencySpikeMultipliesVirtualTime) {
+  Cluster calm(1, ChannelKind::kPlain, 8);
+  Cluster spiky(1, ChannelKind::kPlain, 8);
+  LinkFaults f;
+  f.spike_prob = 1.0;
+  f.spike_multiplier = 10.0;
+  spiky.faults().set_link_faults(f);
+
+  calm.upload(0, blob("a", 0, 0, 1000));
+  spiky.upload(0, blob("a", 0, 0, 1000));
+  EXPECT_NEAR(spiky.simulated_ms(), 10.0 * calm.simulated_ms(), 1e-6);
+}
+
+TEST(FaultInjector, BitRotFlipsStoredBits) {
+  Cluster cluster(1, ChannelKind::kPlain, 9);
+  cluster.upload(0, blob("a", 0, 0, 4096));
+  const Bytes before = cluster.node(0).get("a", 0)->data;
+
+  cluster.faults().set_bitrot(10000.0);  // heavy rot, tiny blob
+  cluster.advance_epoch();
+  const Bytes after = cluster.node(0).get("a", 0)->data;
+  EXPECT_NE(before, after);
+  EXPECT_EQ(before.size(), after.size());
+
+  bool rot_logged = false;
+  for (const FaultEvent& ev : cluster.faults().timeline())
+    rot_logged |= ev.kind == FaultEvent::Kind::kBitRot;
+  EXPECT_TRUE(rot_logged);
+}
+
+TEST(FaultInjector, Validation) {
+  Cluster cluster(1, ChannelKind::kPlain, 10);
+  EXPECT_THROW(cluster.faults().schedule_outage(0, 1, 0), InvalidArgument);
+  EXPECT_THROW(cluster.faults().set_random_outages(1.5, 1, 2),
+               InvalidArgument);
+  EXPECT_THROW(cluster.faults().set_random_outages(0.1, 3, 2),
+               InvalidArgument);
+  EXPECT_THROW(cluster.faults().set_bitrot(-1.0), InvalidArgument);
+  LinkFaults bad;
+  bad.drop_prob = 2.0;
+  EXPECT_THROW(cluster.faults().set_link_faults(bad), InvalidArgument);
+  EXPECT_FALSE(cluster.faults().active());
+  cluster.faults().set_bitrot(0.5);
+  EXPECT_TRUE(cluster.faults().active());
+}
+
+// ---------------------------------------------------------- Circuit breaker
+
+TEST(CircuitBreaker, QuarantinesAfterConsecutiveFailuresAndReprobes) {
+  Cluster cluster(2, ChannelKind::kPlain, 11);
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown_epochs = 2;
+  cluster.set_breaker_policy(breaker);
+
+  cluster.node(0).set_online(false);  // direct: keep health bookkeeping
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kNodeOffline);
+
+  // Breaker now open: requests are refused without touching the node.
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kQuarantined);
+  EXPECT_EQ(cluster.download(0, "a", 0).status,
+            TransferStatus::kQuarantined);
+  EXPECT_EQ(cluster.health(0).quarantines, 1u);
+  EXPECT_EQ(cluster.stats().quarantine_rejections, 2u);
+
+  // The node comes back, but the breaker stays open until the cooldown.
+  cluster.node(0).set_online(true);
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kQuarantined);
+  cluster.advance_epoch();
+  cluster.advance_epoch();
+  // Cooldown over: the re-probe goes through and closes the breaker.
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kOk);
+  EXPECT_EQ(cluster.health(0).consecutive_failures, 0u);
+}
+
+TEST(CircuitBreaker, FailedReprobeReopensImmediately) {
+  Cluster cluster(1, ChannelKind::kPlain, 12);
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown_epochs = 1;
+  cluster.set_breaker_policy(breaker);
+
+  cluster.node(0).set_online(false);
+  cluster.upload(0, blob("a", 0));
+  cluster.upload(0, blob("a", 0));
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kQuarantined);
+
+  cluster.advance_epoch();  // cooldown passes, node still down
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kNodeOffline);
+  // That failed probe re-opened the breaker at once.
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kQuarantined);
+  EXPECT_EQ(cluster.health(0).quarantines, 2u);
+}
+
+TEST(CircuitBreaker, ManualRestoreClearsBreakerState) {
+  Cluster cluster(1, ChannelKind::kPlain, 13);
+  cluster.fail_node(0);
+  for (int i = 0; i < 5; ++i) cluster.upload(0, blob("a", 0));
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kQuarantined);
+
+  cluster.restore_node(0);  // administrator says: healthy again
+  EXPECT_EQ(cluster.upload(0, blob("a", 0)), TransferStatus::kOk);
+}
+
+TEST(StoredBlob, EpochRoundTripsExactly) {
+  // Proactive-refresh bookkeeping depends on exact stored_at round-trips
+  // through the u32 wire field — exercise the extreme epoch values.
+  for (const Epoch epoch : {Epoch{0}, Epoch{1}, Epoch{0xffffffffu}}) {
+    StoredBlob b = blob("e", 0);
+    b.stored_at = epoch;
+    EXPECT_EQ(StoredBlob::deserialize(b.serialize()).stored_at, epoch);
+  }
 }
 
 }  // namespace

@@ -26,38 +26,48 @@ namespace {
 
 // Exercises one parser against truncations, bit flips and random bytes.
 // `parse` must either throw aegis::Error (or std::exception subtypes we
-// expect from parsing) or succeed.
+// expect from parsing) or succeed. An unexpected exception type fails
+// the test with the mutation seed/stage/offset, so the exact input that
+// escaped the contract can be replayed.
 template <typename ParseFn>
 void fuzz_parser(const Bytes& valid, ParseFn parse, std::uint64_t seed) {
   SimRng rng(seed);
 
-  // Every truncation length.
+  const auto attempt = [&](ByteView input, const char* stage,
+                           std::uint64_t detail) {
+    try {
+      parse(input);
+    } catch (const Error&) {
+      // expected: the parser rejected the mutation cleanly
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "non-aegis exception escaped parser: seed=" << seed
+                    << " stage=" << stage << " detail=" << detail << ": "
+                    << e.what();
+    } catch (...) {
+      ADD_FAILURE() << "non-exception type escaped parser: seed=" << seed
+                    << " stage=" << stage << " detail=" << detail;
+    }
+  };
+
+  // Every truncation length (detail = length kept).
   for (std::size_t len = 0; len < valid.size(); ++len) {
     const Bytes cut(valid.begin(), valid.begin() + len);
-    try {
-      parse(cut);
-    } catch (const Error&) {
-    }
+    attempt(cut, "truncate", len);
   }
 
-  // Random single-bit flips.
+  // Random single-bit flips (detail = byte_offset * 8 + bit).
   for (int trial = 0; trial < 200; ++trial) {
     Bytes mut = valid;
-    mut[rng.uniform(mut.size())] ^= static_cast<std::uint8_t>(
-        1u << rng.uniform(8));
-    try {
-      parse(mut);
-    } catch (const Error&) {
-    }
+    const std::uint64_t offset = rng.uniform(mut.size());
+    const std::uint64_t bit = rng.uniform(8);
+    mut[offset] ^= static_cast<std::uint8_t>(1u << bit);
+    attempt(mut, "bitflip", offset * 8 + bit);
   }
 
-  // Pure garbage of assorted sizes.
+  // Pure garbage of assorted sizes (detail = length).
   for (std::size_t len : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
     const Bytes junk = rng.bytes(len);
-    try {
-      parse(junk);
-    } catch (const Error&) {
-    }
+    attempt(junk, "garbage", len);
   }
 }
 
@@ -139,6 +149,40 @@ TEST(Robustness, EcPointDecoder) {
   const auto& curve = ec::Secp256k1::instance();
   const Bytes valid = curve.encode(curve.generator());
   fuzz_parser(valid, [&](ByteView b) { (void)curve.decode(b); }, 10);
+}
+
+TEST(Robustness, FaultInjectorDeterminism) {
+  // Same seed + same schedule => identical fault timeline, bit for bit.
+  const auto run = [](std::uint64_t seed) {
+    Cluster cluster(6, ChannelKind::kPlain, seed);
+    FaultInjector& faults = cluster.faults();
+    faults.schedule_outage(2, 3, 2);
+    faults.set_random_outages(0.15, 1, 3);
+    LinkFaults link;
+    link.drop_prob = 0.2;
+    link.corrupt_prob = 0.15;
+    link.spike_prob = 0.1;
+    faults.set_link_faults(link);
+    faults.set_bitrot(256.0);
+
+    StoredBlob blob;
+    blob.object = "obj";
+    blob.data = Bytes(512, 0xab);
+    for (NodeId i = 0; i < 6; ++i) {
+      blob.shard_index = i;
+      cluster.upload(i, blob);
+    }
+    for (int epoch = 0; epoch < 20; ++epoch) {
+      cluster.advance_epoch();
+      for (NodeId i = 0; i < 6; ++i) cluster.download(i, "obj", i);
+    }
+    return cluster.faults().timeline();
+  };
+
+  const auto first = run(77);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run(77));   // replayable
+  EXPECT_NE(first, run(78));   // and actually seed-dependent
 }
 
 TEST(Robustness, CorruptedBlobOnNodeNeverCrashesReads) {

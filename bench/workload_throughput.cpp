@@ -7,6 +7,7 @@
 // the recurring cost §3.2 worries about — for the policies that run one.
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "archive/archive.h"
@@ -83,6 +84,44 @@ int main() {
                 p.name.c_str(), archive.storage_report().overhead(),
                 mb / ingest_s, mb / read_s, refresh_s_per_gb,
                 cluster.simulated_ms() / 1000.0);
+  }
+
+  // -------------------------------------------------- pool scaling
+  // Same workload under the heaviest sharing policy at several
+  // encode_workers settings. Output is bit-identical across rows (the
+  // determinism contract); only wall-clock moves, and only on
+  // multi-core hosts.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "\nPool scaling, policy potshards (hardware threads: %u)\n\n"
+      "%-16s %11s %11s\n",
+      hw, "encode_workers", "ingest MB/s", "read MB/s");
+  for (unsigned workers : {1u, 2u, 4u, hw}) {
+    ArchivalPolicy p = ArchivalPolicy::Potshards();
+    p.encode_workers = workers;
+    Cluster cluster(12, ChannelKind::kPlain, 1);
+    SchemeRegistry registry;
+    ChaChaRng rng(1);
+    TimestampAuthority tsa(rng);
+    Archive archive(cluster, p, registry, tsa, rng);
+
+    WorkloadGenerator gen(wl);
+    std::vector<ObjectId> ids;
+    std::uint64_t logical = 0;
+    auto start = std::chrono::steady_clock::now();
+    while (gen.remaining() > 0) {
+      WorkloadItem item = gen.next();
+      logical += item.data.size();
+      archive.put(item.id, item.data);
+      ids.push_back(item.id);
+    }
+    const double ingest_s = secs_since(start);
+    start = std::chrono::steady_clock::now();
+    for (const ObjectId& id : ids) (void)archive.get(id);
+    const double read_s = secs_since(start);
+    const double mb = logical / 1.0e6;
+    std::printf("%-16u %11.1f %11.1f\n", workers, mb / ingest_s,
+                mb / read_s);
   }
 
   std::printf(

@@ -6,6 +6,7 @@
 #include "archive/aont.h"
 #include "crypto/cipher.h"
 #include "crypto/sha256.h"
+#include "erasure/codec_cache.h"
 #include "erasure/reed_solomon.h"
 #include "integrity/merkle.h"
 #include "integrity/notary.h"
@@ -150,7 +151,13 @@ Archive::Archive(Cluster& cluster, ArchivalPolicy policy,
       registry_(registry),
       tsa_(tsa),
       rng_(rng),
-      vault_(rng) {
+      vault_(rng),
+      // pool_ initializes after policy_ (declaration order); workers are
+      // clamped so a bogus policy throws in validate() below rather than
+      // exhausting threads here.
+      pool_(policy_.encode_workers <= 1 ? 0
+                                        : std::min(policy_.encode_workers,
+                                                   256u)) {
   policy_.validate();
   if (policy_.n > cluster_.size())
     throw InvalidArgument(
@@ -184,23 +191,23 @@ std::vector<Bytes> Archive::encode(const ObjectId& id, ByteView data,
       return std::vector<Bytes>(m.n, to_bytes(data));
 
     case EncodingKind::kErasure:
-      return ReedSolomon(m.k, m.n).encode(data);
+      return rs_codec(m.k, m.n).encode(data, &pool_);
 
     case EncodingKind::kEncryptErasure:
     case EncodingKind::kEntropicErasure:
     case EncodingKind::kCascade: {
       const Bytes ct = apply_ciphers(id, data, m.current_ciphers());
-      return ReedSolomon(m.k, m.n).encode(ct);
+      return rs_codec(m.k, m.n).encode(ct, &pool_);
     }
 
     case EncodingKind::kAontRs: {
       const Bytes package =
           aont_package(data, m.current_ciphers()[0], rng_);
-      return ReedSolomon(m.k, m.n).encode(package);
+      return rs_codec(m.k, m.n).encode(package, &pool_);
     }
 
     case EncodingKind::kShamir: {
-      const auto shares = shamir_split(data, m.t, m.n, rng_);
+      const auto shares = shamir_split(data, m.t, m.n, rng_, &pool_);
       std::vector<Bytes> out;
       out.reserve(shares.size());
       for (const auto& s : shares) out.push_back(s.data);
@@ -208,8 +215,8 @@ std::vector<Bytes> Archive::encode(const ObjectId& id, ByteView data,
     }
 
     case EncodingKind::kPacked: {
-      const PackedSharing ps(m.t, m.k, m.n);
-      const auto shares = ps.split(data, rng_);
+      const PackedSharing& ps = packed_codec(m.t, m.k, m.n);
+      const auto shares = ps.split(data, rng_, &pool_);
       std::vector<Bytes> out;
       out.reserve(shares.size());
       for (const auto& s : shares) out.push_back(s.data);
@@ -241,13 +248,13 @@ Bytes Archive::decode(const ObjectManifest& m,
     }
 
     case EncodingKind::kErasure:
-      return ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+      return rs_codec(m.k, m.n).decode(shards, payload_size(m), &pool_);
 
     case EncodingKind::kEncryptErasure:
     case EncodingKind::kEntropicErasure:
     case EncodingKind::kCascade: {
       const Bytes ct =
-          ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+          rs_codec(m.k, m.n).decode(shards, payload_size(m), &pool_);
       // XOR-stream ciphers invert by re-application, outermost first.
       std::vector<SchemeId> stack = m.current_ciphers();
       const ObjectKey* key = vault_.find(m.id);
@@ -265,7 +272,7 @@ Bytes Archive::decode(const ObjectManifest& m,
 
     case EncodingKind::kAontRs: {
       const Bytes package =
-          ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+          rs_codec(m.k, m.n).decode(shards, payload_size(m), &pool_);
       return aont_unpackage(package);
     }
 
@@ -277,11 +284,11 @@ Bytes Archive::decode(const ObjectManifest& m,
               {static_cast<std::uint8_t>(i + 1), std::move(*shards[i])});
         if (have.size() == m.t) break;
       }
-      return shamir_recover(have, m.t);
+      return shamir_recover(have, m.t, &pool_);
     }
 
     case EncodingKind::kPacked: {
-      const PackedSharing ps(m.t, m.k, m.n);
+      const PackedSharing& ps = packed_codec(m.t, m.k, m.n);
       std::vector<PackedShare> have;
       for (std::uint32_t i = 0; i < shards.size(); ++i) {
         if (shards[i])
@@ -289,7 +296,7 @@ Bytes Archive::decode(const ObjectManifest& m,
                           std::move(*shards[i])});
         if (have.size() == ps.recover_threshold()) break;
       }
-      return ps.recover(have, m.size);
+      return ps.recover(have, m.size, &pool_);
     }
 
     case EncodingKind::kLrss: {
@@ -522,7 +529,7 @@ void Archive::refresh() {
         }
         if (!complete) break;  // degraded: repair first, refresh next epoch
         RefreshStats stats;
-        const auto fresh = proactive_refresh(shares, m.t, rng_, &stats);
+        const auto fresh = proactive_refresh(shares, m.t, rng_, &stats, &pool_);
         cluster_.count_refresh_traffic(stats.messages, stats.bytes);
         ++m.generation;
         m.cipher_history.push_back(m.current_ciphers());
@@ -599,7 +606,8 @@ void Archive::rewrap(SchemeId new_outer_cipher) {
     // Reconstruct the (layered) ciphertext — NOT the plaintext: the
     // re-wrap adds a layer without ever removing the old ones.
     auto shards = gather(m, m.k);
-    const Bytes ct = ReedSolomon(m.k, m.n).decode(shards, payload_size(m));
+    const Bytes ct =
+        rs_codec(m.k, m.n).decode(shards, payload_size(m), &pool_);
 
     const ObjectKey* key = vault_.find(id);
     const unsigned layer = static_cast<unsigned>(m.current_ciphers().size());
@@ -612,7 +620,7 @@ void Archive::rewrap(SchemeId new_outer_cipher) {
     stack.push_back(new_outer_cipher);
     ++m.generation;
     m.cipher_history.push_back(std::move(stack));
-    disperse(m, ReedSolomon(m.k, m.n).encode(wrapped));
+    disperse(m, rs_codec(m.k, m.n).encode(wrapped, &pool_));
   }
   policy_.ciphers.push_back(new_outer_cipher);
 }
@@ -625,7 +633,7 @@ void Archive::reencrypt(const std::vector<SchemeId>& fresh) {
     ++m.generation;
     m.cipher_history.push_back(fresh);
     const Bytes ct = apply_ciphers(id, data, fresh);
-    disperse(m, ReedSolomon(m.k, m.n).encode(ct));
+    disperse(m, rs_codec(m.k, m.n).encode(ct, &pool_));
   }
   policy_.ciphers = fresh;
 }
@@ -679,7 +687,7 @@ unsigned Archive::repair(const ObjectId& id) {
         throw UnrecoverableError("repair: no replica of " + id + " survives");
       full.assign(m.n, *good);
     } else {
-      full = ReedSolomon(m.k, m.n).reconstruct_shards(shards);
+      full = rs_codec(m.k, m.n).reconstruct_shards(shards, &pool_);
     }
     unsigned rewritten = 0;
     for (std::uint32_t i = 0; i < m.n; ++i) {

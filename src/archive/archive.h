@@ -30,6 +30,7 @@
 #include "integrity/timestamp.h"
 #include "node/cluster.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace aegis {
 
@@ -290,6 +291,10 @@ class Archive {
   KeyVault vault_;
   IoStats io_stats_;
   std::map<ObjectId, ObjectManifest> manifests_;
+  // Compute pool for the encode/decode pipeline (policy.encode_workers).
+  // Mutable because decode() is const but borrows the pool; the pool
+  // carries no archive state. Cluster I/O never runs on it.
+  mutable ThreadPool pool_;
 };
 
 }  // namespace aegis

@@ -85,6 +85,8 @@ void ArchivalPolicy::validate() const {
   }
   if (backoff_base_ms < 0.0)
     throw InvalidArgument("policy: negative retry backoff");
+  if (encode_workers > 256)
+    throw InvalidArgument("policy: encode_workers > 256 is surely a typo");
   const bool needs_cipher = encoding == EncodingKind::kEncryptErasure ||
                             encoding == EncodingKind::kCascade ||
                             encoding == EncodingKind::kAontRs;

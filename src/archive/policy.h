@@ -76,6 +76,14 @@ struct ArchivalPolicy {
   unsigned io_retries = 3;
   double backoff_base_ms = 5.0;
 
+  // Worker threads for the encode/decode compute pipeline (RS parity
+  // rows, share-column arithmetic). 0 or 1 = single-threaded on the
+  // calling thread — the fully deterministic default. Results are
+  // bit-identical for every value; only wall-clock changes. Cluster I/O
+  // always stays on the calling thread regardless (the fault timeline
+  // must replay deterministically).
+  unsigned encode_workers = 1;
+
   /// Threshold an adversary must reach to reconstruct content from
   /// at-rest material alone: shares-needed for sharing encodings,
   /// data-shards-needed for erasure encodings, 1 for replication.

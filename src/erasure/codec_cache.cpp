@@ -1,0 +1,28 @@
+#include "erasure/codec_cache.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+namespace aegis {
+
+const ReedSolomon& rs_codec(unsigned k, unsigned n, RsMatrix kind) {
+  using Key = std::tuple<unsigned, unsigned, RsMatrix>;
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<const ReedSolomon>>* cache =
+      new std::map<Key, std::unique_ptr<const ReedSolomon>>();  // leaked:
+  // references escape to callers, so the cache must outlive every
+  // static destructor.
+
+  const Key key{k, n, kind};
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, std::make_unique<const ReedSolomon>(k, n, kind))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace aegis

@@ -1,0 +1,27 @@
+// Process-wide cache of immutable Reed-Solomon codecs.
+//
+// Constructing a ReedSolomon is O(n·k²) field operations (Vandermonde
+// systematization inverts a k×k block), which the hot paths in
+// archive.cpp used to pay on *every* encode/decode/repair call. Codecs
+// are stateless after construction, so one instance per (k, n, kind)
+// geometry can serve every caller for the process lifetime.
+//
+// The cache is also a correctness guard: geometry is validated exactly
+// once (the ReedSolomon constructor throws on bad k/n), and every later
+// lookup with the same parameters is guaranteed to hit the same
+// already-validated matrix — a k/n transposition typo cannot silently
+// build a second, different codec mid-object.
+#pragma once
+
+#include "erasure/reed_solomon.h"
+
+namespace aegis {
+
+/// Returns the shared codec for (k, n, kind), constructing it on first
+/// use. Thread-safe; the returned reference stays valid for the process
+/// lifetime (entries are never evicted — the set of geometries in a
+/// deployment is tiny). Throws InvalidArgument on invalid geometry.
+const ReedSolomon& rs_codec(unsigned k, unsigned n,
+                            RsMatrix kind = RsMatrix::kVandermonde);
+
+}  // namespace aegis

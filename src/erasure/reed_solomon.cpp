@@ -101,7 +101,7 @@ ReedSolomon::ReedSolomon(unsigned k, unsigned n, RsMatrix kind)
   matrix_ = mat_mul(base, n, invert_matrix(std::move(top), k), k);
 }
 
-std::vector<Bytes> ReedSolomon::encode(ByteView data) const {
+std::vector<Bytes> ReedSolomon::encode(ByteView data, ThreadPool* pool) const {
   const std::size_t shard_size = (data.size() + k_ - 1) / k_;
   std::vector<Bytes> data_shards(k_, Bytes(shard_size, 0));
   for (unsigned i = 0; i < k_; ++i) {
@@ -112,11 +112,11 @@ std::vector<Bytes> ReedSolomon::encode(ByteView data) const {
                 data_shards[i].begin());
     }
   }
-  return encode_shards(data_shards);
+  return encode_shards(data_shards, pool);
 }
 
 std::vector<Bytes> ReedSolomon::encode_shards(
-    const std::vector<Bytes>& data_shards) const {
+    const std::vector<Bytes>& data_shards, ThreadPool* pool) const {
   if (data_shards.size() != k_)
     throw InvalidArgument("RS::encode_shards: need exactly k data shards");
   const std::size_t shard_size = data_shards[0].size();
@@ -126,19 +126,24 @@ std::vector<Bytes> ReedSolomon::encode_shards(
 
   std::vector<Bytes> shards = data_shards;
   shards.resize(n_);
-  for (unsigned r = k_; r < n_; ++r) {
-    Bytes parity(shard_size, 0);
-    for (unsigned j = 0; j < k_; ++j) {
-      gf256::mul_add_row(MutByteView(parity.data(), parity.size()),
-                         data_shards[j], row(r)[j]);
+  for (unsigned r = k_; r < n_; ++r) shards[r].assign(shard_size, 0);
+  // Parity rows are independent accumulations into disjoint buffers, so
+  // the partition across workers cannot change the result.
+  parallel_blocks(pool, n_ - k_, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t p = b0; p < b1; ++p) {
+      const unsigned r = k_ + static_cast<unsigned>(p);
+      Bytes& parity = shards[r];
+      for (unsigned j = 0; j < k_; ++j) {
+        gf256::mul_add_row(MutByteView(parity.data(), parity.size()),
+                           data_shards[j], row(r)[j]);
+      }
     }
-    shards[r] = std::move(parity);
-  }
+  });
   return shards;
 }
 
 std::vector<Bytes> ReedSolomon::reconstruct_shards(
-    const std::vector<std::optional<Bytes>>& shards) const {
+    const std::vector<std::optional<Bytes>>& shards, ThreadPool* pool) const {
   if (shards.size() != n_)
     throw InvalidArgument("RS::reconstruct: need an n-entry shard vector");
 
@@ -167,19 +172,21 @@ std::vector<Bytes> ReedSolomon::reconstruct_shards(
   const std::vector<std::uint8_t> inv = invert_matrix(std::move(sub), k_);
 
   std::vector<Bytes> data_shards(k_);
-  for (unsigned i = 0; i < k_; ++i) {
-    Bytes out(shard_size, 0);
-    for (unsigned j = 0; j < k_; ++j) {
-      gf256::mul_add_row(MutByteView(out.data(), out.size()), *shards[have[j]],
-                         inv[i * k_ + j]);
+  for (unsigned i = 0; i < k_; ++i) data_shards[i].assign(shard_size, 0);
+  parallel_blocks(pool, k_, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t i = b0; i < b1; ++i) {
+      Bytes& out = data_shards[i];
+      for (unsigned j = 0; j < k_; ++j) {
+        gf256::mul_add_row(MutByteView(out.data(), out.size()),
+                           *shards[have[j]], inv[i * k_ + j]);
+      }
     }
-    data_shards[i] = std::move(out);
-  }
-  return encode_shards(data_shards);
+  });
+  return encode_shards(data_shards, pool);
 }
 
 Bytes ReedSolomon::decode(const std::vector<std::optional<Bytes>>& shards,
-                          std::size_t original_size) const {
+                          std::size_t original_size, ThreadPool* pool) const {
   // Fast path: all data shards present.
   bool all_data = true;
   for (unsigned i = 0; i < k_; ++i) {
@@ -194,7 +201,7 @@ Bytes ReedSolomon::decode(const std::vector<std::optional<Bytes>>& shards,
     full.reserve(k_);
     for (unsigned i = 0; i < k_; ++i) full.push_back(*shards[i]);
   } else {
-    full = reconstruct_shards(shards);
+    full = reconstruct_shards(shards, pool);
   }
 
   Bytes out;

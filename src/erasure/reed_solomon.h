@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/bytes.h"
+#include "util/thread_pool.h"
 
 namespace aegis {
 
@@ -40,24 +41,27 @@ class ReedSolomon {
 
   /// Splits `data` into k equal shards (zero-padded), appends n-k parity
   /// shards. shards()[i].size() == ceil(data.size()/k) for all i.
-  /// Empty input yields n empty shards.
-  std::vector<Bytes> encode(ByteView data) const;
+  /// Empty input yields n empty shards. A non-null `pool` parallelizes
+  /// the parity rows; results are identical for every pool size.
+  std::vector<Bytes> encode(ByteView data, ThreadPool* pool = nullptr) const;
 
   /// Encodes pre-split data shards (all the same size) into parity
   /// shards; returns the full n-shard vector (data shards first).
-  std::vector<Bytes> encode_shards(const std::vector<Bytes>& data_shards) const;
+  std::vector<Bytes> encode_shards(const std::vector<Bytes>& data_shards,
+                                   ThreadPool* pool = nullptr) const;
 
   /// Reconstructs the original data from any >= k surviving shards
   /// (nullopt marks a lost shard; order matters — index i is shard i).
   /// `original_size` trims the zero padding.
   /// Throws UnrecoverableError with fewer than k shards.
   Bytes decode(const std::vector<std::optional<Bytes>>& shards,
-               std::size_t original_size) const;
+               std::size_t original_size, ThreadPool* pool = nullptr) const;
 
   /// Reconstructs *all* shards (e.g. to repair a failed node) from any
   /// >= k survivors.
   std::vector<Bytes> reconstruct_shards(
-      const std::vector<std::optional<Bytes>>& shards) const;
+      const std::vector<std::optional<Bytes>>& shards,
+      ThreadPool* pool = nullptr) const;
 
   /// Storage blowup factor n/k — the quantity on Figure 1's cost axis.
   double storage_overhead() const {

@@ -1,5 +1,8 @@
 #include "gf/gf256.h"
 
+#include <atomic>
+#include <cstring>
+
 #include "util/error.h"
 
 namespace aegis::gf256 {
@@ -12,33 +15,189 @@ Elem poly_eval(ByteView coeffs, Elem x) {
   return acc;
 }
 
+namespace detail {
+
+void mul_add_row_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t n, Elem c) {
+  const unsigned lc = kTables.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= kTables.exp[lc + kTables.log[s]];
+  }
+}
+
+void mul_row_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t n, Elem c) {
+  const unsigned lc = kTables.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] = s == 0 ? 0 : kTables.exp[lc + kTables.log[s]];
+  }
+}
+
+void mul_add_row_portable(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t n, Elem c) {
+  const std::uint8_t* lo = kNib.row[c];
+  const std::uint8_t* hi = lo + 16;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ lo[s & 0x0f] ^ hi[s >> 4]);
+  }
+}
+
+void mul_row_portable(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, Elem c) {
+  const std::uint8_t* lo = kNib.row[c];
+  const std::uint8_t* hi = lo + 16;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    dst[i] = static_cast<std::uint8_t>(lo[s & 0x0f] ^ hi[s >> 4]);
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using RowFn = void (*)(std::uint8_t*, const std::uint8_t*, std::size_t, Elem);
+
+struct KernelEntry {
+  RowKernel id;
+  const char* name;
+  RowFn mul;
+  RowFn mul_add;
+};
+
+constexpr KernelEntry kScalarEntry{RowKernel::kScalar, "scalar",
+                                   detail::mul_row_scalar,
+                                   detail::mul_add_row_scalar};
+constexpr KernelEntry kPortableEntry{RowKernel::kPortable, "portable",
+                                     detail::mul_row_portable,
+                                     detail::mul_add_row_portable};
+#if defined(AEGIS_X86_SIMD)
+constexpr KernelEntry kSsse3Entry{RowKernel::kSsse3, "ssse3",
+                                  detail::mul_row_ssse3,
+                                  detail::mul_add_row_ssse3};
+constexpr KernelEntry kAvx2Entry{RowKernel::kAvx2, "avx2",
+                                 detail::mul_row_avx2,
+                                 detail::mul_add_row_avx2};
+#endif
+
+bool cpu_has(RowKernel k) {
+#if defined(AEGIS_X86_SIMD)
+  if (k == RowKernel::kSsse3) return __builtin_cpu_supports("ssse3") != 0;
+  if (k == RowKernel::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+#else
+  (void)k;
+#endif
+  return false;
+}
+
+const KernelEntry* pick_auto() {
+#if defined(AEGIS_X86_SIMD)
+  if (cpu_has(RowKernel::kAvx2)) return &kAvx2Entry;
+  if (cpu_has(RowKernel::kSsse3)) return &kSsse3Entry;
+#endif
+  return &kPortableEntry;
+}
+
+std::atomic<const KernelEntry*> g_kernel{nullptr};
+
+const KernelEntry& kernel() {
+  const KernelEntry* k = g_kernel.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = pick_auto();
+    g_kernel.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+// dst == src exactly (in-place Horner) is fine; a partial overlap would
+// make the vectorized paths read bytes the same call already rewrote,
+// so it is rejected in every build.
+void check_overlap(const std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t n) {
+  if (dst == src || n == 0) return;
+  if (dst < src + n && src < dst + n)
+    throw InvalidArgument("gf256: partially overlapping row buffers");
+}
+
+}  // namespace
+
+bool row_kernel_available(RowKernel k) {
+  switch (k) {
+    case RowKernel::kAuto:
+    case RowKernel::kScalar:
+    case RowKernel::kPortable:
+      return true;
+    case RowKernel::kSsse3:
+    case RowKernel::kAvx2:
+      return cpu_has(k);
+  }
+  return false;
+}
+
+void set_row_kernel(RowKernel k) {
+  if (!row_kernel_available(k))
+    throw InvalidArgument("gf256: row kernel unavailable on this build/CPU");
+  switch (k) {
+    case RowKernel::kAuto:
+      g_kernel.store(pick_auto(), std::memory_order_release);
+      return;
+    case RowKernel::kScalar:
+      g_kernel.store(&kScalarEntry, std::memory_order_release);
+      return;
+    case RowKernel::kPortable:
+      g_kernel.store(&kPortableEntry, std::memory_order_release);
+      return;
+#if defined(AEGIS_X86_SIMD)
+    case RowKernel::kSsse3:
+      g_kernel.store(&kSsse3Entry, std::memory_order_release);
+      return;
+    case RowKernel::kAvx2:
+      g_kernel.store(&kAvx2Entry, std::memory_order_release);
+      return;
+#else
+    default:
+      break;
+#endif
+  }
+  throw InvalidArgument("gf256: row kernel unavailable on this build/CPU");
+}
+
+const char* row_kernel_name() { return kernel().name; }
+
 void mul_add_row(MutByteView dst, ByteView src, Elem c) {
   if (dst.size() != src.size())
     throw InvalidArgument("gf256::mul_add_row: length mismatch");
-  if (c == 0) return;
+  check_overlap(dst.data(), src.data(), dst.size());
+  if (c == 0 || dst.empty()) return;
   if (c == 1) {
+    if (dst.data() == src.data()) {
+      std::memset(dst.data(), 0, dst.size());  // x ^= x
+      return;
+    }
     for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
     return;
   }
-  const unsigned lc = detail::kTables.log[c];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    const std::uint8_t s = src[i];
-    if (s != 0) dst[i] ^= detail::kTables.exp[lc + detail::kTables.log[s]];
-  }
+  kernel().mul_add(dst.data(), src.data(), dst.size(), c);
 }
 
 void mul_row(MutByteView dst, ByteView src, Elem c) {
   if (dst.size() != src.size())
     throw InvalidArgument("gf256::mul_row: length mismatch");
+  check_overlap(dst.data(), src.data(), dst.size());
+  if (dst.empty()) return;
   if (c == 0) {
-    for (auto& b : dst) b = 0;
+    std::memset(dst.data(), 0, dst.size());
     return;
   }
-  const unsigned lc = detail::kTables.log[c];
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    const std::uint8_t s = src[i];
-    dst[i] = s == 0 ? 0 : detail::kTables.exp[lc + detail::kTables.log[s]];
+  if (c == 1) {
+    if (dst.data() != src.data())
+      std::memcpy(dst.data(), src.data(), dst.size());
+    return;
   }
+  kernel().mul(dst.data(), src.data(), dst.size(), c);
 }
 
 }  // namespace aegis::gf256

@@ -41,6 +41,54 @@ constexpr Tables make_tables() {
 
 inline constexpr Tables kTables = make_tables();
 
+/// Per-constant nibble product tables, the shared substrate of the
+/// portable and PSHUFB row kernels: row c holds c*i for i in 0..15
+/// (bytes 0..15) and c*(i<<4) (bytes 16..31), so
+/// mul(c, s) == row[s & 0xf] ^ row[16 + (s >> 4)] for every byte s.
+struct NibbleTables {
+  alignas(32) std::uint8_t row[256][32];
+};
+
+constexpr NibbleTables make_nibble_tables() {
+  NibbleTables t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned i = 0; i < 16; ++i) {
+      unsigned lo = 0, hi = 0;
+      if (c != 0 && i != 0) {
+        lo = kTables.exp[kTables.log[c] + kTables.log[i]];
+        hi = kTables.exp[kTables.log[c] + kTables.log[i << 4]];
+      }
+      t.row[c][i] = static_cast<std::uint8_t>(lo);
+      t.row[c][16 + i] = static_cast<std::uint8_t>(hi);
+    }
+  }
+  return t;
+}
+
+inline constexpr NibbleTables kNib = make_nibble_tables();
+
+// Raw row kernels (dst/src must not partially overlap; dst == src is
+// allowed). All implementations produce bit-identical output; they are
+// selected at runtime by the dispatcher behind mul_row/mul_add_row.
+void mul_row_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t n, Elem c);
+void mul_add_row_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                        std::size_t n, Elem c);
+void mul_row_portable(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, Elem c);
+void mul_add_row_portable(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t n, Elem c);
+#if defined(AEGIS_X86_SIMD)
+void mul_row_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t n, Elem c);
+void mul_add_row_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, Elem c);
+void mul_row_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t n, Elem c);
+void mul_add_row_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, Elem c);
+#endif
+
 }  // namespace detail
 
 /// Field addition (== subtraction): XOR.
@@ -79,10 +127,36 @@ constexpr Elem pow(Elem a, unsigned e) {
 /// Evaluates the polynomial coeffs[0] + coeffs[1]*x + ... at x (Horner).
 Elem poly_eval(ByteView coeffs, Elem x);
 
-/// dst[i] ^= c * src[i] for all i — the inner loop of RS encode/decode.
+/// Row-kernel implementations selectable behind mul_row/mul_add_row.
+enum class RowKernel : std::uint8_t {
+  kAuto,      // best available for this CPU (the default)
+  kScalar,    // original two-table-lookups-per-byte loop (baseline)
+  kPortable,  // 4-bit split-table loop, bit-identical to the SIMD paths
+  kSsse3,     // PSHUFB 16-byte nibble lookups
+  kAvx2,      // VPSHUFB 32-byte nibble lookups
+};
+
+/// Whether `k` can run on this build + CPU. kAuto/kScalar/kPortable are
+/// always available; kSsse3/kAvx2 require an x86 build with
+/// AEGIS_NATIVE=ON and CPU support.
+bool row_kernel_available(RowKernel k);
+
+/// Forces the row kernel (kAuto re-enables runtime detection). Throws
+/// InvalidArgument if unavailable. Intended for tests and benchmarks;
+/// not safe to call concurrently with in-flight row operations.
+void set_row_kernel(RowKernel k);
+
+/// Name of the kernel mul_row/mul_add_row currently dispatch to:
+/// "scalar", "portable", "ssse3" or "avx2".
+const char* row_kernel_name();
+
+/// dst[i] ^= c * src[i] for all i — the inner loop of RS encode/decode,
+/// Shamir/packed/LRSS share arithmetic, and proactive refresh.
+/// dst and src must be equal length and must not *partially* overlap
+/// (dst == src exactly is fine; anything in between throws).
 void mul_add_row(MutByteView dst, ByteView src, Elem c);
 
-/// dst[i] = c * src[i].
+/// dst[i] = c * src[i]. Same aliasing contract as mul_add_row.
 void mul_row(MutByteView dst, ByteView src, Elem c);
 
 }  // namespace aegis::gf256

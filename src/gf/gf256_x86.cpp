@@ -1,0 +1,122 @@
+// x86 PSHUFB row kernels for GF(2^8): the classic 4-bit split-table
+// technique (each product c*s is the XOR of two 16-entry nibble lookups,
+// which VPSHUFB performs 16/32 bytes at a time). Compiled only when
+// AEGIS_NATIVE is ON on an x86 target; each function carries its own
+// `target` attribute so the surrounding TU stays baseline-ISA and the
+// runtime dispatcher in gf256.cpp can safely probe CPU support first.
+//
+// Every path computes the exact field product, so results are
+// bit-identical to the scalar and portable kernels (property-tested in
+// tests/gf_test.cpp).
+#include "gf/gf256.h"
+
+#if defined(AEGIS_X86_SIMD)
+
+#include <immintrin.h>
+
+namespace aegis::gf256::detail {
+
+namespace {
+
+#define AEGIS_TARGET_SSSE3 __attribute__((target("ssse3")))
+#define AEGIS_TARGET_AVX2 __attribute__((target("avx2")))
+
+AEGIS_TARGET_SSSE3 inline __m128i mul_block_ssse3(__m128i s, __m128i lo,
+                                                  __m128i hi, __m128i mask) {
+  const __m128i pl = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+  const __m128i ph = _mm_shuffle_epi8(
+      hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+  return _mm_xor_si128(pl, ph);
+}
+
+AEGIS_TARGET_AVX2 inline __m256i mul_block_avx2(__m256i s, __m256i lo,
+                                                __m256i hi, __m256i mask) {
+  const __m256i pl = _mm256_shuffle_epi8(lo, _mm256_and_si256(s, mask));
+  const __m256i ph = _mm256_shuffle_epi8(
+      hi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+  return _mm256_xor_si256(pl, ph);
+}
+
+}  // namespace
+
+AEGIS_TARGET_SSSE3
+void mul_row_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t n, Elem c) {
+  const std::uint8_t* tab = kNib.row[c];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(tab));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     mul_block_ssse3(s, lo, hi, mask));
+  }
+  if (i < n) mul_row_portable(dst + i, src + i, n - i, c);
+}
+
+AEGIS_TARGET_SSSE3
+void mul_add_row_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                       std::size_t n, Elem c) {
+  const std::uint8_t* tab = kNib.row[c];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(tab));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, mul_block_ssse3(s, lo, hi, mask)));
+  }
+  if (i < n) mul_add_row_portable(dst + i, src + i, n - i, c);
+}
+
+AEGIS_TARGET_AVX2
+void mul_row_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                  std::size_t n, Elem c) {
+  const std::uint8_t* tab = kNib.row[c];
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul_block_avx2(s, lo, hi, mask));
+  }
+  if (i < n) mul_row_ssse3(dst + i, src + i, n - i, c);
+}
+
+AEGIS_TARGET_AVX2
+void mul_add_row_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, Elem c) {
+  const std::uint8_t* tab = kNib.row[c];
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab + 16)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, mul_block_avx2(s, lo, hi, mask)));
+  }
+  if (i < n) mul_add_row_ssse3(dst + i, src + i, n - i, c);
+}
+
+}  // namespace aegis::gf256::detail
+
+#endif  // AEGIS_X86_SIMD

@@ -1,6 +1,10 @@
 #include "sharing/packed.h"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "gf/gf65536.h"
 #include "util/error.h"
@@ -99,39 +103,50 @@ std::uint16_t PackedSharing::enc_coeff(unsigned share, unsigned j) const {
   return enc_[static_cast<std::size_t>(share) * (t_ + k_) + j];
 }
 
-std::vector<PackedShare> PackedSharing::split(ByteView secret,
-                                              Rng& rng) const {
+std::vector<PackedShare> PackedSharing::split(ByteView secret, Rng& rng,
+                                              ThreadPool* pool) const {
   const std::size_t total_elems = (secret.size() + 1) / 2;
   const std::size_t batches = (total_elems + k_ - 1) / k_;
 
   std::vector<PackedShare> shares(n_);
   for (unsigned s = 0; s < n_; ++s) {
     shares[s].index = static_cast<std::uint16_t>(s + 1);
-    shares[s].data.reserve(batches * 2);
+    shares[s].data.assign(batches * 2, 0);
   }
 
-  std::vector<Elem> cons(t_ + k_);
-  Bytes randomness(2 * t_);
-  for (std::size_t b = 0; b < batches; ++b) {
-    for (unsigned i = 0; i < k_; ++i)
-      cons[i] = load_elem(secret, b * k_ + i);
-    rng.fill(MutByteView(randomness.data(), randomness.size()));
-    for (unsigned j = 0; j < t_; ++j)
-      cons[k_ + j] = load_elem(randomness, j);
+  // Randomness drawn up front on the calling thread, one fill per batch
+  // exactly as the serial loop always did — the rng stream (and hence
+  // the shares) are identical for every pool size.
+  Bytes randomness(batches * 2 * t_);
+  for (std::size_t b = 0; b < batches; ++b)
+    rng.fill(MutByteView(randomness.data() + b * 2 * t_, 2 * t_));
 
-    for (unsigned s = 0; s < n_; ++s) {
-      const std::uint16_t* row = &enc_[static_cast<std::size_t>(s) * (t_ + k_)];
-      Elem acc = 0;
-      for (unsigned j = 0; j < t_ + k_; ++j)
-        acc = gf65536::add(acc, gf65536::mul(row[j], cons[j]));
-      store_elem(shares[s].data, acc);
+  parallel_blocks(pool, batches, [&](std::size_t b0, std::size_t b1) {
+    std::vector<Elem> cons(t_ + k_);
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (unsigned i = 0; i < k_; ++i)
+        cons[i] = load_elem(secret, b * k_ + i);
+      const ByteView batch_rand(randomness.data() + b * 2 * t_, 2 * t_);
+      for (unsigned j = 0; j < t_; ++j)
+        cons[k_ + j] = load_elem(batch_rand, j);
+
+      for (unsigned s = 0; s < n_; ++s) {
+        const std::uint16_t* row =
+            &enc_[static_cast<std::size_t>(s) * (t_ + k_)];
+        Elem acc = 0;
+        for (unsigned j = 0; j < t_ + k_; ++j)
+          acc = gf65536::add(acc, gf65536::mul(row[j], cons[j]));
+        shares[s].data[b * 2] = static_cast<std::uint8_t>(acc >> 8);
+        shares[s].data[b * 2 + 1] = static_cast<std::uint8_t>(acc);
+      }
     }
-  }
+  });
   return shares;
 }
 
 Bytes PackedSharing::recover(const std::vector<PackedShare>& shares,
-                             std::size_t original_size) const {
+                             std::size_t original_size,
+                             ThreadPool* pool) const {
   const unsigned need = recover_threshold();
   if (shares.size() < need)
     throw UnrecoverableError("packed: have " +
@@ -161,23 +176,43 @@ Bytes PackedSharing::recover(const std::vector<PackedShare>& shares,
     rows.push_back(basis_row(xs, secret_point(k_, i)));
 
   const std::size_t batches = batch_bytes / 2;
-  Bytes out;
-  out.reserve(batches * k_ * 2);
-  for (std::size_t b = 0; b < batches; ++b) {
-    for (unsigned i = 0; i < k_; ++i) {
-      Elem acc = 0;
-      for (unsigned j = 0; j < need; ++j) {
-        acc = gf65536::add(
-            acc, gf65536::mul(rows[i][j], load_elem(used[j]->data, b)));
+  Bytes out(batches * k_ * 2, 0);
+  parallel_blocks(pool, batches, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (unsigned i = 0; i < k_; ++i) {
+        Elem acc = 0;
+        for (unsigned j = 0; j < need; ++j) {
+          acc = gf65536::add(
+              acc, gf65536::mul(rows[i][j], load_elem(used[j]->data, b)));
+        }
+        const std::size_t off = (b * k_ + i) * 2;
+        out[off] = static_cast<std::uint8_t>(acc >> 8);
+        out[off + 1] = static_cast<std::uint8_t>(acc);
       }
-      store_elem(out, acc);
     }
-  }
+  });
 
   if (original_size > out.size())
     throw InvalidArgument("packed: original_size exceeds share capacity");
   out.resize(original_size);
   return out;
+}
+
+const PackedSharing& packed_codec(unsigned t, unsigned k, unsigned n) {
+  using Key = std::tuple<unsigned, unsigned, unsigned>;
+  static std::mutex mu;
+  static auto* cache =
+      new std::map<Key, std::unique_ptr<const PackedSharing>>();  // leaked:
+  // returned references must outlive every static destructor.
+
+  const Key key{t, k, n};
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, std::make_unique<const PackedSharing>(t, k, n))
+             .first;
+  }
+  return *it->second;
 }
 
 }  // namespace aegis

@@ -18,6 +18,7 @@
 
 #include "util/bytes.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace aegis {
 
@@ -50,13 +51,16 @@ class PackedSharing {
 
   /// Splits a secret into n shares. The secret is processed as 16-bit
   /// elements, k per batch (zero-padded); each share stores one element
-  /// per batch, so |share| ~ |secret| / k.
-  std::vector<PackedShare> split(ByteView secret, Rng& rng) const;
+  /// per batch, so |share| ~ |secret| / k. Randomness is drawn on the
+  /// calling thread in batch order, so output is identical for every
+  /// pool size.
+  std::vector<PackedShare> split(ByteView secret, Rng& rng,
+                                 ThreadPool* pool = nullptr) const;
 
   /// Recovers the secret from any >= t+k shares.
   /// `original_size` trims padding.
   Bytes recover(const std::vector<PackedShare>& shares,
-                std::size_t original_size) const;
+                std::size_t original_size, ThreadPool* pool = nullptr) const;
 
   /// Encode-matrix entry: share s (0-based) = sum_j coeff(s, j) * c_j,
   /// where c_0..c_{k-1} are the packed secrets and c_k..c_{k+t-1} the
@@ -70,5 +74,11 @@ class PackedSharing {
   // where construction values are the k secrets followed by t randoms.
   std::vector<std::uint16_t> enc_;  // n x (t+k)
 };
+
+/// Shared immutable codec for (t, k, n), built on first use. Same
+/// contract as rs_codec: thread-safe, process-lifetime reference, the
+/// O(n·(t+k)²) basis-row construction is paid exactly once per
+/// geometry. Throws InvalidArgument on invalid geometry.
+const PackedSharing& packed_codec(unsigned t, unsigned k, unsigned n);
 
 }  // namespace aegis

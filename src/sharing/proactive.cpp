@@ -7,7 +7,7 @@ namespace aegis {
 
 std::vector<Share> proactive_refresh(const std::vector<Share>& shares,
                                      unsigned t, Rng& rng,
-                                     RefreshStats* stats) {
+                                     RefreshStats* stats, ThreadPool* pool) {
   if (shares.empty()) throw InvalidArgument("refresh: no shares");
   const auto n = static_cast<unsigned>(shares.size());
   if (t == 0 || t > n) throw InvalidArgument("refresh: need 1 <= t <= n");
@@ -21,7 +21,7 @@ std::vector<Share> proactive_refresh(const std::vector<Share>& shares,
   // polynomial with constant term zero, so the secret is preserved while
   // the share vector becomes independent of the old one.
   for (unsigned d = 0; d < n; ++d) {
-    const std::vector<Share> delta = shamir_zero_sharing(len, t, n, rng);
+    const std::vector<Share> delta = shamir_zero_sharing(len, t, n, rng, pool);
     for (unsigned i = 0; i < n; ++i) {
       if (fresh[i].index != delta[i].index)
         throw InvalidArgument("refresh: share index layout mismatch");

@@ -41,9 +41,12 @@ struct RefreshStats {
 /// statistically independent of the post-refresh sharing.
 ///
 /// `shares` must hold all n shares (the simulation plays every node).
+/// A non-null pool parallelizes each dealer's zero-sharing evaluation;
+/// rng draws stay on the calling thread, so output is pool-independent.
 std::vector<Share> proactive_refresh(const std::vector<Share>& shares,
                                      unsigned t, Rng& rng,
-                                     RefreshStats* stats = nullptr);
+                                     RefreshStats* stats = nullptr,
+                                     ThreadPool* pool = nullptr);
 
 /// Result of a verifiable refresh round.
 struct VerifiableRefreshResult {

@@ -33,10 +33,12 @@ void check_params(unsigned t, unsigned n) {
 
 // Core splitter: constant term is `secret` (or zeros for a zero-sharing).
 std::vector<Share> split_impl(ByteView secret, bool zero_secret, unsigned t,
-                              unsigned n, Rng& rng) {
+                              unsigned n, Rng& rng, ThreadPool* pool) {
   check_params(t, n);
 
   // Coefficient rows: row 0 is the secret, rows 1..t-1 are random.
+  // Drawn serially up front so the rng stream — and hence the shares —
+  // are independent of the worker count.
   std::vector<Bytes> coeffs;
   coeffs.reserve(t);
   coeffs.emplace_back(zero_secret ? Bytes(secret.size(), 0)
@@ -44,31 +46,36 @@ std::vector<Share> split_impl(ByteView secret, bool zero_secret, unsigned t,
   for (unsigned c = 1; c < t; ++c) coeffs.push_back(rng.bytes(secret.size()));
 
   std::vector<Share> shares(n);
-  for (unsigned i = 0; i < n; ++i) {
-    const auto x = static_cast<std::uint8_t>(i + 1);
-    Share& s = shares[i];
-    s.index = x;
-    s.data.assign(secret.size(), 0);
-    // Horner, vectorized over byte positions: acc = acc*x + coeff[c].
-    for (unsigned c = t; c-- > 0;) {
-      gf256::mul_row(MutByteView(s.data.data(), s.data.size()), s.data, x);
-      xor_inplace(MutByteView(s.data.data(), s.data.size()), coeffs[c]);
+  // Each share is an independent polynomial evaluation over the fixed
+  // coefficient rows; parallelize across shares.
+  parallel_blocks(pool, n, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t i = b0; i < b1; ++i) {
+      const auto x = static_cast<std::uint8_t>(i + 1);
+      Share& s = shares[i];
+      s.index = x;
+      s.data.assign(secret.size(), 0);
+      // Horner, vectorized over byte positions: acc = acc*x + coeff[c].
+      for (unsigned c = t; c-- > 0;) {
+        gf256::mul_row(MutByteView(s.data.data(), s.data.size()), s.data, x);
+        xor_inplace(MutByteView(s.data.data(), s.data.size()), coeffs[c]);
+      }
     }
-  }
+  });
   return shares;
 }
 
 }  // namespace
 
 std::vector<Share> shamir_split(ByteView secret, unsigned t, unsigned n,
-                                Rng& rng) {
-  return split_impl(secret, /*zero_secret=*/false, t, n, rng);
+                                Rng& rng, ThreadPool* pool) {
+  return split_impl(secret, /*zero_secret=*/false, t, n, rng, pool);
 }
 
 std::vector<Share> shamir_zero_sharing(std::size_t secret_len, unsigned t,
-                                       unsigned n, Rng& rng) {
+                                       unsigned n, Rng& rng,
+                                       ThreadPool* pool) {
   const Bytes dummy(secret_len, 0);
-  return split_impl(dummy, /*zero_secret=*/true, t, n, rng);
+  return split_impl(dummy, /*zero_secret=*/true, t, n, rng, pool);
 }
 
 std::uint8_t shamir_lagrange_at_zero(const std::vector<std::uint8_t>& xs,
@@ -85,7 +92,8 @@ std::uint8_t shamir_lagrange_at_zero(const std::vector<std::uint8_t>& xs,
   return gf256::div(num, den);
 }
 
-Bytes shamir_recover(const std::vector<Share>& shares, unsigned t) {
+Bytes shamir_recover(const std::vector<Share>& shares, unsigned t,
+                     ThreadPool* pool) {
   if (t == 0) throw InvalidArgument("shamir_recover: t must be >= 1");
   if (shares.size() < t)
     throw UnrecoverableError("shamir: have " +
@@ -106,12 +114,19 @@ Bytes shamir_recover(const std::vector<Share>& shares, unsigned t) {
     xs.push_back(s.index);
   }
 
+  std::vector<std::uint8_t> lagrange(t);
+  for (unsigned i = 0; i < t; ++i) lagrange[i] = shamir_lagrange_at_zero(xs, i);
+
   Bytes secret(len, 0);
-  for (unsigned i = 0; i < t; ++i) {
-    const std::uint8_t li = shamir_lagrange_at_zero(xs, i);
-    gf256::mul_add_row(MutByteView(secret.data(), secret.size()),
-                       shares[i].data, li);
-  }
+  // Column blocks are disjoint slices of the output, so the partition
+  // cannot change the result.
+  parallel_blocks(pool, len, [&](std::size_t b0, std::size_t b1) {
+    for (unsigned i = 0; i < t; ++i) {
+      gf256::mul_add_row(MutByteView(secret.data() + b0, b1 - b0),
+                         ByteView(shares[i].data.data() + b0, b1 - b0),
+                         lagrange[i]);
+    }
+  });
   return secret;
 }
 

@@ -18,6 +18,7 @@
 
 #include "util/bytes.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace aegis {
 
@@ -33,14 +34,18 @@ struct Share {
 
 /// Splits `secret` into n shares with reconstruction threshold t.
 /// Requires 1 <= t <= n <= 255. Randomness must come from a
-/// cryptographic RNG (ChaChaRng) in anything but tests.
+/// cryptographic RNG (ChaChaRng) in anything but tests. All randomness
+/// is drawn on the calling thread before any parallel work, so the
+/// output is identical for every pool size (including none).
 std::vector<Share> shamir_split(ByteView secret, unsigned t, unsigned n,
-                                Rng& rng);
+                                Rng& rng, ThreadPool* pool = nullptr);
 
 /// Reconstructs the secret from exactly-or-more than t shares (the first
 /// t found are used). Throws UnrecoverableError with fewer than t shares
 /// and InvalidArgument on duplicate indices or length mismatches.
-Bytes shamir_recover(const std::vector<Share>& shares, unsigned t);
+/// A non-null pool parallelizes across byte-column blocks.
+Bytes shamir_recover(const std::vector<Share>& shares, unsigned t,
+                     ThreadPool* pool = nullptr);
 
 /// Lagrange coefficient L_i(0) for interpolation point set `xs` — the
 /// byte-constant each share is scaled by during recovery. Exposed for the
@@ -53,6 +58,7 @@ std::uint8_t shamir_lagrange_at_zero(const std::vector<std::uint8_t>& xs,
 /// refresh: adding a zero-sharing re-randomizes shares without changing
 /// the secret).
 std::vector<Share> shamir_zero_sharing(std::size_t secret_len, unsigned t,
-                                       unsigned n, Rng& rng);
+                                       unsigned n, Rng& rng,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace aegis

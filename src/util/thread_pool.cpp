@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace aegis {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  if (threads_.empty()) {
+    task();  // inline mode: run-to-completion on the calling thread
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks =
+      std::min<std::size_t>(count, static_cast<std::size_t>(workers()) + 1);
+  if (chunks <= 1) {
+    body(0, count);
+    return;
+  }
+
+  // Balanced contiguous partition: chunk i covers
+  // [i*count/chunks, (i+1)*count/chunks).
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (std::size_t i = 1; i < chunks; ++i) {
+    const std::size_t begin = i * count / chunks;
+    const std::size_t end = (i + 1) * count / chunks;
+    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
+  }
+
+  std::exception_ptr first;
+  try {
+    body(0, count / chunks);  // calling thread takes chunk 0
+  } catch (...) {
+    first = std::current_exception();
+  }
+  // Join everything before rethrowing: the closures capture locals.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace aegis

@@ -1,0 +1,78 @@
+// A deliberately small fixed-size thread pool for the data-plane fast
+// path (RS encode/decode and sharing-scheme column arithmetic).
+//
+// Design constraints, in order:
+//   * Determinism. Parallel callers only ever write disjoint output
+//     ranges and join before reading, so results are bit-identical for
+//     any worker count. With <= 1 worker, parallel_blocks degrades to a
+//     plain loop on the calling thread — byte-for-byte the serial path,
+//     which is what the fault-injection suites run against.
+//   * The simulated Cluster is single-threaded by contract: all node
+//     I/O stays on the calling thread. The pool only ever sees pure
+//     compute closures, which keeps the fault timeline replayable.
+//   * No work stealing, no task graph: submit + futures + a blocked
+//     range helper is all the hot paths need.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aegis {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 means fully inline: submit() runs the
+  /// task on the calling thread before returning. 1 gives a single FIFO
+  /// worker (deterministic execution order).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 in inline mode).
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueues one task. The future resolves when it finishes and
+  /// carries any exception it threw.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs body(begin, end) over a partition of [0, count) — one
+  /// contiguous chunk per worker plus one for the calling thread, which
+  /// always participates. Blocks until every chunk finishes; rethrows
+  /// the lowest-chunk exception. With <= 1 worker (or count <= 1) this
+  /// is exactly body(0, count) on the calling thread.
+  void parallel_blocks(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Null-tolerant helper for optional-parallelism call sites: a null pool
+/// (or a pool with <= 1 worker) runs body(0, count) inline.
+inline void parallel_blocks(
+    ThreadPool* pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (pool == nullptr) {
+    body(0, count);
+    return;
+  }
+  pool->parallel_blocks(count, body);
+}
+
+}  // namespace aegis

@@ -17,6 +17,7 @@
 #include "util/error.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace aegis {
 namespace {
@@ -139,6 +140,52 @@ INSTANTIATE_TEST_SUITE_P(
         if (!isalnum(static_cast<unsigned char>(c))) c = '_';
       return n;
     });
+
+// ------------------------------------------------- pool size determinism
+
+// encode_workers is a pure throughput knob: every observable output —
+// shard hashes, merkle root, and retrieved plaintext — must be
+// bit-identical across pool sizes (given identical seeds), because all
+// randomness is drawn serially before parallel sections.
+TEST(Archive, EncodeWorkersDoesNotChangeOutput) {
+  const Bytes data = test_data(20000);
+  std::vector<unsigned> worker_counts = {1, 2};
+  if (std::thread::hardware_concurrency() > 2)
+    worker_counts.push_back(std::thread::hardware_concurrency());
+
+  for (ArchivalPolicy base : {ArchivalPolicy::FigShamir(),
+                              ArchivalPolicy::FigErasure(),
+                              ArchivalPolicy::FigPacked(),
+                              ArchivalPolicy::AontRs()}) {
+    std::vector<Bytes> roots;
+    std::vector<std::vector<Bytes>> hashes;
+    for (unsigned workers : worker_counts) {
+      ArchivalPolicy p = base;
+      p.encode_workers = workers;
+      Harness h(p, 12);
+      h.archive.put("doc", data);
+      const ObjectManifest& m = h.archive.manifest("doc");
+      roots.push_back(m.merkle_root);
+      hashes.push_back(m.shard_hashes);
+      EXPECT_EQ(h.archive.get("doc"), data)
+          << base.name << " workers=" << workers;
+    }
+    for (std::size_t i = 1; i < roots.size(); ++i) {
+      EXPECT_EQ(roots[i], roots[0])
+          << base.name << " workers=" << worker_counts[i];
+      EXPECT_EQ(hashes[i], hashes[0])
+          << base.name << " workers=" << worker_counts[i];
+    }
+  }
+}
+
+TEST(Archive, EncodeWorkersValidation) {
+  ArchivalPolicy p = ArchivalPolicy::FigErasure();
+  p.encode_workers = 257;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p.encode_workers = 256;
+  EXPECT_NO_THROW(p.validate());
+}
 
 // ------------------------------------------------------ corruption paths
 

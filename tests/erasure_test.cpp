@@ -2,9 +2,11 @@
 // over (k, n) geometries and erasure patterns.
 #include <gtest/gtest.h>
 
+#include "erasure/codec_cache.h"
 #include "erasure/reed_solomon.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace aegis {
 namespace {
@@ -168,6 +170,68 @@ TEST(ReedSolomon, CauchyAndVandermondeAgreeOnData) {
 TEST(ReedSolomon, CauchyGeometryLimit) {
   EXPECT_THROW(ReedSolomon(128, 200, RsMatrix::kCauchy), InvalidArgument);
   EXPECT_NO_THROW(ReedSolomon(100, 156, RsMatrix::kCauchy));
+}
+
+// ------------------------------------------------------------ codec cache
+
+TEST(RsCodecCache, SameGeometryReturnsSameInstance) {
+  const ReedSolomon& a = rs_codec(4, 7);
+  const ReedSolomon& b = rs_codec(4, 7);
+  EXPECT_EQ(&a, &b);
+  // Different geometry or matrix kind is a different codec.
+  EXPECT_NE(&a, &rs_codec(4, 8));
+  EXPECT_NE(&a, &rs_codec(4, 7, RsMatrix::kCauchy));
+  EXPECT_EQ(&rs_codec(4, 7, RsMatrix::kCauchy),
+            &rs_codec(4, 7, RsMatrix::kCauchy));
+}
+
+TEST(RsCodecCache, InvalidGeometryThrowsEveryCall) {
+  // Validation happens in the ReedSolomon ctor; a failed construction
+  // must not poison the cache.
+  EXPECT_THROW(rs_codec(0, 5), InvalidArgument);
+  EXPECT_THROW(rs_codec(0, 5), InvalidArgument);
+  EXPECT_THROW(rs_codec(5, 4), InvalidArgument);
+}
+
+TEST(RsCodecCache, CachedCodecEncodesCorrectly) {
+  SimRng rng(40);
+  const Bytes data = rng.bytes(500);
+  const auto shards = rs_codec(4, 7).encode(data);
+  EXPECT_EQ(rs_codec(4, 7).decode(as_optionals(shards), data.size()), data);
+}
+
+// ------------------------------------------------------- pool determinism
+
+TEST(ReedSolomon, PooledEncodeMatchesSerial) {
+  SimRng rng(41);
+  const ReedSolomon rs(10, 14);
+  const Bytes data = rng.bytes(100 * 1000 + 13);
+  const auto serial = rs.encode(data);
+  for (unsigned workers : {1u, 2u, 5u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(rs.encode(data, &pool), serial) << "workers=" << workers;
+  }
+}
+
+TEST(ReedSolomon, PooledDecodeAndReconstructMatchSerial) {
+  SimRng rng(42);
+  const ReedSolomon rs(6, 9);
+  const Bytes data = rng.bytes(77777);
+  auto partial = as_optionals(rs.encode(data));
+  partial[0].reset();
+  partial[4].reset();
+  partial[8].reset();
+  const Bytes serial_decode = rs.decode(partial, data.size());
+  auto serial_shards = partial;
+  rs.reconstruct_shards(serial_shards);
+  for (unsigned workers : {1u, 3u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(rs.decode(partial, data.size(), &pool), serial_decode);
+    auto pooled_shards = partial;
+    rs.reconstruct_shards(pooled_shards, &pool);
+    EXPECT_EQ(pooled_shards, serial_shards) << "workers=" << workers;
+  }
+  EXPECT_EQ(serial_decode, data);
 }
 
 // Property sweep: round-trip across geometries with random erasures.

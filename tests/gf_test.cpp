@@ -101,6 +101,121 @@ TEST(Gf256, MulRowSpecialCases) {
   EXPECT_EQ(dst, src);
 }
 
+// ---------------------------------------------------- GF(2^8) row kernels
+//
+// Every selectable kernel must be byte-for-byte identical to the scalar
+// reference on every length class the SIMD paths carve up differently:
+// empty, sub-16 tails, exact 16/32 blocks, and off-by-one around both.
+
+class Gf256RowKernels : public ::testing::Test {
+ protected:
+  void TearDown() override { gf256::set_row_kernel(gf256::RowKernel::kAuto); }
+
+  static std::vector<gf256::RowKernel> selectable() {
+    std::vector<gf256::RowKernel> out;
+    for (auto k : {gf256::RowKernel::kPortable, gf256::RowKernel::kSsse3,
+                   gf256::RowKernel::kAvx2}) {
+      if (gf256::row_kernel_available(k)) out.push_back(k);
+    }
+    return out;
+  }
+};
+
+TEST_F(Gf256RowKernels, AllKernelsMatchScalarAcrossLengthClasses) {
+  SimRng rng(20);
+  const std::size_t lens[] = {0, 1, 15, 16, 17, 31, 32, 33, 255, 256, 257};
+  for (std::size_t len : lens) {
+    const Bytes src = rng.bytes(len);
+    const Bytes dst0 = rng.bytes(len);
+    for (std::uint8_t c : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{2},
+                           std::uint8_t{0x53}, std::uint8_t{0xff}}) {
+      gf256::set_row_kernel(gf256::RowKernel::kScalar);
+      Bytes want_add = dst0, want_mul(len);
+      gf256::mul_add_row(MutByteView(want_add.data(), len), src, c);
+      gf256::mul_row(MutByteView(want_mul.data(), len), src, c);
+      for (auto k : selectable()) {
+        gf256::set_row_kernel(k);
+        Bytes got_add = dst0, got_mul(len);
+        gf256::mul_add_row(MutByteView(got_add.data(), len), src, c);
+        gf256::mul_row(MutByteView(got_mul.data(), len), src, c);
+        EXPECT_EQ(got_add, want_add)
+            << "mul_add_row kernel=" << gf256::row_kernel_name()
+            << " len=" << len << " c=" << int(c);
+        EXPECT_EQ(got_mul, want_mul)
+            << "mul_row kernel=" << gf256::row_kernel_name() << " len=" << len
+            << " c=" << int(c);
+      }
+    }
+  }
+}
+
+TEST_F(Gf256RowKernels, RandomLengthsFuzzAgainstScalar) {
+  SimRng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = rng.uniform(1024);
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    const Bytes src = rng.bytes(len);
+    const Bytes dst0 = rng.bytes(len);
+    gf256::set_row_kernel(gf256::RowKernel::kScalar);
+    Bytes want = dst0;
+    gf256::mul_add_row(MutByteView(want.data(), len), src, c);
+    for (auto k : selectable()) {
+      gf256::set_row_kernel(k);
+      Bytes got = dst0;
+      gf256::mul_add_row(MutByteView(got.data(), len), src, c);
+      EXPECT_EQ(got, want) << "kernel=" << gf256::row_kernel_name()
+                           << " len=" << len << " c=" << int(c);
+    }
+  }
+}
+
+TEST_F(Gf256RowKernels, InPlaceAliasAllowedAndIdenticalAcrossKernels) {
+  // dst == src exactly is the in-place Horner update Shamir relies on.
+  SimRng rng(22);
+  const Bytes init = rng.bytes(100);
+  gf256::set_row_kernel(gf256::RowKernel::kScalar);
+  Bytes want = init;
+  gf256::mul_row(MutByteView(want.data(), want.size()),
+                 ByteView(want.data(), want.size()), 0x1d);
+  for (auto k : selectable()) {
+    gf256::set_row_kernel(k);
+    Bytes got = init;
+    gf256::mul_row(MutByteView(got.data(), got.size()),
+                   ByteView(got.data(), got.size()), 0x1d);
+    EXPECT_EQ(got, want) << "kernel=" << gf256::row_kernel_name();
+  }
+}
+
+TEST_F(Gf256RowKernels, PartialOverlapThrows) {
+  Bytes buf(64, 0xab);
+  // dst starts 1 byte into src: forward-copy hazard, must be rejected.
+  EXPECT_THROW(gf256::mul_row(MutByteView(buf.data() + 1, 32),
+                              ByteView(buf.data(), 32), 3),
+               InvalidArgument);
+  EXPECT_THROW(gf256::mul_add_row(MutByteView(buf.data(), 32),
+                                  ByteView(buf.data() + 31, 32), 3),
+               InvalidArgument);
+  // Disjoint halves of one buffer are fine.
+  EXPECT_NO_THROW(gf256::mul_row(MutByteView(buf.data(), 32),
+                                 ByteView(buf.data() + 32, 32), 3));
+}
+
+TEST_F(Gf256RowKernels, KernelSelectionApi) {
+  // Scalar and portable are always available; auto resolves to something.
+  EXPECT_TRUE(gf256::row_kernel_available(gf256::RowKernel::kScalar));
+  EXPECT_TRUE(gf256::row_kernel_available(gf256::RowKernel::kPortable));
+  EXPECT_TRUE(gf256::row_kernel_available(gf256::RowKernel::kAuto));
+  gf256::set_row_kernel(gf256::RowKernel::kScalar);
+  EXPECT_STREQ(gf256::row_kernel_name(), "scalar");
+  gf256::set_row_kernel(gf256::RowKernel::kPortable);
+  EXPECT_STREQ(gf256::row_kernel_name(), "portable");
+  // Requesting an unavailable kernel must throw, not silently fall back.
+  if (!gf256::row_kernel_available(gf256::RowKernel::kAvx2)) {
+    EXPECT_THROW(gf256::set_row_kernel(gf256::RowKernel::kAvx2),
+                 InvalidArgument);
+  }
+}
+
 // --------------------------------------------------------------- GF(2^16)
 
 TEST(Gf65536, InverseSampled) {

@@ -115,6 +115,43 @@ TEST(Shamir, ZeroSharingPreservesSecretWhenAdded) {
   EXPECT_EQ(shamir_recover(zero, 3), Bytes(16, 0));
 }
 
+// Pool determinism: with identical rng seeds, split/recover/refresh must
+// be bit-identical for every pool size (all randomness is drawn serially
+// on the calling thread; workers only write disjoint ranges).
+TEST(Shamir, PooledSplitRecoverRefreshMatchSerial) {
+  SimRng sim(50);
+  const Bytes secret = sim.bytes(10000 + 7);
+
+  ChaChaRng serial_rng(5);
+  const auto serial_shares = shamir_split(secret, 3, 7, serial_rng);
+  const Bytes serial_secret = shamir_recover(
+      {serial_shares.begin(), serial_shares.begin() + 3}, 3);
+  ChaChaRng serial_refresh_rng(6);
+  const auto serial_fresh =
+      proactive_refresh(serial_shares, 3, serial_refresh_rng);
+
+  for (unsigned workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    ChaChaRng rng(5);
+    const auto shares = shamir_split(secret, 3, 7, rng, &pool);
+    ASSERT_EQ(shares.size(), serial_shares.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      EXPECT_EQ(shares[i].index, serial_shares[i].index);
+      EXPECT_EQ(shares[i].data, serial_shares[i].data)
+          << "workers=" << workers << " share=" << i;
+    }
+    EXPECT_EQ(
+        shamir_recover({shares.begin(), shares.begin() + 3}, 3, &pool),
+        serial_secret);
+    ChaChaRng refresh_rng(6);
+    const auto fresh =
+        proactive_refresh(shares, 3, refresh_rng, nullptr, &pool);
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+      EXPECT_EQ(fresh[i].data, serial_fresh[i].data)
+          << "workers=" << workers << " share=" << i;
+  }
+}
+
 // Property sweep over (t, n).
 class ShamirGeometry
     : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
@@ -201,6 +238,40 @@ TEST(Packed, DuplicateSharesRejected) {
   auto shares = ps.split(Bytes{1, 2}, rng);
   const std::vector<PackedShare> dup = {shares[0], shares[0], shares[1]};
   EXPECT_THROW(ps.recover(dup, 2), InvalidArgument);
+}
+
+TEST(Packed, PooledSplitRecoverMatchSerial) {
+  SimRng sim(51);
+  const Bytes secret = sim.bytes(4096 + 3);
+  const PackedSharing ps(3, 4, 11);
+
+  ChaChaRng serial_rng(7);
+  const auto serial_shares = ps.split(secret, serial_rng);
+  std::vector<PackedShare> subset(serial_shares.begin(),
+                                  serial_shares.begin() + 7);
+  const Bytes serial_out = ps.recover(subset, secret.size());
+  EXPECT_EQ(serial_out, secret);
+
+  for (unsigned workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    ChaChaRng rng(7);
+    const auto shares = ps.split(secret, rng, &pool);
+    ASSERT_EQ(shares.size(), serial_shares.size());
+    for (std::size_t i = 0; i < shares.size(); ++i)
+      EXPECT_EQ(shares[i].data, serial_shares[i].data)
+          << "workers=" << workers << " share=" << i;
+    std::vector<PackedShare> sub(shares.begin(), shares.begin() + 7);
+    EXPECT_EQ(ps.recover(sub, secret.size(), &pool), serial_out)
+        << "workers=" << workers;
+  }
+}
+
+TEST(Packed, CodecCacheReturnsSameInstance) {
+  const PackedSharing& a = packed_codec(3, 4, 11);
+  const PackedSharing& b = packed_codec(3, 4, 11);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &packed_codec(3, 4, 12));
+  EXPECT_THROW(packed_codec(0, 1, 3), InvalidArgument);
 }
 
 // ------------------------------------------------------------------- VSS

@@ -1,11 +1,22 @@
-// Unit tests for src/util: byte helpers, RNG determinism, serialization.
+// Unit tests for src/util: byte helpers, RNG determinism, serialization,
+// thread pool.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/bytes.h"
 #include "util/entropy.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/serde.h"
+#include "util/thread_pool.h"
 
 namespace aegis {
 namespace {
@@ -193,6 +204,92 @@ TEST(Serde, TrailingBytesDetected) {
   ByteReader r(buf);
   r.u8();
   EXPECT_THROW(r.expect_done(), ParseError);
+}
+
+TEST(ThreadPool, ZeroWorkersIsInlineMode) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  // Inline submit runs on the calling thread before returning.
+  const auto self = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, self);
+}
+
+TEST(ThreadPool, SubmitRunsAllTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i)
+    futs.push_back(pool.submit([&] { ++count; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelBlocksCoversRangeExactlyOnce) {
+  // Every index in [0, count) must be visited exactly once, for all
+  // combinations of worker count and range size (including count <
+  // workers and count == 0).
+  for (unsigned workers : {0u, 1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    for (std::size_t count : {0ul, 1ul, 2ul, 3ul, 7ul, 64ul, 1000ul}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.parallel_blocks(count, [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LE(lo, hi);
+        ASSERT_LE(hi, count);
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+      for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "workers=" << workers
+                                     << " count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelBlocksChunksAreContiguousAndOrdered) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_blocks(100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, 100u);
+  for (std::size_t i = 1; i < chunks.size(); ++i)
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);  // no gap, no overlap
+}
+
+TEST(ThreadPool, ParallelBlocksPropagatesException) {
+  for (unsigned workers : {0u, 2u}) {
+    ThreadPool pool(workers);
+    EXPECT_THROW(
+        pool.parallel_blocks(10,
+                             [&](std::size_t lo, std::size_t) {
+                               if (lo == 0)
+                                 throw std::runtime_error("chunk failed");
+                             }),
+        std::runtime_error)
+        << "workers=" << workers;
+    // Pool must still be usable after an exception.
+    std::atomic<int> ok{0};
+    pool.parallel_blocks(4, [&](std::size_t lo, std::size_t hi) {
+      ok += static_cast<int>(hi - lo);
+    });
+    EXPECT_EQ(ok.load(), 4);
+  }
+}
+
+TEST(ThreadPool, FreeFunctionNullPoolRunsInline) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_blocks(nullptr, 17, [&](std::size_t lo, std::size_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 17}));
 }
 
 TEST(Serde, EmptyByteString) {

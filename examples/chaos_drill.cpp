@@ -27,6 +27,25 @@ int main() {
 
   std::printf("== Chaos drill: RS(6,9) archive, every fault class on ==\n\n");
 
+  // Live narration off the event bus: the breaker and retry loops
+  // announce themselves as they act.
+  unsigned quarantine_events = 0;
+  cluster.obs().events().subscribe([&](const Event& e) {
+    if (const auto* q = std::get_if<NodeQuarantined>(&e.payload)) {
+      ++quarantine_events;
+      std::printf("  [event @%llu] node %u quarantined until epoch %llu "
+                  "(%u consecutive failures)\n",
+                  static_cast<unsigned long long>(e.epoch), q->node,
+                  static_cast<unsigned long long>(q->until),
+                  q->consecutive_failures);
+    } else if (const auto* r = std::get_if<RetryExhausted>(&e.payload)) {
+      std::printf("  [event @%llu] %s of %s gave up on node %u after %u "
+                  "attempts (%s)\n",
+                  static_cast<unsigned long long>(e.epoch), r->op.c_str(),
+                  r->object.c_str(), r->node, r->attempts, r->status.c_str());
+    }
+  });
+
   // The substrate: flaky links, yearly-scale bit-rot, rolling outages.
   LinkFaults flaky;
   flaky.drop_prob = 0.15;
@@ -47,6 +66,9 @@ int main() {
   if (!report.fully_replicated())
     std::printf("     under-replicated by %u — scrub will finish the job\n",
                 report.under_replication());
+  // All upload retries so far happened inside put(): the per-op metric
+  // archive.put.retries must match this exactly at the end of the drill.
+  const std::uint64_t retries_during_puts = archive.io_stats().upload_retries;
 
   // A year of epochs: read every epoch, scrub every epoch.
   unsigned repaired_total = 0;
@@ -85,5 +107,42 @@ int main() {
                       archive.verify("ledger/2026").ok();
   std::printf("\nfinal read + integrity verify: %s\n",
               intact ? "INTACT — nothing lost" : "DATA LOSS");
-  return intact ? 0 : 1;
+
+  // The same story, machine-readable: every counter, gauge and histogram
+  // as one JSON object per line (scrape with: grep '^JSON ' | cut -c6-).
+  std::printf("\n-- metrics snapshot --\n");
+  const MetricsSnapshot snap = cluster.obs().metrics().snapshot();
+  for (const std::string& line : snap.to_json_lines("chaos_drill"))
+    std::printf("JSON %s\n", line.c_str());
+
+  // Reconciliation: the metric view, the event view and the struct view
+  // of the same activity must agree exactly — a drill that cannot trust
+  // its own instruments fails.
+  bool reconciled = true;
+  const auto expect_metric = [&](const char* name, std::uint64_t want) {
+    const MetricsSnapshot::Entry* e = snap.find(name);
+    const double got = e != nullptr ? e->value : 0.0;
+    if (got != static_cast<double>(want)) {
+      std::printf("RECONCILE FAIL: %s = %.0f, expected %llu\n", name, got,
+                  static_cast<unsigned long long>(want));
+      reconciled = false;
+    }
+  };
+  expect_metric("archive.put.retries", retries_during_puts);
+  expect_metric("archive.io.upload_retries", archive.io_stats().upload_retries);
+  expect_metric("archive.io.download_retries",
+                archive.io_stats().download_retries);
+  expect_metric("cluster.breaker.quarantines", quarantines);
+  const std::uint64_t quarantined_seen =
+      cluster.obs().events().count(EventKind::kNodeQuarantined);
+  if (quarantined_seen != quarantines || quarantine_events != quarantines) {
+    std::printf("RECONCILE FAIL: %llu NodeQuarantined events (%u delivered) "
+                "vs %u breaker openings\n",
+                static_cast<unsigned long long>(quarantined_seen),
+                quarantine_events, quarantines);
+    reconciled = false;
+  }
+  std::printf("reconcile: metrics/events/structs %s\n",
+              reconciled ? "agree exactly" : "DISAGREE");
+  return (intact && reconciled) ? 0 : 1;
 }

@@ -101,7 +101,8 @@ Bytes aont_unpackage(ByteView package) {
     key[i] ^= digest[i % digest.size()];
 
   if (key.size() != cipher_params(p.cipher).key_size)
-    throw IntegrityError("aont: canary length inconsistent with cipher");
+    throw IntegrityError("aont: canary length inconsistent with cipher",
+                         ErrorCode::kCanaryMismatch);
 
   constexpr std::size_t kBlock = 4096;
   Bytes out = std::move(p.body);

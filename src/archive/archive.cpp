@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 
 #include "archive/aont.h"
 #include "crypto/cipher.h"
@@ -161,7 +162,84 @@ Archive::Archive(Cluster& cluster, ArchivalPolicy policy,
   policy_.validate();
   if (policy_.n > cluster_.size())
     throw InvalidArgument(
-        "Archive: policy needs more nodes than the cluster has");
+        "Archive: policy needs more nodes than the cluster has",
+        ErrorCode::kBadGeometry);
+
+  MetricsRegistry& m = cluster_.obs().metrics();
+  m_up_attempts_ = &m.counter("archive.io.upload_attempts");
+  m_up_retries_ = &m.counter("archive.io.upload_retries");
+  m_up_failures_ = &m.counter("archive.io.upload_failures");
+  m_down_attempts_ = &m.counter("archive.io.download_attempts");
+  m_down_retries_ = &m.counter("archive.io.download_retries");
+  m_down_failures_ = &m.counter("archive.io.download_failures");
+  pool_.bind_metrics(&m, "archive.pool");
+}
+
+Archive::OpScope Archive::op_begin(const char* op, const ObjectId& object) {
+  OpScope scope;
+  scope.op = op;
+  scope.prev = current_op_;
+  scope.t0_ms = cluster_.simulated_ms();
+  current_op_ = op;
+  Observability& obs = cluster_.obs();
+  obs.metrics().counter(std::string("archive.") + op + ".count").inc();
+  SpanAttrs attrs;
+  if (!object.empty()) attrs.push_back({"object", object});
+  scope.span = std::make_unique<TraceSpan>(
+      obs.tracer(), std::string("archive.") + op, std::move(attrs));
+  return scope;
+}
+
+void Archive::op_end(OpScope& scope, OpReport* report) {
+  const double dur = cluster_.simulated_ms() - scope.t0_ms;
+  cluster_.obs()
+      .metrics()
+      .histogram(std::string("archive.") + scope.op + ".ms")
+      .observe(dur);
+  if (report != nullptr) {
+    report->op = std::string("archive.") + scope.op;
+    report->epoch = cluster_.now();
+    report->duration_ms = dur;
+  }
+  scope.span.reset();
+  current_op_ = scope.prev;
+}
+
+void Archive::op_failed(OpScope& scope, const ObjectId& object,
+                        const Error& e) {
+  Observability& obs = cluster_.obs();
+  obs.metrics()
+      .counter(std::string("archive.") + scope.op + ".failures")
+      .inc();
+  obs.emit(OperationFailed{std::string("archive.") + scope.op, object,
+                           e.code()});
+  scope.span.reset();
+  current_op_ = scope.prev;
+}
+
+template <class Fn>
+auto Archive::run_op(const char* op, const ObjectId& object, Fn&& fn) {
+  OpScope scope = op_begin(op, object);
+  try {
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      op_end(scope, nullptr);
+    } else {
+      auto result = fn();
+      using R = decltype(result);
+      if constexpr (std::is_base_of_v<OpReport, R>) {
+        op_end(scope, &result);
+      } else if constexpr (std::is_same_v<R, GetResult>) {
+        op_end(scope, &result.report);
+      } else {
+        op_end(scope, nullptr);
+      }
+      return result;
+    }
+  } catch (const Error& e) {
+    op_failed(scope, object, e);
+    throw;
+  }
 }
 
 NodeId Archive::shard_node(std::uint32_t shard_index) const {
@@ -173,7 +251,8 @@ Bytes Archive::apply_ciphers(const ObjectId& id, ByteView data,
                              const std::vector<SchemeId>& stack) const {
   const ObjectKey* key = vault_.find(id);
   if (key == nullptr && !stack.empty())
-    throw InvalidArgument("Archive: no key for encrypted object " + id);
+    throw InvalidArgument("Archive: no key for encrypted object " + id,
+                          ErrorCode::kKeyLost);
   Bytes cur = to_bytes(data);
   for (unsigned layer = 0; layer < stack.size(); ++layer) {
     const SchemeId c = stack[layer];
@@ -244,7 +323,8 @@ Bytes Archive::decode(const ObjectManifest& m,
         if (s) return std::move(*s);
       }
       throw UnrecoverableError("Archive: no replica of " + m.id +
-                               " survives");
+                                   " survives",
+                               ErrorCode::kNoReplica);
     }
 
     case EncodingKind::kErasure:
@@ -259,7 +339,8 @@ Bytes Archive::decode(const ObjectManifest& m,
       std::vector<SchemeId> stack = m.current_ciphers();
       const ObjectKey* key = vault_.find(m.id);
       if (key == nullptr)
-        throw UnrecoverableError("Archive: key lost for " + m.id);
+        throw UnrecoverableError("Archive: key lost for " + m.id,
+                                 ErrorCode::kKeyLost);
       Bytes cur = ct;
       for (unsigned layer = static_cast<unsigned>(stack.size()); layer-- > 0;) {
         const SchemeId c = stack[layer];
@@ -329,12 +410,26 @@ TransferStatus Archive::upload_with_retry(NodeId node,
       cluster_.charge_ms(backoff);
       backoff *= 2.0;
       ++io_stats_.upload_retries;
+      m_up_retries_->inc();
+      if (current_op_ != nullptr)
+        cluster_.obs()
+            .metrics()
+            .counter(std::string("archive.") + current_op_ + ".retries")
+            .inc();
     }
     ++io_stats_.upload_attempts;
+    m_up_attempts_->inc();
     status = cluster_.upload(node, blob, policy_.channel);
     if (!retryable(status)) break;
   }
-  if (status != TransferStatus::kOk) ++io_stats_.upload_failures;
+  if (status != TransferStatus::kOk) {
+    ++io_stats_.upload_failures;
+    m_up_failures_->inc();
+    if (retryable(status))
+      cluster_.obs().emit(RetryExhausted{"upload", blob.object, node,
+                                         policy_.io_retries + 1,
+                                         to_string(status)});
+  }
   return status;
 }
 
@@ -348,13 +443,26 @@ DownloadResult Archive::download_with_retry(NodeId node,
       cluster_.charge_ms(backoff);
       backoff *= 2.0;
       ++io_stats_.download_retries;
+      m_down_retries_->inc();
+      if (current_op_ != nullptr)
+        cluster_.obs()
+            .metrics()
+            .counter(std::string("archive.") + current_op_ + ".retries")
+            .inc();
     }
     ++io_stats_.download_attempts;
+    m_down_attempts_->inc();
     result = cluster_.download(node, object, shard, policy_.channel);
     if (!retryable(result.status)) break;
   }
-  if (!result.ok() && result.status != TransferStatus::kMissing)
+  if (!result.ok() && result.status != TransferStatus::kMissing) {
     ++io_stats_.download_failures;
+    m_down_failures_->inc();
+    if (retryable(result.status))
+      cluster_.obs().emit(RetryExhausted{"download", object, node,
+                                         policy_.io_retries + 1,
+                                         to_string(result.status)});
+  }
   return result;
 }
 
@@ -382,10 +490,13 @@ Archive::DisperseReport Archive::disperse(ObjectManifest& m,
     blob.generation = m.generation;
     blob.data = shards[i];
     blob.stored_at = cluster_.now();
-    if (upload_with_retry(shard_node(i), blob) == TransferStatus::kOk) {
+    const TransferStatus status = upload_with_retry(shard_node(i), blob);
+    if (status == TransferStatus::kOk) {
       ++report.written;
     } else {
       report.failed.push_back(i);
+      cluster_.obs().emit(
+          ShardWriteFailed{m.id, i, shard_node(i), to_string(status)});
     }
   }
   m.merkle_root = MerkleTree(leaves).root();
@@ -393,8 +504,13 @@ Archive::DisperseReport Archive::disperse(ObjectManifest& m,
 }
 
 PutReport Archive::put(const ObjectId& id, ByteView data) {
+  return run_op("put", id, [&] { return put_impl(id, data); });
+}
+
+PutReport Archive::put_impl(const ObjectId& id, ByteView data) {
   if (manifests_.count(id) > 0)
-    throw InvalidArgument("Archive: duplicate object id " + id);
+    throw InvalidArgument("Archive: duplicate object id " + id,
+                          ErrorCode::kDuplicateObject);
 
   ObjectManifest m;
   m.id = id;
@@ -439,7 +555,8 @@ PutReport Archive::put(const ObjectId& id, ByteView data) {
     throw UnrecoverableError(
         "Archive::put: only " + std::to_string(report.shards_written) +
         " of " + std::to_string(report.shards_total) + " shards of " + id +
-        " landed — below the reconstruction threshold");
+        " landed — below the reconstruction threshold",
+        ErrorCode::kBelowThreshold);
   }
 
   // Integrity stamping.
@@ -477,11 +594,24 @@ std::vector<std::optional<Bytes>> Archive::gather(const ObjectManifest& m,
   return shards;
 }
 
-Bytes Archive::get(const ObjectId& id) {
-  const ObjectManifest& m = manifest(id);
-  const unsigned want = policy_.reconstruction_threshold();
-  auto shards = gather(m, want);
-  return decode(m, std::move(shards));
+Bytes Archive::get(const ObjectId& id) { return get_report(id).data; }
+
+GetResult Archive::get_report(const ObjectId& id) {
+  return run_op("get", id, [&] {
+    GetResult res;
+    const ObjectManifest& m = manifest(id);
+    // Deltas over the shared accounting isolate THIS read's I/O.
+    const std::uint64_t retries0 = io_stats_.download_retries;
+    const std::uint64_t bytes0 = cluster_.stats().bytes_down;
+    auto shards = gather(m, policy_.reconstruction_threshold(),
+                         &res.report.shards_bad);
+    for (const auto& s : shards) res.report.shards_gathered += s.has_value();
+    res.data = decode(m, std::move(shards));
+    res.report.retries = io_stats_.download_retries - retries0;
+    res.report.bytes_down = cluster_.stats().bytes_down - bytes0;
+    res.report.logical_bytes = res.data.size();
+    return res;
+  });
 }
 
 void Archive::remove(const ObjectId& id) {
@@ -493,25 +623,31 @@ void Archive::remove(const ObjectId& id) {
 }
 
 VerifyReport Archive::verify(const ObjectId& id) {
-  const ObjectManifest& m = manifest(id);
-  VerifyReport r;
-  auto shards = gather(m, m.n, &r.shards_bad);
-  for (const auto& s : shards) r.shards_seen += s.has_value();
-  r.enough_shards = r.shards_seen >= policy_.reconstruction_threshold();
+  return run_op("verify", id, [&] {
+    const ObjectManifest& m = manifest(id);
+    VerifyReport r;
+    auto shards = gather(m, m.n, &r.shards_bad);
+    for (const auto& s : shards) r.shards_seen += s.has_value();
+    r.enough_shards = r.shards_seen >= policy_.reconstruction_threshold();
 
-  if (m.has_commitment) {
-    r.chain_status =
-        m.chain.verify(m.commitment.encode(), registry_, cluster_.now());
-  } else if (r.enough_shards) {
-    // Hash chains stamp H(data): re-derive it from the stored shards.
-    const Bytes data = decode(m, shards);
-    r.chain_status =
-        m.chain.verify(Sha256::hash(data), registry_, cluster_.now());
-  }
-  return r;
+    if (m.has_commitment) {
+      r.chain_status =
+          m.chain.verify(m.commitment.encode(), registry_, cluster_.now());
+    } else if (r.enough_shards) {
+      // Hash chains stamp H(data): re-derive it from the stored shards.
+      const Bytes data = decode(m, shards);
+      r.chain_status =
+          m.chain.verify(Sha256::hash(data), registry_, cluster_.now());
+    }
+    return r;
+  });
 }
 
 void Archive::refresh() {
+  run_op("refresh", ObjectId{}, [&] { refresh_impl(); });
+}
+
+void Archive::refresh_impl() {
   for (auto& [id, m] : manifests_) {
     switch (m.encoding) {
       case EncodingKind::kShamir: {
@@ -597,8 +733,13 @@ std::string Archive::key_object_id(const ObjectId& id) {
 }
 
 void Archive::rewrap(SchemeId new_outer_cipher) {
+  run_op("rewrap", ObjectId{}, [&] { rewrap_impl(new_outer_cipher); });
+}
+
+void Archive::rewrap_impl(SchemeId new_outer_cipher) {
   if (policy_.encoding != EncodingKind::kCascade)
-    throw InvalidArgument("Archive::rewrap: policy is not a cascade");
+    throw InvalidArgument("Archive::rewrap: policy is not a cascade",
+                          ErrorCode::kUnsupportedOperation);
   if (scheme_info(new_outer_cipher).kind != SchemeKind::kCipher)
     throw InvalidArgument("Archive::rewrap: not a cipher");
 
@@ -626,8 +767,13 @@ void Archive::rewrap(SchemeId new_outer_cipher) {
 }
 
 void Archive::reencrypt(const std::vector<SchemeId>& fresh) {
+  run_op("reencrypt", ObjectId{}, [&] { reencrypt_impl(fresh); });
+}
+
+void Archive::reencrypt_impl(const std::vector<SchemeId>& fresh) {
   if (!uses_cipher_stack(policy_.encoding))
-    throw InvalidArgument("Archive::reencrypt: policy has no cipher stack");
+    throw InvalidArgument("Archive::reencrypt: policy has no cipher stack",
+                          ErrorCode::kUnsupportedOperation);
   for (auto& [id, m] : manifests_) {
     Bytes data = get(id);  // full read + decrypt
     ++m.generation;
@@ -639,7 +785,12 @@ void Archive::reencrypt(const std::vector<SchemeId>& fresh) {
 }
 
 void Archive::renew_timestamps() {
-  for (auto& [id, m] : manifests_) m.chain.renew(tsa_, cluster_.now());
+  run_op("renew_timestamps", ObjectId{}, [&] {
+    for (auto& [id, m] : manifests_) {
+      m.chain.renew(tsa_, cluster_.now());
+      cluster_.obs().emit(ChainRenewed{id, m.chain.length()});
+    }
+  });
 }
 
 void Archive::watch_timestamps(NotaryService& notary) {
@@ -649,9 +800,18 @@ void Archive::watch_timestamps(NotaryService& notary) {
 }
 
 unsigned Archive::repair(const ObjectId& id) {
+  return run_op("repair", id, [&] {
+    const unsigned rewritten = repair_impl(id);
+    if (rewritten > 0) cluster_.obs().emit(RepairCompleted{id, rewritten});
+    return rewritten;
+  });
+}
+
+unsigned Archive::repair_impl(const ObjectId& id) {
   auto it = manifests_.find(id);
   if (it == manifests_.end())
-    throw InvalidArgument("Archive: unknown object " + id);
+    throw InvalidArgument("Archive: unknown object " + id,
+                          ErrorCode::kUnknownObject);
   ObjectManifest& m = it->second;
 
   // Identify damage: missing, stale-generation, or hash-mismatched.
@@ -684,7 +844,8 @@ unsigned Archive::repair(const ObjectId& id) {
         }
       }
       if (good == nullptr)
-        throw UnrecoverableError("repair: no replica of " + id + " survives");
+        throw UnrecoverableError("repair: no replica of " + id + " survives",
+                                 ErrorCode::kNoReplica);
       full.assign(m.n, *good);
     } else {
       full = rs_codec(m.k, m.n).reconstruct_shards(shards, &pool_);
@@ -715,9 +876,14 @@ unsigned Archive::repair(const ObjectId& id) {
 }
 
 Archive::AuditReport Archive::audit(const ObjectId& id) {
+  return run_op("audit", id, [&] { return audit_impl(id); });
+}
+
+AuditReport Archive::audit_impl(const ObjectId& id) {
   auto it = manifests_.find(id);
   if (it == manifests_.end())
-    throw InvalidArgument("Archive: unknown object " + id);
+    throw InvalidArgument("Archive: unknown object " + id,
+                          ErrorCode::kUnknownObject);
   ObjectManifest& m = it->second;
 
   AuditReport report;
@@ -744,29 +910,40 @@ Archive::AuditReport Archive::audit(const ObjectId& id) {
 }
 
 Archive::ScrubReport Archive::scrub() {
-  ScrubReport report;
-  std::vector<ObjectId> ids;
-  ids.reserve(manifests_.size());
-  for (const auto& entry : manifests_) ids.push_back(entry.first);
-  for (const ObjectId& id : ids) {
-    ++report.objects;
-    const AuditReport a = audit(id);
-    if (a.clean()) continue;
-    try {
-      report.shards_repaired += repair(id);
-    } catch (const UnrecoverableError&) {
-      ++report.unrecoverable;
+  return run_op("scrub", ObjectId{}, [&] {
+    ScrubReport report;
+    std::vector<ObjectId> ids;
+    ids.reserve(manifests_.size());
+    for (const auto& entry : manifests_) ids.push_back(entry.first);
+    for (const ObjectId& id : ids) {
+      ++report.objects;
+      const AuditReport a = audit(id);
+      if (a.clean()) continue;
+      try {
+        report.shards_repaired += repair(id);
+      } catch (const UnrecoverableError&) {
+        ++report.unrecoverable;
+      }
     }
-  }
-  return report;
+    cluster_.obs().emit(ScrubCompleted{report.objects, report.shards_repaired,
+                                       report.unrecoverable});
+    return report;
+  });
 }
 
 void Archive::redistribute_nodes(unsigned t2, unsigned n2) {
+  run_op("redistribute", ObjectId{},
+         [&] { redistribute_nodes_impl(t2, n2); });
+}
+
+void Archive::redistribute_nodes_impl(unsigned t2, unsigned n2) {
   if (policy_.encoding != EncodingKind::kShamir)
     throw InvalidArgument(
-        "Archive::redistribute_nodes: policy is not Shamir sharing");
+        "Archive::redistribute_nodes: policy is not Shamir sharing",
+        ErrorCode::kUnsupportedOperation);
   if (t2 == 0 || t2 > n2 || n2 > cluster_.size())
-    throw InvalidArgument("Archive::redistribute_nodes: bad geometry");
+    throw InvalidArgument("Archive::redistribute_nodes: bad geometry",
+                          ErrorCode::kBadGeometry);
 
   for (auto& [id, m] : manifests_) {
     auto stored = gather(m, m.n);
@@ -799,7 +976,8 @@ void Archive::redistribute_nodes(unsigned t2, unsigned n2) {
 const ObjectManifest& Archive::manifest(const ObjectId& id) const {
   const auto it = manifests_.find(id);
   if (it == manifests_.end())
-    throw InvalidArgument("Archive: unknown object " + id);
+    throw InvalidArgument("Archive: unknown object " + id,
+                          ErrorCode::kUnknownObject);
   return it->second;
 }
 
@@ -844,6 +1022,8 @@ void Archive::import_catalog(ByteView blob) {
 
 StorageReport Archive::storage_report() const {
   StorageReport r;
+  r.op = "archive.storage";
+  r.epoch = cluster_.now();
   for (const auto& [id, m] : manifests_) {
     r.logical_bytes += m.size;
     for (std::uint32_t i = 0; i < m.n; ++i) {

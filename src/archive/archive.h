@@ -20,15 +20,18 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "archive/keyvault.h"
 #include "archive/policy.h"
+#include "archive/reports.h"
 #include "integrity/notary.h"
 #include "integrity/timestamp.h"
 #include "node/cluster.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -83,54 +86,15 @@ struct ObjectManifest {
   static ObjectManifest deserialize(ByteView wire);
 };
 
-/// Outcome of Archive::put. A write is durable once at least the
-/// reconstruction threshold of shards landed (put throws below that);
-/// anything between threshold and n is an under-replicated write that
-/// repair()/scrub() will heal once the missing nodes return.
-struct PutReport {
-  unsigned shards_total = 0;
-  unsigned shards_written = 0;
-  unsigned key_shares_failed = 0;  // VSS key-share uploads that failed
-  std::vector<std::uint32_t> failed_shards;  // indices that never landed
+// Report types (PutReport, GetReport, VerifyReport, AuditReport,
+// ScrubReport, DisperseReport, StorageReport, IoStats) live in
+// archive/reports.h; they all derive from OpReport and render as JSON.
 
-  bool fully_replicated() const {
-    return shards_written == shards_total && key_shares_failed == 0;
-  }
-  unsigned under_replication() const { return shards_total - shards_written; }
-};
-
-/// Client-side I/O accounting across retries.
-struct IoStats {
-  std::uint64_t upload_attempts = 0;
-  std::uint64_t upload_retries = 0;
-  std::uint64_t upload_failures = 0;  // shard writes abandoned
-  std::uint64_t download_attempts = 0;
-  std::uint64_t download_retries = 0;
-  std::uint64_t download_failures = 0;  // shard reads abandoned
-};
-
-/// Outcome of Archive::verify.
-struct VerifyReport {
-  unsigned shards_seen = 0;
-  unsigned shards_bad = 0;
-  bool enough_shards = false;
-  ChainStatus chain_status = ChainStatus::kEmpty;
-  bool ok() const {
-    return shards_bad == 0 && enough_shards &&
-           chain_status == ChainStatus::kValid;
-  }
-};
-
-/// Measured storage accounting (Figure 1's cost axis, measured not
-/// nominal).
-struct StorageReport {
-  std::uint64_t logical_bytes = 0;
-  std::uint64_t stored_bytes = 0;
-  double overhead() const {
-    return logical_bytes == 0
-               ? 0.0
-               : static_cast<double>(stored_bytes) / logical_bytes;
-  }
+/// Result of Archive::get_report: the reconstructed bytes plus the
+/// evidence trail of how the read went.
+struct GetResult {
+  Bytes data;
+  GetReport report;
 };
 
 class Archive {
@@ -156,6 +120,11 @@ class Archive {
   /// erasures); throws UnrecoverableError when fewer than the
   /// reconstruction threshold survive.
   Bytes get(const ObjectId& id);
+
+  /// Like get(), but also returns the evidence: shards gathered, bad
+  /// shards skipped, download retries spent, bytes moved. get() is a
+  /// thin wrapper over this.
+  GetResult get_report(const ObjectId& id);
 
   void remove(const ObjectId& id);
 
@@ -195,22 +164,13 @@ class Archive {
   /// still holds each shard, without transferring the shard — the node
   /// answers H(shard || nonce) and the archive checks it against the
   /// manifest hash chain. Returns per-object pass/fail counts.
-  struct AuditReport {
-    unsigned challenges = 0;
-    unsigned passed = 0;
-    unsigned failed = 0;   // wrong answer (corrupt shard)
-    unsigned silent = 0;   // node offline / shard missing
-    bool clean() const { return failed == 0 && silent == 0; }
-  };
+  /// (Historical nested name; the struct now lives in reports.h.)
+  using AuditReport = aegis::AuditReport;
   AuditReport audit(const ObjectId& id);
 
   /// Pergamum-style scrub pass: audits every object and repairs the
   /// damage audits surface. Returns (objects audited, shards repaired).
-  struct ScrubReport {
-    unsigned objects = 0;
-    unsigned shards_repaired = 0;
-    unsigned unrecoverable = 0;  // objects beyond repair
-  };
+  using ScrubReport = aegis::ScrubReport;
   ScrubReport scrub();
 
   /// Migrates every object of a sharing policy to a new (t2, n2) access
@@ -276,12 +236,41 @@ class Archive {
 
   /// Writes one shard set out (with retries), refreshing the manifest's
   /// integrity metadata. Reports which shard writes failed for good.
-  struct DisperseReport {
-    unsigned written = 0;
-    std::vector<std::uint32_t> failed;
-  };
+  /// (Historical nested name; the struct now lives in reports.h.)
+  using DisperseReport = aegis::DisperseReport;
   DisperseReport disperse(ObjectManifest& m, const std::vector<Bytes>& shards);
   NodeId shard_node(std::uint32_t shard_index) const;
+
+  /// Per-op observability scaffolding. Public operations run through
+  /// run_op, which sets current_op_ (so the shared retry helpers can
+  /// attribute retries to `archive.<op>.retries`), opens an
+  /// `archive.<op>` trace span, bumps `archive.<op>.count`, observes
+  /// virtual duration into `archive.<op>.ms`, and stamps the OpReport
+  /// header on the result. On an Error it records
+  /// `archive.<op>.failures`, emits OperationFailed{code} and rethrows.
+  /// Ops nest (scrub -> audit/repair/get): OpScope restores the outer
+  /// op on exit.
+  struct OpScope {
+    const char* op = nullptr;    // short name, e.g. "put"
+    const char* prev = nullptr;  // outer op, restored on exit
+    double t0_ms = 0;            // cluster virtual ms at entry
+    std::unique_ptr<TraceSpan> span;
+  };
+  OpScope op_begin(const char* op, const ObjectId& object);
+  void op_end(OpScope& scope, OpReport* report);
+  void op_failed(OpScope& scope, const ObjectId& object, const Error& e);
+  template <class Fn>
+  auto run_op(const char* op, const ObjectId& object, Fn&& fn);
+
+  // Un-instrumented operation bodies; the public entry points wrap these
+  // in run_op.
+  PutReport put_impl(const ObjectId& id, ByteView data);
+  unsigned repair_impl(const ObjectId& id);
+  AuditReport audit_impl(const ObjectId& id);
+  void refresh_impl();
+  void rewrap_impl(SchemeId new_outer_cipher);
+  void reencrypt_impl(const std::vector<SchemeId>& fresh);
+  void redistribute_nodes_impl(unsigned t2, unsigned n2);
 
   Cluster& cluster_;
   ArchivalPolicy policy_;
@@ -290,6 +279,18 @@ class Archive {
   Rng& rng_;
   KeyVault vault_;
   IoStats io_stats_;
+  // Hot-path metric handles mirroring io_stats_ increment-for-increment
+  // (`archive.io.*`): the metric view and the struct view can never
+  // disagree. Resolved once in the constructor.
+  Counter* m_up_attempts_ = nullptr;
+  Counter* m_up_retries_ = nullptr;
+  Counter* m_up_failures_ = nullptr;
+  Counter* m_down_attempts_ = nullptr;
+  Counter* m_down_retries_ = nullptr;
+  Counter* m_down_failures_ = nullptr;
+  // Operation the archive is currently inside (null between ops); lets
+  // the shared retry helpers attribute retries/failures per operation.
+  const char* current_op_ = nullptr;
   std::map<ObjectId, ObjectManifest> manifests_;
   // Compute pool for the encode/decode pipeline (policy.encode_workers).
   // Mutable because decode() is const but borrows the pool; the pool

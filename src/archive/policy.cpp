@@ -61,7 +61,7 @@ double ArchivalPolicy::nominal_overhead() const {
 }
 
 void ArchivalPolicy::validate() const {
-  if (n == 0) throw InvalidArgument("policy: n must be >= 1");
+  if (n == 0) throw InvalidArgument("policy: n must be >= 1", ErrorCode::kBadPolicy);
   switch (encoding) {
     case EncodingKind::kReplication:
       break;
@@ -71,30 +71,37 @@ void ArchivalPolicy::validate() const {
     case EncodingKind::kAontRs:
     case EncodingKind::kEntropicErasure:
       if (k == 0 || k > n)
-        throw InvalidArgument("policy: need 1 <= k <= n for erasure");
+        throw InvalidArgument("policy: need 1 <= k <= n for erasure",
+                              ErrorCode::kBadGeometry);
       break;
     case EncodingKind::kShamir:
     case EncodingKind::kLrss:
       if (t == 0 || t > n)
-        throw InvalidArgument("policy: need 1 <= t <= n for sharing");
+        throw InvalidArgument("policy: need 1 <= t <= n for sharing",
+                              ErrorCode::kBadGeometry);
       break;
     case EncodingKind::kPacked:
       if (t == 0 || k == 0 || t + k > n)
-        throw InvalidArgument("policy: need t,k >= 1 and t+k <= n");
+        throw InvalidArgument("policy: need t,k >= 1 and t+k <= n",
+                              ErrorCode::kBadGeometry);
       break;
   }
   if (backoff_base_ms < 0.0)
-    throw InvalidArgument("policy: negative retry backoff");
+    throw InvalidArgument("policy: negative retry backoff",
+                          ErrorCode::kBadPolicy);
   if (encode_workers > 256)
-    throw InvalidArgument("policy: encode_workers > 256 is surely a typo");
+    throw InvalidArgument("policy: encode_workers > 256 is surely a typo",
+                          ErrorCode::kBadPolicy);
   const bool needs_cipher = encoding == EncodingKind::kEncryptErasure ||
                             encoding == EncodingKind::kCascade ||
                             encoding == EncodingKind::kAontRs;
   if (needs_cipher && ciphers.empty())
-    throw InvalidArgument("policy: encrypted encodings need a cipher");
+    throw InvalidArgument("policy: encrypted encodings need a cipher",
+                          ErrorCode::kBadPolicy);
   for (SchemeId c : ciphers) {
     if (scheme_info(c).kind != SchemeKind::kCipher)
-      throw InvalidArgument("policy: " + scheme_name(c) + " is not a cipher");
+      throw InvalidArgument("policy: " + scheme_name(c) + " is not a cipher",
+                            ErrorCode::kBadPolicy);
   }
 }
 

@@ -1,0 +1,105 @@
+#include "archive/reports.h"
+
+#include <cstdio>
+
+namespace aegis {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string index_list(const std::vector<std::uint32_t>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += num(static_cast<std::uint64_t>(xs[i]));
+  }
+  return out + "]";
+}
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string OpReport::json_head() const {
+  return "\"op\":\"" + op + "\",\"epoch\":" +
+         num(static_cast<std::uint64_t>(epoch)) +
+         ",\"duration_ms\":" + num(duration_ms);
+}
+
+std::string PutReport::to_json() const {
+  return "{" + json_head() + ",\"shards_total\":" + num(std::uint64_t{shards_total}) +
+         ",\"shards_written\":" + num(std::uint64_t{shards_written}) +
+         ",\"key_shares_failed\":" + num(std::uint64_t{key_shares_failed}) +
+         ",\"failed_shards\":" + index_list(failed_shards) +
+         ",\"ok\":" + bool_str(ok()) + "}";
+}
+
+std::string GetReport::to_json() const {
+  return "{" + json_head() +
+         ",\"shards_gathered\":" + num(std::uint64_t{shards_gathered}) +
+         ",\"shards_bad\":" + num(std::uint64_t{shards_bad}) +
+         ",\"retries\":" + num(retries) +
+         ",\"bytes_down\":" + num(bytes_down) +
+         ",\"logical_bytes\":" + num(logical_bytes) +
+         ",\"ok\":" + bool_str(ok()) + "}";
+}
+
+std::string VerifyReport::to_json() const {
+  return "{" + json_head() +
+         ",\"shards_seen\":" + num(std::uint64_t{shards_seen}) +
+         ",\"shards_bad\":" + num(std::uint64_t{shards_bad}) +
+         ",\"enough_shards\":" + bool_str(enough_shards) +
+         ",\"chain_status\":\"" + to_string(chain_status) + "\"" +
+         ",\"ok\":" + bool_str(ok()) + "}";
+}
+
+std::string AuditReport::to_json() const {
+  return "{" + json_head() +
+         ",\"challenges\":" + num(std::uint64_t{challenges}) +
+         ",\"passed\":" + num(std::uint64_t{passed}) +
+         ",\"failed\":" + num(std::uint64_t{failed}) +
+         ",\"silent\":" + num(std::uint64_t{silent}) +
+         ",\"ok\":" + bool_str(ok()) + "}";
+}
+
+std::string ScrubReport::to_json() const {
+  return "{" + json_head() + ",\"objects\":" + num(std::uint64_t{objects}) +
+         ",\"shards_repaired\":" + num(std::uint64_t{shards_repaired}) +
+         ",\"unrecoverable\":" + num(std::uint64_t{unrecoverable}) +
+         ",\"ok\":" + bool_str(ok()) + "}";
+}
+
+std::string DisperseReport::to_json() const {
+  return "{" + json_head() + ",\"written\":" + num(std::uint64_t{written}) +
+         ",\"failed\":" + index_list(failed) + ",\"ok\":" + bool_str(ok()) +
+         "}";
+}
+
+std::string IoStats::to_json() const {
+  return std::string("{\"op\":\"archive.io\"") +
+         ",\"upload_attempts\":" + num(upload_attempts) +
+         ",\"upload_retries\":" + num(upload_retries) +
+         ",\"upload_failures\":" + num(upload_failures) +
+         ",\"download_attempts\":" + num(download_attempts) +
+         ",\"download_retries\":" + num(download_retries) +
+         ",\"download_failures\":" + num(download_failures) + "}";
+}
+
+std::string StorageReport::to_json() const {
+  return "{" + json_head() + ",\"logical_bytes\":" + num(logical_bytes) +
+         ",\"stored_bytes\":" + num(stored_bytes) +
+         ",\"overhead\":" + num(overhead()) + "}";
+}
+
+}  // namespace aegis

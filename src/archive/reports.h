@@ -1,0 +1,140 @@
+// Operation reports: one common shape for everything the archive
+// measures about its own operations.
+//
+// Every public Archive operation returns (or accumulates into) a report
+// deriving from OpReport: the operation name, the cluster virtual epoch
+// it completed at, and the virtual milliseconds it consumed — plus the
+// operation-specific fields the previous ad-hoc structs carried, under
+// their original names. Each report renders itself as a single JSON
+// object (to_json) in the same one-line shape the BENCH_*.json artifacts
+// and the metrics snapshot use, so per-op evidence and aggregate metrics
+// land in one pipeline.
+//
+// The structs live at namespace scope (the Archive class re-exports its
+// historical nested names as aliases) so non-archive code — benches,
+// multi-archive orchestration, tests — can name them without dragging in
+// the Archive definition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/scheme.h"  // Epoch
+#include "integrity/timestamp.h"  // ChainStatus
+#include "util/bytes.h"
+
+namespace aegis {
+
+/// Common header every per-operation report starts with. Derived reports
+/// keep aggregate semantics: plain data, field-by-field access, no
+/// virtuals. `duration_ms` is *virtual* (simulated transport + backoff)
+/// time, so it is deterministic for a given seed and safe to assert on.
+struct OpReport {
+  std::string op;          // e.g. "archive.put"
+  Epoch epoch = 0;         // cluster epoch at completion
+  double duration_ms = 0;  // virtual milliseconds consumed
+
+  /// JSON fragment `"op":...,"epoch":...,"duration_ms":...` shared by
+  /// every derived to_json().
+  std::string json_head() const;
+};
+
+/// Outcome of Archive::put. A write is durable once at least the
+/// reconstruction threshold of shards landed (put throws below that);
+/// anything between threshold and n is an under-replicated write that
+/// repair()/scrub() will heal once the missing nodes return.
+struct PutReport : OpReport {
+  unsigned shards_total = 0;
+  unsigned shards_written = 0;
+  unsigned key_shares_failed = 0;  // VSS key-share uploads that failed
+  std::vector<std::uint32_t> failed_shards;  // indices that never landed
+
+  bool fully_replicated() const {
+    return shards_written == shards_total && key_shares_failed == 0;
+  }
+  unsigned under_replication() const { return shards_total - shards_written; }
+  bool ok() const { return fully_replicated(); }
+  std::string to_json() const;
+};
+
+/// Outcome of Archive::get_report: what the gather actually saw on the
+/// way to reconstructing the object.
+struct GetReport : OpReport {
+  unsigned shards_gathered = 0;  // intact, current-generation shards used
+  unsigned shards_bad = 0;       // hash-mismatched shards skipped
+  std::uint64_t retries = 0;     // download retries spent on this read
+  std::uint64_t bytes_down = 0;  // payload bytes moved node -> client
+  std::uint64_t logical_bytes = 0;  // size of the reconstructed object
+
+  /// A clean read: no corrupt shards surfaced and no retries were needed.
+  bool ok() const { return shards_bad == 0 && retries == 0; }
+  std::string to_json() const;
+};
+
+/// Outcome of Archive::verify.
+struct VerifyReport : OpReport {
+  unsigned shards_seen = 0;
+  unsigned shards_bad = 0;
+  bool enough_shards = false;
+  ChainStatus chain_status = ChainStatus::kEmpty;
+  bool ok() const {
+    return shards_bad == 0 && enough_shards &&
+           chain_status == ChainStatus::kValid;
+  }
+  std::string to_json() const;
+};
+
+/// Outcome of Archive::audit — remote proof-of-possession challenges.
+struct AuditReport : OpReport {
+  unsigned challenges = 0;
+  unsigned passed = 0;
+  unsigned failed = 0;   // wrong answer (corrupt shard)
+  unsigned silent = 0;   // node offline / shard missing
+  bool clean() const { return failed == 0 && silent == 0; }
+  bool ok() const { return clean(); }
+  std::string to_json() const;
+};
+
+/// Outcome of Archive::scrub — audit-everything-repair-damage pass.
+struct ScrubReport : OpReport {
+  unsigned objects = 0;
+  unsigned shards_repaired = 0;
+  unsigned unrecoverable = 0;  // objects beyond repair
+  bool ok() const { return unrecoverable == 0; }
+  std::string to_json() const;
+};
+
+/// Outcome of one shard-set write (Archive's dispersal step).
+struct DisperseReport : OpReport {
+  unsigned written = 0;
+  std::vector<std::uint32_t> failed;
+  bool ok() const { return failed.empty(); }
+  std::string to_json() const;
+};
+
+/// Client-side I/O accounting across retries (cumulative, not per-op).
+struct IoStats {
+  std::uint64_t upload_attempts = 0;
+  std::uint64_t upload_retries = 0;
+  std::uint64_t upload_failures = 0;  // shard writes abandoned
+  std::uint64_t download_attempts = 0;
+  std::uint64_t download_retries = 0;
+  std::uint64_t download_failures = 0;  // shard reads abandoned
+  std::string to_json() const;
+};
+
+/// Measured storage accounting (Figure 1's cost axis, measured not
+/// nominal).
+struct StorageReport : OpReport {
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+  double overhead() const {
+    return logical_bytes == 0
+               ? 0.0
+               : static_cast<double>(stored_bytes) / logical_bytes;
+  }
+  std::string to_json() const;
+};
+
+}  // namespace aegis

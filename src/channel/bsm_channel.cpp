@@ -24,7 +24,8 @@ BsmChannel::Result BsmChannel::establish(std::size_t pad_budget,
     if (++res.rounds > kMaxRounds)
       throw UnrecoverableError(
           "BsmChannel: key agreement not converging (sampling too sparse "
-          "for the requested pad budget)");
+          "for the requested pad budget)",
+          ErrorCode::kEntropyExhausted);
     const BsmResult round =
         bsm_key_agreement(params, BsmAdversaryStrategy::kRandom, rng);
     res.bytes_streamed += round.bytes_streamed;
@@ -42,7 +43,8 @@ SecureBytes BsmChannel::take_pad(std::size_t n) {
   if (pad_remaining() < n)
     throw UnrecoverableError(
         "BsmChannel: one-time-pad budget exhausted (stream more beacon "
-        "rounds)");
+        "rounds)",
+        ErrorCode::kEntropyExhausted);
   SecureBytes out(pad_.begin() + pad_pos_, pad_.begin() + pad_pos_ + n);
   pad_pos_ += n;
   return out;
@@ -63,7 +65,8 @@ Bytes BsmChannel::open(ByteView frame) {
   const SecureBytes body_pad = take_pad(f.ct.size());
   const SecureBytes mac_pad = take_pad(kOtpMacPadSize);
   if (!otp_check_tag(f.ct, f.tag, ByteView(mac_pad.data(), mac_pad.size())))
-    throw IntegrityError("BsmChannel: one-time MAC verification failed");
+    throw IntegrityError("BsmChannel: one-time MAC verification failed",
+                         ErrorCode::kMacMismatch);
   return xor_bytes(f.ct, ByteView(body_pad.data(), body_pad.size()));
 }
 

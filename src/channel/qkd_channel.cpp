@@ -35,7 +35,8 @@ QkdChannel::Result QkdChannel::establish(std::size_t key_budget, Rng& rng,
 SecureBytes QkdChannel::take_pad(std::size_t n) {
   if (pad_remaining() < n)
     throw UnrecoverableError(
-        "QkdChannel: one-time-pad budget exhausted (key rate limit)");
+        "QkdChannel: one-time-pad budget exhausted (key rate limit)",
+        ErrorCode::kEntropyExhausted);
   SecureBytes out(pad_.begin() + pad_pos_, pad_.begin() + pad_pos_ + n);
   pad_pos_ += n;
   return out;
@@ -58,7 +59,8 @@ Bytes QkdChannel::open(ByteView frame) {
   const SecureBytes mac_pad = take_pad(kOtpMacPadSize);
 
   if (!otp_check_tag(f.ct, f.tag, ByteView(mac_pad.data(), mac_pad.size())))
-    throw IntegrityError("QkdChannel: one-time MAC verification failed");
+    throw IntegrityError("QkdChannel: one-time MAC verification failed",
+                         ErrorCode::kMacMismatch);
   return xor_bytes(f.ct, ByteView(body_pad.data(), body_pad.size()));
 }
 

@@ -78,19 +78,22 @@ Bytes TlsChannel::seal(ByteView plaintext) {
 
 Bytes TlsChannel::open(ByteView frame) {
   if (frame.size() < 8 + 4 + kTagSize)
-    throw IntegrityError("TlsChannel: truncated frame");
+    throw IntegrityError("TlsChannel: truncated frame",
+                         ErrorCode::kTruncatedData);
 
   const ByteView body = frame.subspan(0, frame.size() - kTagSize);
   const ByteView tag = frame.subspan(frame.size() - kTagSize);
   const Bytes expect =
       hmac_sha256(ByteView(mac_key_.data(), mac_key_.size()), body);
   if (!ct_equal(tag, expect))
-    throw IntegrityError("TlsChannel: MAC verification failed");
+    throw IntegrityError("TlsChannel: MAC verification failed",
+                         ErrorCode::kMacMismatch);
 
   ByteReader r(body);
   const std::uint64_t seq = r.u64();
   if (seq != recv_seq_)
-    throw IntegrityError("TlsChannel: bad sequence (replay or drop)");
+    throw IntegrityError("TlsChannel: bad sequence (replay or drop)",
+                         ErrorCode::kReplayDetected);
   ++recv_seq_;
 
   const Bytes ct = r.bytes();

@@ -37,17 +37,36 @@ Cluster::Cluster(unsigned node_count, ChannelKind channel, std::uint64_t seed)
   for (unsigned i = 0; i < node_count; ++i) nodes_.emplace_back(i);
   profiles_.assign(node_count, NodeProfile{});
   health_.assign(node_count, NodeHealth{});
+
+  obs_ = std::make_unique<Observability>();
+  faults_.bind_events(&obs_->events());
+  MetricsRegistry& m = obs_->metrics();
+  m_uploads_ = &m.counter("cluster.upload.count");
+  m_downloads_ = &m.counter("cluster.download.count");
+  m_bytes_up_ = &m.counter("cluster.upload.bytes");
+  m_bytes_down_ = &m.counter("cluster.download.bytes");
+  m_dropped_ = &m.counter("cluster.transfer.dropped");
+  m_corrupted_ = &m.counter("cluster.transfer.corrupted");
+  m_quarantine_rejections_ = &m.counter("cluster.transfer.quarantine_rejections");
+  m_transfer_ms_ = &m.histogram("cluster.transfer.ms");
+  m.gauge("cluster.nodes_online").set(node_count);
 }
 
 void Cluster::advance_epoch() {
   ++now_;
+  obs_->set_epoch(now_);
   faults_.on_epoch(now_, nodes_);
+  obs_->metrics().gauge("cluster.epoch").set(static_cast<std::int64_t>(now_));
+  obs_->metrics().gauge("cluster.nodes_online").set(online_count());
+  obs_->emit(EpochAdvanced{online_count()});
 }
 
 void Cluster::restore_node(NodeId id) {
   node(id).set_online(true);
   health_[id].consecutive_failures = 0;
   health_[id].quarantined_until = 0;
+  obs_->metrics().gauge("cluster.nodes_online").set(online_count());
+  obs_->emit(NodeRestored{id});
 }
 
 const NodeHealth& Cluster::health(NodeId id) const {
@@ -55,8 +74,9 @@ const NodeHealth& Cluster::health(NodeId id) const {
   return health_[id];
 }
 
-void Cluster::record_failure(NodeHealth& health) {
+void Cluster::record_failure(NodeId id) {
   // A node-attributable failure: feeds the circuit breaker.
+  NodeHealth& health = health_[id];
   ++health.failures;
   ++health.consecutive_failures;
   if (breaker_.enabled &&
@@ -64,6 +84,11 @@ void Cluster::record_failure(NodeHealth& health) {
       !health.quarantined(now_)) {
     health.quarantined_until = now_ + breaker_.cooldown_epochs;
     ++health.quarantines;
+    // Same increment, two views: NodeHealth::quarantines (polled) and
+    // the NodeQuarantined event stream (pushed) can never disagree.
+    obs_->metrics().counter("cluster.breaker.quarantines").inc();
+    obs_->emit(NodeQuarantined{id, health.quarantined_until,
+                              health.consecutive_failures});
   }
 }
 
@@ -148,11 +173,12 @@ TransferStatus Cluster::upload(NodeId id, StoredBlob blob,
   NodeHealth& health = health_[id];
   if (breaker_.enabled && health.quarantined(now_)) {
     ++stats_.quarantine_rejections;
+    m_quarantine_rejections_->inc();
     return TransferStatus::kQuarantined;
   }
   ++health.attempts;
   if (!target.online()) {
-    record_failure(health);
+    record_failure(id);
     return TransferStatus::kNodeOffline;
   }
 
@@ -163,11 +189,13 @@ TransferStatus Cluster::upload(NodeId id, StoredBlob blob,
   const double cost =
       plan.latency_multiplier *
       (prof.latency_ms + wire.size() / (prof.bandwidth_mbps * 1000.0));
+  m_transfer_ms_->observe(cost);
 
   if (plan.drop) {
     // The conversation times out: full cost paid, nothing lands.
     simulated_ms_ += cost;
     ++stats_.dropped;
+    m_dropped_->inc();
     record_link_failure(health);
     return TransferStatus::kDropped;
   }
@@ -176,11 +204,14 @@ TransferStatus Cluster::upload(NodeId id, StoredBlob blob,
   simulated_ms_ += cost;
   stats_.uploads += 1;
   stats_.bytes_up += blob.data.size();
+  m_uploads_->inc();
+  m_bytes_up_->inc(blob.data.size());
 
   if (plan.corrupt) {
     delivered[plan.corrupt_bit / 8] ^=
         static_cast<std::uint8_t>(1u << (plan.corrupt_bit % 8));
     ++stats_.corrupted;
+    m_corrupted_->inc();
     record_link_failure(health);
     // The node stores whatever frame still parses — a torn write the
     // client knows about (status) and scrub/repair can heal later.
@@ -194,6 +225,8 @@ TransferStatus Cluster::upload(NodeId id, StoredBlob blob,
 
   target.put(StoredBlob::deserialize(delivered));
   health.consecutive_failures = 0;
+  obs_->emit(ShardWritten{blob.object, blob.shard_index, id,
+                         blob.data.size()});
   return TransferStatus::kOk;
 }
 
@@ -205,12 +238,13 @@ DownloadResult Cluster::download(NodeId id, const ObjectId& object,
   DownloadResult result;
   if (breaker_.enabled && health.quarantined(now_)) {
     ++stats_.quarantine_rejections;
+    m_quarantine_rejections_->inc();
     result.status = TransferStatus::kQuarantined;
     return result;
   }
   ++health.attempts;
   if (!source.online()) {
-    record_failure(health);
+    record_failure(id);
     result.status = TransferStatus::kNodeOffline;
     return result;
   }
@@ -229,10 +263,12 @@ DownloadResult Cluster::download(NodeId id, const ObjectId& object,
   const double cost =
       plan.latency_multiplier *
       (prof.latency_ms + wire.size() / (prof.bandwidth_mbps * 1000.0));
+  m_transfer_ms_->observe(cost);
 
   if (plan.drop) {
     simulated_ms_ += cost;
     ++stats_.dropped;
+    m_dropped_->inc();
     record_link_failure(health);
     result.status = TransferStatus::kDropped;
     return result;
@@ -242,11 +278,14 @@ DownloadResult Cluster::download(NodeId id, const ObjectId& object,
   simulated_ms_ += cost;
   stats_.downloads += 1;
   stats_.bytes_down += blob->data.size();
+  m_downloads_->inc();
+  m_bytes_down_->inc(blob->data.size());
 
   if (plan.corrupt) {
     delivered[plan.corrupt_bit / 8] ^=
         static_cast<std::uint8_t>(1u << (plan.corrupt_bit % 8));
     ++stats_.corrupted;
+    m_corrupted_->inc();
     record_link_failure(health);
     result.status = TransferStatus::kCorrupted;
     try {

@@ -16,6 +16,7 @@
 #include "channel/channel.h"
 #include "node/faults.h"
 #include "node/node.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace aegis {
@@ -134,6 +135,13 @@ class Cluster {
   FaultInjector& faults() { return faults_; }
   const FaultInjector& faults() const { return faults_; }
 
+  /// The deployment's observability context: metrics, event bus and
+  /// trace ring, all stamped with this cluster's virtual epoch. The
+  /// cluster reports transport/breaker activity here; the Archive,
+  /// FaultInjector and protocol drivers layer their own evidence on top.
+  Observability& obs() { return *obs_; }
+  const Observability& obs() const { return *obs_; }
+
   ChannelKind channel_kind() const { return channel_; }
 
   /// Sends a blob to a node through a fresh protected conversation.
@@ -198,10 +206,23 @@ class Cluster {
                  ChannelKind kind);
 
   /// Health bookkeeping shared by upload/download: records the failure,
-  /// opens the breaker at the threshold.
-  void record_failure(NodeHealth& health);
+  /// opens the breaker at the threshold (emitting NodeQuarantined).
+  void record_failure(NodeId id);
   void record_link_failure(NodeHealth& health);
 
+  // Declared first: members below report into it. Behind a unique_ptr so
+  // the Cluster stays movable (the registry holds a mutex) and so every
+  // handle/subscription into it survives a Cluster move.
+  std::unique_ptr<Observability> obs_;
+  // Hot-path metric handles (resolved once; registry lookups are mutexed).
+  Counter* m_uploads_ = nullptr;
+  Counter* m_downloads_ = nullptr;
+  Counter* m_bytes_up_ = nullptr;
+  Counter* m_bytes_down_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+  Counter* m_corrupted_ = nullptr;
+  Counter* m_quarantine_rejections_ = nullptr;
+  Histogram* m_transfer_ms_ = nullptr;
   std::vector<StorageNode> nodes_;
   std::vector<NodeProfile> profiles_;
   std::vector<NodeHealth> health_;

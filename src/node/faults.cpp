@@ -78,6 +78,14 @@ const LinkFaults& FaultInjector::faults_for(NodeId node) const {
   return it == per_node_link_.end() ? default_link_ : it->second;
 }
 
+void FaultInjector::record(FaultEvent event) {
+  if (bus_ != nullptr)
+    bus_->publish(event.epoch,
+                  FaultInjected{to_string(event.kind), event.node,
+                                event.detail});
+  timeline_.push_back(event);
+}
+
 void FaultInjector::on_epoch(Epoch now, std::vector<StorageNode>& nodes) {
   // 1. Restarts: an outage window ended and no other window still covers
   //    the node. Expired windows are dropped afterwards.
@@ -89,7 +97,7 @@ void FaultInjector::on_epoch(Epoch now, std::vector<StorageNode>& nodes) {
         });
     if (still_down || nodes[o.node].online()) continue;
     nodes[o.node].set_online(true);
-    timeline_.push_back({FaultEvent::Kind::kRestart, now, o.node, 0});
+    record({FaultEvent::Kind::kRestart, now, o.node, 0});
   }
   outages_.erase(std::remove_if(outages_.begin(), outages_.end(),
                                 [&](const Outage& o) {
@@ -104,7 +112,7 @@ void FaultInjector::on_epoch(Epoch now, std::vector<StorageNode>& nodes) {
     o.begun = true;
     if (nodes[o.node].online()) {
       nodes[o.node].set_online(false);
-      timeline_.push_back({FaultEvent::Kind::kCrash, now, o.node, o.end});
+      record({FaultEvent::Kind::kCrash, now, o.node, o.end});
     }
   }
 
@@ -117,8 +125,7 @@ void FaultInjector::on_epoch(Epoch now, std::vector<StorageNode>& nodes) {
                                                        crash_min_ + 1));
       outages_.push_back({id, now, now + duration, true});
       nodes[id].set_online(false);
-      timeline_.push_back(
-          {FaultEvent::Kind::kCrash, now, id, now + duration});
+      record({FaultEvent::Kind::kCrash, now, id, now + duration});
     }
   }
 
@@ -137,7 +144,7 @@ void FaultInjector::on_epoch(Epoch now, std::vector<StorageNode>& nodes) {
           const std::uint64_t bit = rng_.uniform(blob->data.size() * 8);
           blob->data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
         }
-        timeline_.push_back({FaultEvent::Kind::kBitRot, now, id, flips});
+        record({FaultEvent::Kind::kBitRot, now, id, flips});
       }
     }
   }
@@ -158,18 +165,17 @@ FaultInjector::TransferPlan FaultInjector::plan_transfer(
 
   if (spike) {
     plan.latency_multiplier = f.spike_multiplier;
-    timeline_.push_back({FaultEvent::Kind::kSpike, now, node, 0});
+    record({FaultEvent::Kind::kSpike, now, node, 0});
   }
   if (drop) {
     plan.drop = true;
-    timeline_.push_back({FaultEvent::Kind::kDrop, now, node, 0});
+    record({FaultEvent::Kind::kDrop, now, node, 0});
     return plan;  // nothing arrives; corruption is moot
   }
   if (corrupt && wire_bytes > 0) {
     plan.corrupt = true;
     plan.corrupt_bit = rng_.uniform(wire_bytes * 8);
-    timeline_.push_back(
-        {FaultEvent::Kind::kCorrupt, now, node, plan.corrupt_bit});
+    record({FaultEvent::Kind::kCorrupt, now, node, plan.corrupt_bit});
   }
   return plan;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "node/node.h"
+#include "obs/events.h"
 #include "util/rng.h"
 
 namespace aegis {
@@ -91,6 +92,11 @@ class FaultInjector {
   /// True once any fault source is configured.
   bool active() const;
 
+  /// Mirrors every injected fault onto `bus` as a FaultInjected event
+  /// (in addition to the timeline), so chaos tests can assert on
+  /// observed causality. nullptr detaches. Set by Cluster.
+  void bind_events(EventBus* bus) { bus_ = bus; }
+
   // ---- hooks driven by Cluster ------------------------------------------
 
   /// Applies epoch-scoped faults: ends expired outages, starts scheduled
@@ -112,6 +118,9 @@ class FaultInjector {
  private:
   const LinkFaults& faults_for(NodeId node) const;
 
+  /// Appends to the timeline and publishes the matching event.
+  void record(FaultEvent event);
+
   struct Outage {
     NodeId node = 0;
     Epoch start = 0;
@@ -128,6 +137,7 @@ class FaultInjector {
   std::map<NodeId, LinkFaults> per_node_link_;
   double bitrot_per_mib_ = 0.0;
   std::vector<FaultEvent> timeline_;
+  EventBus* bus_ = nullptr;
 };
 
 }  // namespace aegis

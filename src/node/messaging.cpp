@@ -25,7 +25,11 @@ ProtocolMessage ProtocolMessage::deserialize(ByteView wire) {
 }
 
 MessageBus::MessageBus(Cluster& cluster, ChannelKind kind)
-    : cluster_(cluster), kind_(kind) {}
+    : cluster_(cluster), kind_(kind) {
+  MetricsRegistry& m = cluster_.obs().metrics();
+  m_messages_ = &m.counter("protocol.bus.messages");
+  m_bytes_ = &m.counter("protocol.bus.bytes");
+}
 
 void MessageBus::send(ProtocolMessage msg) {
   const Bytes wire = msg.serialize();
@@ -42,6 +46,8 @@ void MessageBus::send(ProtocolMessage msg) {
   const Bytes delivered = cluster_.protected_transfer(wire, tap, kind_);
   ++messages_sent_;
   bytes_sent_ += msg.payload.size();
+  m_messages_->inc();
+  m_bytes_->inc(msg.payload.size());
   queues_[msg.to].push_back(ProtocolMessage::deserialize(delivered));
 }
 

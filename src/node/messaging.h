@@ -49,12 +49,19 @@ class MessageBus {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// The cluster this bus routes over (protocol drivers reach its
+  /// Observability through here).
+  Cluster& cluster() { return cluster_; }
+
  private:
   Cluster& cluster_;
   ChannelKind kind_;
   std::map<NodeId, std::deque<ProtocolMessage>> queues_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  // `protocol.bus.*` handles mirroring messages_sent_/bytes_sent_.
+  Counter* m_messages_ = nullptr;
+  Counter* m_bytes_ = nullptr;
 };
 
 }  // namespace aegis

@@ -1,0 +1,81 @@
+#include "obs/events.h"
+
+#include <algorithm>
+
+namespace aegis {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kShardWritten: return "shard-written";
+    case EventKind::kShardWriteFailed: return "shard-write-failed";
+    case EventKind::kRetryExhausted: return "retry-exhausted";
+    case EventKind::kNodeQuarantined: return "node-quarantined";
+    case EventKind::kNodeRestored: return "node-restored";
+    case EventKind::kChainRenewed: return "chain-renewed";
+    case EventKind::kRepairCompleted: return "repair-completed";
+    case EventKind::kScrubCompleted: return "scrub-completed";
+    case EventKind::kFaultInjected: return "fault-injected";
+    case EventKind::kOperationFailed: return "operation-failed";
+    case EventKind::kProtocolRound: return "protocol-round";
+    case EventKind::kEpochAdvanced: return "epoch-advanced";
+  }
+  return "?";
+}
+
+EventBus::SubscriberId EventBus::subscribe(Callback fn) {
+  const SubscriberId id = next_id_++;
+  subscribers_.push_back({id, std::move(fn), true});
+  return id;
+}
+
+void EventBus::unsubscribe(SubscriberId id) {
+  for (Subscriber& s : subscribers_) {
+    if (s.id != id) continue;
+    s.alive = false;
+    needs_compaction_ = true;
+    break;
+  }
+  if (dispatch_depth_ == 0) compact();
+}
+
+void EventBus::compact() {
+  if (!needs_compaction_) return;
+  subscribers_.erase(std::remove_if(subscribers_.begin(), subscribers_.end(),
+                                    [](const Subscriber& s) {
+                                      return !s.alive;
+                                    }),
+                     subscribers_.end());
+  needs_compaction_ = false;
+}
+
+std::size_t EventBus::subscriber_count() const {
+  std::size_t n = 0;
+  for (const Subscriber& s : subscribers_) n += s.alive;
+  return n;
+}
+
+void EventBus::publish(Epoch epoch, EventPayload payload) {
+  Event event;
+  event.seq = next_seq_++;
+  event.epoch = epoch;
+  event.payload = std::move(payload);
+  ++counts_[event.payload.index()];
+
+  // Index-based iteration over a size snapshot: subscribers added during
+  // dispatch (push_back may reallocate) are not invoked for this event,
+  // and ones unsubscribed mid-dispatch are skipped. Compaction waits for
+  // the outermost dispatch to unwind so indices stay stable.
+  ++dispatch_depth_;
+  const std::size_t snapshot = subscribers_.size();
+  for (std::size_t i = 0; i < snapshot; ++i) {
+    if (!subscribers_[i].alive) continue;
+    subscribers_[i].fn(event);
+  }
+  if (--dispatch_depth_ == 0) compact();
+}
+
+std::uint64_t EventBus::count(EventKind k) const {
+  return counts_[static_cast<std::size_t>(k)];
+}
+
+}  // namespace aegis

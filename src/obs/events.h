@@ -1,0 +1,213 @@
+// Structured event bus: typed, subscriber-driven notifications from the
+// archive's control loops, transport layer and fault substrate.
+//
+// Events are the causal record a metrics counter can't carry: *which*
+// node was quarantined, *which* object exhausted its retries, *what*
+// fault the injector fired. Chaos tests subscribe and assert on observed
+// causality ("the forced outage produced the matching NodeQuarantined");
+// operators would ship the same stream to a log pipeline.
+//
+// Threading contract: the bus is written from the simulation's control
+// plane, which is single-threaded by the Cluster's own contract (the
+// shard ThreadPool only ever runs pure compute). publish/subscribe are
+// therefore unsynchronized and deterministic — same seed, same event
+// sequence. Re-entrancy IS supported: a subscriber may subscribe or
+// unsubscribe (itself included) during dispatch; subscribers added
+// mid-dispatch first see the *next* event.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "crypto/scheme.h"  // Epoch
+#include "util/error.h"
+
+namespace aegis {
+
+// Matches node/node.h (obs sits below the node layer; re-declaring the
+// identical aliases keeps the dependency arrow pointing one way).
+using NodeId = std::uint32_t;
+using ObjectId = std::string;
+
+// ---- event payloads ------------------------------------------------------
+
+/// A shard landed on its home node.
+struct ShardWritten {
+  ObjectId object;
+  std::uint32_t shard = 0;
+  NodeId node = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// A shard write was abandoned after the retry budget.
+struct ShardWriteFailed {
+  ObjectId object;
+  std::uint32_t shard = 0;
+  NodeId node = 0;
+  std::string status;  // to_string(TransferStatus)
+};
+
+/// A bounded-retry loop used every attempt and still failed.
+struct RetryExhausted {
+  std::string op;  // "upload" | "download"
+  ObjectId object;
+  NodeId node = 0;
+  unsigned attempts = 0;
+  std::string status;  // final to_string(TransferStatus)
+};
+
+/// The circuit breaker opened on a node.
+struct NodeQuarantined {
+  NodeId node = 0;
+  Epoch until = 0;  // breaker re-probes at this epoch
+  unsigned consecutive_failures = 0;
+};
+
+/// An administrator (or test) attested a node healthy again.
+struct NodeRestored {
+  NodeId node = 0;
+};
+
+/// An object's timestamp chain was extended under a fresh TSA key.
+struct ChainRenewed {
+  ObjectId object;
+  std::size_t links = 0;  // chain length after renewal
+};
+
+/// repair() rewrote shards on their home nodes.
+struct RepairCompleted {
+  ObjectId object;
+  unsigned shards_rewritten = 0;
+};
+
+/// One full scrub pass ended.
+struct ScrubCompleted {
+  unsigned objects = 0;
+  unsigned shards_repaired = 0;
+  unsigned unrecoverable = 0;
+};
+
+/// The FaultInjector fired one fault (kind = to_string(FaultEvent::Kind)).
+struct FaultInjected {
+  std::string kind;
+  NodeId node = 0;
+  std::uint64_t detail = 0;
+};
+
+/// A public archive operation threw; `code` classifies why.
+struct OperationFailed {
+  std::string op;  // e.g. "archive.put"
+  ObjectId object;
+  ErrorCode code = ErrorCode::kUnknown;
+};
+
+/// One synchronous round of a distributed protocol (PSS/VSR) completed.
+struct ProtocolRound {
+  std::string protocol;  // "pss" | "vsr"
+  std::string round;     // "deal" | "accuse" | "finalize" | ...
+  std::uint64_t messages = 0;  // bus messages this round
+  std::uint64_t bytes = 0;
+  unsigned accused = 0;  // dealers accused so far
+};
+
+/// The cluster's epoch clock ticked.
+struct EpochAdvanced {
+  unsigned online_nodes = 0;
+};
+
+using EventPayload =
+    std::variant<ShardWritten, ShardWriteFailed, RetryExhausted,
+                 NodeQuarantined, NodeRestored, ChainRenewed, RepairCompleted,
+                 ScrubCompleted, FaultInjected, OperationFailed, ProtocolRound,
+                 EpochAdvanced>;
+
+/// Order matches the EventPayload alternatives exactly.
+enum class EventKind : std::uint8_t {
+  kShardWritten = 0,
+  kShardWriteFailed,
+  kRetryExhausted,
+  kNodeQuarantined,
+  kNodeRestored,
+  kChainRenewed,
+  kRepairCompleted,
+  kScrubCompleted,
+  kFaultInjected,
+  kOperationFailed,
+  kProtocolRound,
+  kEpochAdvanced,
+};
+
+inline constexpr std::size_t kEventKindCount =
+    std::variant_size_v<EventPayload>;
+
+const char* to_string(EventKind k);
+
+/// One published event: payload plus delivery metadata.
+struct Event {
+  std::uint64_t seq = 0;  // monotonically increasing per bus
+  Epoch epoch = 0;        // cluster virtual time at publication
+  EventPayload payload;
+
+  EventKind kind() const { return static_cast<EventKind>(payload.index()); }
+};
+
+class EventBus {
+ public:
+  using SubscriberId = std::uint64_t;
+  using Callback = std::function<void(const Event&)>;
+
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Registers a callback for every event. Safe during dispatch (the new
+  /// subscriber first sees the next event).
+  SubscriberId subscribe(Callback fn);
+
+  /// Registers a callback for one payload type only.
+  template <class T>
+  SubscriberId subscribe_to(std::function<void(const T&, const Event&)> fn) {
+    return subscribe([fn = std::move(fn)](const Event& e) {
+      if (const T* p = std::get_if<T>(&e.payload)) fn(*p, e);
+    });
+  }
+
+  /// Idempotent; safe during dispatch (an unsubscribed callback not yet
+  /// invoked for the in-flight event is skipped).
+  void unsubscribe(SubscriberId id);
+
+  /// Stamps seq + epoch, counts, and dispatches to live subscribers in
+  /// subscription order.
+  void publish(Epoch epoch, EventPayload payload);
+
+  /// Events published so far of one kind / in total (counted whether or
+  /// not anyone subscribes).
+  std::uint64_t count(EventKind k) const;
+  std::uint64_t total() const { return next_seq_; }
+
+  std::size_t subscriber_count() const;
+
+ private:
+  struct Subscriber {
+    SubscriberId id = 0;
+    Callback fn;
+    bool alive = true;
+  };
+
+  void compact();
+
+  // Deque: push_back during dispatch must not invalidate the reference
+  // to the callback currently executing.
+  std::deque<Subscriber> subscribers_;
+  unsigned dispatch_depth_ = 0;
+  bool needs_compaction_ = false;
+  SubscriberId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t counts_[kEventKindCount] = {};
+};
+
+}  // namespace aegis

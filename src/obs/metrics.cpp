@@ -1,0 +1,94 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace aegis {
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.type = "counter";
+    e.value = static_cast<double>(c->value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.type = "gauge";
+    e.value = static_cast<double>(g->value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.type = "histogram";
+    e.value = static_cast<double>(h->count());
+    e.sum = h->sum();
+    e.bounds = h->bounds();
+    e.buckets = h->buckets();
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name) const {
+  for (const Entry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+namespace {
+
+// %g keeps integers clean (no trailing .000000) and doubles short.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> MetricsSnapshot::to_json_lines(
+    const std::string& bench) const {
+  std::vector<std::string> lines;
+  lines.reserve(entries.size());
+  for (const Entry& e : entries) {
+    std::string line = "{\"bench\":\"" + bench + "\",\"metric\":\"" + e.name +
+                       "\",\"type\":\"" + e.type + "\"";
+    if (e.type == "histogram") {
+      line += ",\"count\":" + num(e.value) + ",\"sum\":" + num(e.sum) +
+              ",\"buckets\":[";
+      for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+        if (i > 0) line += ',';
+        line += "{\"le\":";
+        line += i < e.bounds.size() ? num(e.bounds[i]) : "\"inf\"";
+        line += ",\"n\":" + num(static_cast<double>(e.buckets[i])) + "}";
+      }
+      line += "]";
+    } else {
+      line += ",\"value\":" + num(e.value);
+    }
+    line += "}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace aegis

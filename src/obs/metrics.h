@@ -1,0 +1,204 @@
+// Metrics registry: named counters, gauges and fixed-bucket latency
+// histograms for the archive's control loops and hot paths.
+//
+// Contract:
+//   * The increment fast path is lock-free (std::atomic, relaxed): a
+//     Counter/Gauge/Histogram reference obtained once can be hammered
+//     from any thread (the shard ThreadPool included) with no contention
+//     beyond the cache line.
+//   * Registration/lookup by name takes a mutex — hot call sites hold
+//     the returned reference instead of re-looking-up per event.
+//   * References returned by the registry stay valid for the registry's
+//     lifetime (node-stable storage underneath).
+//   * Naming convention: `layer.op.metric` (e.g. archive.put.retries,
+//     cluster.transfer.ms, protocol.pss.rounds) — lowercase, dot-
+//     separated, [a-z0-9._] only; enforced at registration.
+//   * snapshot() exports every metric; MetricsSnapshot::to_json_lines()
+//     renders them in the repo's BENCH_*.json one-object-per-line shape
+//     (print each prefixed "JSON " and scrape with grep, as the benches
+//     do).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace aegis {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time level (queue depth, epoch, online nodes).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges,
+/// with an implicit +inf overflow bucket. Observations and the running
+/// sum are atomic; bucket layout never changes after construction.
+/// (Fully inline so util-layer code — the ThreadPool — can hold a handle
+/// without a link-time dependency on the obs library.)
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);  // inline below
+
+  void observe(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // No fetch_add for atomic<double> pre-C++20: CAS loop.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<std::uint64_t> buckets() const;
+
+  /// Millisecond-scale latency edges used when no bounds are supplied.
+  static std::vector<double> default_latency_bounds_ms() {
+    return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One exported metric value (flattened for JSON rendering).
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    std::string type;  // "counter" | "gauge" | "histogram"
+    double value = 0;  // counter/gauge value; histogram observation count
+    // Histogram-only:
+    double sum = 0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+  };
+  std::vector<Entry> entries;  // sorted by name
+
+  /// nullptr when absent.
+  const Entry* find(const std::string& name) const;
+
+  /// One JSON object per metric:
+  ///   {"bench":"<bench>","metric":"...","type":"counter","value":12}
+  /// histograms add "sum" and "buckets":[{"le":5,"n":3},..,{"le":"inf",..}].
+  std::vector<std::string> to_json_lines(
+      const std::string& bench = "metrics") const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates. Throws InvalidArgument on a malformed name or a
+  /// name already registered as a different metric type. (Inline below —
+  /// like the fast paths, so util-layer code can register without a
+  /// link-time dependency on the obs library.)
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first registration (empty = the default
+  /// millisecond latency edges).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  void check_name(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// ---- inline definitions (registration path) ------------------------------
+
+inline Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds_ms();
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw InvalidArgument("Histogram: bucket bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+inline void MetricsRegistry::check_name(const std::string& name) const {
+  if (name.empty() || name.front() == '.' || name.back() == '.')
+    throw InvalidArgument("MetricsRegistry: bad metric name '" + name + "'");
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_';
+    if (!ok)
+      throw InvalidArgument("MetricsRegistry: bad metric name '" + name + "'");
+  }
+}
+
+inline Counter& MetricsRegistry::counter(const std::string& name) {
+  check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) || histograms_.count(name))
+    throw InvalidArgument("MetricsRegistry: '" + name +
+                          "' already registered as another type");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+inline Gauge& MetricsRegistry::gauge(const std::string& name) {
+  check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || histograms_.count(name))
+    throw InvalidArgument("MetricsRegistry: '" + name +
+                          "' already registered as another type");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+inline Histogram& MetricsRegistry::histogram(const std::string& name,
+                                             std::vector<double> bounds) {
+  check_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || gauges_.count(name))
+    throw InvalidArgument("MetricsRegistry: '" + name +
+                          "' already registered as another type");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+}  // namespace aegis

@@ -1,0 +1,62 @@
+// The observability context: one MetricsRegistry + EventBus + Tracer,
+// sharing a virtual-epoch source.
+//
+// Ownership: the Cluster owns one Observability per simulated
+// deployment and exposes it via Cluster::obs(); everything operating
+// against that cluster (Archive, FaultInjector, MessageBus, protocol
+// drivers) reports into it. Per-cluster rather than process-global so
+// benches that stand up many clusters keep their evidence separate, and
+// so metric values stay exactly reconcilable with the cluster's own
+// NetworkStats / NodeHealth (same source of truth, two views).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aegis {
+
+class Observability {
+ public:
+  explicit Observability(std::size_t span_capacity = 1024)
+      : tracer_(span_capacity) {
+    // The tracer reads the owner-pushed epoch; capturing our own `this`
+    // is safe because Observability is pinned (non-copyable, non-movable
+    // — owners that must move hold it behind a unique_ptr).
+    tracer_.set_epoch_source([this] { return epoch_; });
+  }
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  EventBus& events() { return events_; }
+  const EventBus& events() const { return events_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// The owner (the Cluster) pushes its virtual clock here whenever it
+  /// ticks; all three views stamp from this value. Pushed rather than
+  /// pulled (no callback into the owner) so the owner stays freely
+  /// movable.
+  void set_epoch(Epoch e) { epoch_ = e; }
+
+  Epoch epoch() const { return epoch_; }
+
+  /// Publishes an event stamped with the current virtual epoch.
+  void emit(EventPayload payload) {
+    events_.publish(epoch(), std::move(payload));
+  }
+
+ private:
+  Epoch epoch_ = 0;
+  MetricsRegistry metrics_;
+  EventBus events_;
+  Tracer tracer_;
+};
+
+}  // namespace aegis

@@ -1,0 +1,62 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace aegis {
+
+Tracer::Tracer(std::size_t capacity) {
+  if (capacity == 0)
+    throw InvalidArgument("Tracer: ring capacity must be >= 1");
+  ring_.resize(capacity);
+}
+
+std::uint64_t Tracer::begin_span() {
+  const std::uint64_t id = ++started_;  // span ids start at 1; 0 = no parent
+  open_.push_back(id);
+  return id;
+}
+
+void Tracer::end_span(SpanRecord rec) {
+  // RAII guarantees LIFO completion within the (single) control thread.
+  if (!open_.empty() && open_.back() == rec.id) open_.pop_back();
+  rec.epoch_end = now();
+  ring_[next_slot_] = std::move(rec);
+  next_slot_ = (next_slot_ + 1) % ring_.size();
+  ++finished_;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  const std::size_t have = std::min<std::size_t>(finished_, ring_.size());
+  out.reserve(have);
+  // Oldest surviving record sits at next_slot_ once the ring has wrapped.
+  const std::size_t begin = finished_ > ring_.size() ? next_slot_ : 0;
+  for (std::size_t i = 0; i < have; ++i)
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  return out;
+}
+
+TraceSpan::TraceSpan(Tracer& tracer, std::string name, SpanAttrs attrs)
+    : tracer_(tracer), wall_begin_(std::chrono::steady_clock::now()) {
+  rec_.parent = tracer_.current();
+  rec_.depth = tracer_.open_depth();
+  rec_.id = tracer_.begin_span();
+  rec_.name = std::move(name);
+  rec_.attrs = std::move(attrs);
+  rec_.epoch_begin = tracer_.now();
+}
+
+void TraceSpan::annotate(std::string key, std::string value) {
+  rec_.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+TraceSpan::~TraceSpan() {
+  rec_.wall_us = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - wall_begin_)
+                     .count();
+  tracer_.end_span(std::move(rec_));
+}
+
+}  // namespace aegis

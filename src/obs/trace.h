@@ -1,0 +1,122 @@
+// RAII trace spans over a bounded in-memory ring.
+//
+//   void Archive::put(...) {
+//     AEGIS_SPAN(obs.tracer(), "archive.put", {{"object", id}});
+//     ...
+//   }
+//
+// Spans nest: the tracer keeps an open-span stack, so a span begun while
+// another is open records it as its parent (archive.scrub ->
+// archive.audit -> cluster download, etc.). Completed spans land in a
+// fixed-capacity ring — the newest N survive, older ones are overwritten
+// — so tracing is always-on with bounded memory.
+//
+// Determinism: every span carries BOTH the cluster's virtual epoch
+// (begin/end, from the tracer's epoch source) and a wall-clock duration.
+// Tests and replayable experiments assert only on names, nesting and
+// epochs; wall_us is operator-facing and excluded from assertions by
+// convention.
+//
+// Threading: spans are control-plane only (single-threaded by the
+// Cluster's contract). The shard ThreadPool reports through metrics, not
+// spans.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/scheme.h"  // Epoch
+
+namespace aegis {
+
+using SpanAttrs = std::vector<std::pair<std::string, std::string>>;
+
+/// One completed span.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  unsigned depth = 0;        // 0 = root
+  std::string name;          // layer.op, e.g. "archive.put"
+  SpanAttrs attrs;
+  Epoch epoch_begin = 0;  // virtual time — deterministic, assert on these
+  Epoch epoch_end = 0;
+  double wall_us = 0.0;  // wall clock — operator-facing only
+};
+
+class TraceSpan;
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1024);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Supplies the virtual clock (e.g. [&cluster]{ return cluster.now(); }).
+  /// Unset, spans carry epoch 0.
+  void set_epoch_source(std::function<Epoch()> fn) { epoch_fn_ = std::move(fn); }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t started() const { return started_; }
+  std::uint64_t finished() const { return finished_; }
+  /// True iff finished spans have been overwritten (finished > capacity).
+  bool overflowed() const { return finished_ > ring_.size(); }
+
+  /// Completed spans, oldest surviving first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Id of the innermost open span (0 when none) — the parent the next
+  /// span will record.
+  std::uint64_t current() const {
+    return open_.empty() ? 0 : open_.back();
+  }
+  unsigned open_depth() const { return static_cast<unsigned>(open_.size()); }
+
+ private:
+  friend class TraceSpan;
+
+  std::uint64_t begin_span();  // returns the new span id, pushes open stack
+  void end_span(SpanRecord rec);  // pops, stamps epoch_end, stores in ring
+
+  Epoch now() const { return epoch_fn_ ? epoch_fn_() : 0; }
+
+  std::function<Epoch()> epoch_fn_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_slot_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t finished_ = 0;
+  std::vector<std::uint64_t> open_;
+};
+
+/// RAII span handle. Construction begins the span (recording parent and
+/// virtual epoch); destruction completes it into the tracer's ring.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer& tracer, std::string name, SpanAttrs attrs = {});
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an attribute after construction (e.g. a result count).
+  void annotate(std::string key, std::string value);
+
+  std::uint64_t id() const { return rec_.id; }
+
+ private:
+  Tracer& tracer_;
+  SpanRecord rec_;
+  std::chrono::steady_clock::time_point wall_begin_;
+};
+
+// AEGIS_SPAN(tracer, "archive.put") or
+// AEGIS_SPAN(tracer, "archive.put", {{"object", id}})
+#define AEGIS_SPAN_CAT2(a, b) a##b
+#define AEGIS_SPAN_CAT(a, b) AEGIS_SPAN_CAT2(a, b)
+#define AEGIS_SPAN(tracer, ...) \
+  ::aegis::TraceSpan AEGIS_SPAN_CAT(aegis_span_, __LINE__){(tracer), __VA_ARGS__}
+
+}  // namespace aegis

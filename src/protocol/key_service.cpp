@@ -12,7 +12,8 @@ void KeyHolder::accept_key(const std::string& key_id, VssShare share,
   if (share.index != id_ + 1)
     throw InvalidArgument("KeyHolder: share index mismatch");
   if (!vss_verify_share(share, commitments))
-    throw IntegrityError("KeyHolder: dealt share fails verification");
+    throw IntegrityError("KeyHolder: dealt share fails verification",
+                         ErrorCode::kShareVerifyFailed);
   keys_[key_id] = {std::move(share), std::move(commitments)};
 }
 
@@ -54,7 +55,8 @@ KeyService::KeyService(Cluster& cluster, unsigned t, unsigned n,
                        ChannelKind channel)
     : cluster_(cluster), t_(t), n_(n), bus_(cluster, channel) {
   if (t == 0 || t > n || n > cluster.size())
-    throw InvalidArgument("KeyService: bad geometry for this cluster");
+    throw InvalidArgument("KeyService: bad geometry for this cluster",
+                          ErrorCode::kBadGeometry);
   for (NodeId i = 0; i < n; ++i) holders_.emplace_back(i, t, n);
 }
 

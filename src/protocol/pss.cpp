@@ -169,17 +169,40 @@ void PssParticipant::finalize(MessageBus& bus) {
     ++applied;
   }
   if (applied == 0)
-    throw IntegrityError("PssParticipant: no honest dealing survived");
+    throw IntegrityError("PssParticipant: no honest dealing survived",
+                         ErrorCode::kNoHonestDealing);
 }
 
 PssRoundResult run_pss_refresh(std::vector<PssParticipant>& nodes,
                                MessageBus& bus, Rng& rng) {
+  Observability& obs = bus.cluster().obs();
+  AEGIS_SPAN(obs.tracer(), "protocol.pss.refresh");
   const std::uint64_t msgs0 = bus.messages_sent();
   const std::uint64_t bytes0 = bus.bytes_sent();
 
-  for (auto& node : nodes) node.deal(bus, rng);
-  for (auto& node : nodes) node.accuse(bus);
-  for (auto& node : nodes) node.finalize(bus);
+  const auto accused_so_far = [&nodes] {
+    std::set<NodeId> all;
+    for (const auto& node : nodes)
+      all.insert(node.accused().begin(), node.accused().end());
+    return static_cast<unsigned>(all.size());
+  };
+  const auto round = [&](const char* name, auto&& body) {
+    const std::uint64_t m0 = bus.messages_sent();
+    const std::uint64_t b0 = bus.bytes_sent();
+    body();
+    obs.emit(ProtocolRound{"pss", name, bus.messages_sent() - m0,
+                           bus.bytes_sent() - b0, accused_so_far()});
+  };
+
+  round("deal", [&] {
+    for (auto& node : nodes) node.deal(bus, rng);
+  });
+  round("accuse", [&] {
+    for (auto& node : nodes) node.accuse(bus);
+  });
+  round("finalize", [&] {
+    for (auto& node : nodes) node.finalize(bus);
+  });
 
   PssRoundResult r;
   for (const auto& node : nodes) {
@@ -187,6 +210,12 @@ PssRoundResult run_pss_refresh(std::vector<PssParticipant>& nodes,
   }
   r.messages = bus.messages_sent() - msgs0;
   r.bytes = bus.bytes_sent() - bytes0;
+
+  MetricsRegistry& m = obs.metrics();
+  m.counter("protocol.pss.refreshes").inc();
+  m.counter("protocol.pss.messages").inc(r.messages);
+  m.counter("protocol.pss.bytes").inc(r.bytes);
+  m.counter("protocol.pss.accusations").inc(r.accused.size());
   return r;
 }
 

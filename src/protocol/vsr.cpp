@@ -232,18 +232,46 @@ void VsrNewHolder::finalize(MessageBus& bus) {
 VsrResult run_vsr(std::vector<VsrOldHolder>& old_holders,
                   std::vector<VsrNewHolder>& new_holders, MessageBus& bus,
                   Rng& rng) {
+  Observability& obs = bus.cluster().obs();
+  AEGIS_SPAN(obs.tracer(), "protocol.vsr.redistribute");
   const std::uint64_t msgs0 = bus.messages_sent();
   const std::uint64_t bytes0 = bus.bytes_sent();
 
-  for (auto& o : old_holders) o.subshare(bus, rng);
-  for (auto& h : new_holders) h.accuse(bus);
-  for (auto& h : new_holders) h.finalize(bus);
+  const auto accused_so_far = [&new_holders] {
+    std::set<NodeId> all;
+    for (const auto& h : new_holders)
+      all.insert(h.accused().begin(), h.accused().end());
+    return static_cast<unsigned>(all.size());
+  };
+  const auto round = [&](const char* name, auto&& body) {
+    const std::uint64_t m0 = bus.messages_sent();
+    const std::uint64_t b0 = bus.bytes_sent();
+    body();
+    obs.emit(ProtocolRound{"vsr", name, bus.messages_sent() - m0,
+                           bus.bytes_sent() - b0, accused_so_far()});
+  };
+
+  round("subshare", [&] {
+    for (auto& o : old_holders) o.subshare(bus, rng);
+  });
+  round("accuse", [&] {
+    for (auto& h : new_holders) h.accuse(bus);
+  });
+  round("finalize", [&] {
+    for (auto& h : new_holders) h.finalize(bus);
+  });
 
   VsrResult r;
   for (const auto& h : new_holders)
     r.accused.insert(h.accused().begin(), h.accused().end());
   r.messages = bus.messages_sent() - msgs0;
   r.bytes = bus.bytes_sent() - bytes0;
+
+  MetricsRegistry& m = obs.metrics();
+  m.counter("protocol.vsr.runs").inc();
+  m.counter("protocol.vsr.messages").inc(r.messages);
+  m.counter("protocol.vsr.bytes").inc(r.bytes);
+  m.counter("protocol.vsr.accusations").inc(r.accused.size());
   return r;
 }
 

@@ -1,45 +1,135 @@
-// Exception hierarchy for aegis.
+// Exception hierarchy and error taxonomy for aegis.
 //
 // Per the C++ Core Guidelines (E.2), programming errors and unrecoverable
 // conditions throw; *expected* protocol outcomes (a share failing
 // verification, a decode with too few shares) are returned as values so
 // simulation code can count them.
+//
+// Every exception carries an ErrorCode so observers (the EventBus's
+// OperationFailed event, log scrapers, chaos-test assertions) can
+// classify failures without parsing what() strings. Each exception class
+// supplies a sensible default code; throw sites on classified paths name
+// a specific one.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace aegis {
 
+/// Machine-readable failure classification. Grouped by layer; values are
+/// stable identifiers (append, never renumber) so logged codes stay
+/// meaningful across versions.
+enum class ErrorCode : std::uint16_t {
+  kUnknown = 0,
+
+  // ---- caller-supplied parameters / configuration
+  kBadArgument = 100,      // generic malformed argument
+  kBadGeometry = 101,      // inconsistent (t, k, n) / cluster sizing
+  kBadPolicy = 102,        // policy validation failed
+  kDuplicateObject = 103,  // object id already archived
+  kUnknownObject = 104,    // no manifest for the object id
+  kUnsupportedOperation = 105,  // op not valid for this policy/encoding
+
+  // ---- serialized-data parsing
+  kMalformedData = 200,  // undecodable wire bytes
+  kTruncatedData = 201,  // record ends early
+  kTrailingData = 202,   // bytes left after a complete record
+
+  // ---- integrity / cryptographic verification
+  kIntegrityViolation = 300,  // generic failed check
+  kMacMismatch = 301,         // channel MAC verification failed
+  kChainInvalid = 302,        // timestamp chain failed verification
+  kShareVerifyFailed = 303,   // VSS share fails its commitments
+  kCanaryMismatch = 304,      // AONT canary wrong after unpackage
+  kReplayDetected = 305,      // channel sequence violation
+  kNoHonestDealing = 306,     // PSS round left no un-accused dealer
+
+  // ---- recovery / durability
+  kInsufficientShares = 400,  // below the reconstruction threshold
+  kBelowThreshold = 401,      // write landed under the durability floor
+  kNoReplica = 402,           // no replica of a replicated object survives
+  kKeyLost = 403,             // decryption key unrecoverable
+
+  // ---- transport / key material
+  kEntropyExhausted = 500,  // OTP/QKD/BSM key material ran out
+};
+
+const char* to_string(ErrorCode code);
+
 /// Base class for all aegis errors.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kUnknown)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// Malformed or inconsistent caller-supplied parameters.
 class InvalidArgument : public Error {
  public:
-  explicit InvalidArgument(const std::string& what) : Error(what) {}
+  explicit InvalidArgument(const std::string& what,
+                           ErrorCode code = ErrorCode::kBadArgument)
+      : Error(what, code) {}
 };
 
 /// Corrupt, truncated or otherwise undecodable serialized data.
 class ParseError : public Error {
  public:
-  explicit ParseError(const std::string& what) : Error(what) {}
+  explicit ParseError(const std::string& what,
+                      ErrorCode code = ErrorCode::kMalformedData)
+      : Error(what, code) {}
 };
 
 /// A cryptographic check failed where the caller demanded success
 /// (e.g. Archive::get with integrity verification enabled).
 class IntegrityError : public Error {
  public:
-  explicit IntegrityError(const std::string& what) : Error(what) {}
+  explicit IntegrityError(const std::string& what,
+                          ErrorCode code = ErrorCode::kIntegrityViolation)
+      : Error(what, code) {}
 };
 
 /// Not enough intact shares / replicas to reconstruct an object.
 class UnrecoverableError : public Error {
  public:
-  explicit UnrecoverableError(const std::string& what) : Error(what) {}
+  explicit UnrecoverableError(const std::string& what,
+                              ErrorCode code = ErrorCode::kInsufficientShares)
+      : Error(what, code) {}
 };
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kBadArgument: return "bad-argument";
+    case ErrorCode::kBadGeometry: return "bad-geometry";
+    case ErrorCode::kBadPolicy: return "bad-policy";
+    case ErrorCode::kDuplicateObject: return "duplicate-object";
+    case ErrorCode::kUnknownObject: return "unknown-object";
+    case ErrorCode::kUnsupportedOperation: return "unsupported-operation";
+    case ErrorCode::kMalformedData: return "malformed-data";
+    case ErrorCode::kTruncatedData: return "truncated-data";
+    case ErrorCode::kTrailingData: return "trailing-data";
+    case ErrorCode::kIntegrityViolation: return "integrity-violation";
+    case ErrorCode::kMacMismatch: return "mac-mismatch";
+    case ErrorCode::kChainInvalid: return "chain-invalid";
+    case ErrorCode::kShareVerifyFailed: return "share-verify-failed";
+    case ErrorCode::kCanaryMismatch: return "canary-mismatch";
+    case ErrorCode::kReplayDetected: return "replay-detected";
+    case ErrorCode::kNoHonestDealing: return "no-honest-dealing";
+    case ErrorCode::kInsufficientShares: return "insufficient-shares";
+    case ErrorCode::kBelowThreshold: return "below-threshold";
+    case ErrorCode::kNoReplica: return "no-replica";
+    case ErrorCode::kKeyLost: return "key-lost";
+    case ErrorCode::kEntropyExhausted: return "entropy-exhausted";
+  }
+  return "?";
+}
 
 }  // namespace aegis

@@ -37,7 +37,9 @@ void ByteWriter::str(const std::string& s) {
 }
 
 void ByteReader::need(std::size_t n) const {
-  if (remaining() < n) throw ParseError("ByteReader: truncated input");
+  if (remaining() < n)
+    throw ParseError("ByteReader: truncated input",
+                     ErrorCode::kTruncatedData);
 }
 
 std::uint8_t ByteReader::u8() {
@@ -97,7 +99,9 @@ std::string ByteReader::str() {
 }
 
 void ByteReader::expect_done() const {
-  if (!done()) throw ParseError("ByteReader: trailing bytes after record");
+  if (!done())
+    throw ParseError("ByteReader: trailing bytes after record",
+                     ErrorCode::kTrailingData);
 }
 
 }  // namespace aegis

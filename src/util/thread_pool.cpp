@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 namespace aegis {
@@ -20,6 +21,31 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ThreadPool::bind_metrics(MetricsRegistry* m, const std::string& prefix) {
+  if (m == nullptr) {
+    m_queue_depth_ = nullptr;
+    m_tasks_ = nullptr;
+    m_task_ms_ = nullptr;
+    return;
+  }
+  m_queue_depth_ = &m->gauge(prefix + ".queue_depth");
+  m_tasks_ = &m->counter(prefix + ".tasks");
+  m_task_ms_ = &m->histogram(prefix + ".task_ms");
+}
+
+void ThreadPool::run_task(std::packaged_task<void()>& task) {
+  if (m_tasks_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    m_tasks_->inc();
+    m_task_ms_->observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    return;
+  }
+  task();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
@@ -30,7 +56,8 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (m_queue_depth_ != nullptr) m_queue_depth_->sub(1);
+    run_task(task);
   }
 }
 
@@ -38,13 +65,14 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> fut = task.get_future();
   if (threads_.empty()) {
-    task();  // inline mode: run-to-completion on the calling thread
+    run_task(task);  // inline mode: run on the calling thread
     return fut;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  if (m_queue_depth_ != nullptr) m_queue_depth_->add(1);
   cv_.notify_one();
   return fut;
 }

@@ -20,8 +20,11 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"  // handles only; fast paths are header-inline
 
 namespace aegis {
 
@@ -43,6 +46,13 @@ class ThreadPool {
   /// carries any exception it threw.
   std::future<void> submit(std::function<void()> fn);
 
+  /// Registers this pool's gauges/counters under `<prefix>.` in `m`
+  /// (queue_depth gauge, tasks counter, task_ms latency histogram —
+  /// wall-clock, operator-facing only). nullptr detaches. The registry
+  /// must outlive the pool; all updates are lock-free atomics, safe from
+  /// every worker.
+  void bind_metrics(MetricsRegistry* m, const std::string& prefix);
+
   /// Runs body(begin, end) over a partition of [0, count) — one
   /// contiguous chunk per worker plus one for the calling thread, which
   /// always participates. Blocks until every chunk finishes; rethrows
@@ -54,12 +64,17 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void run_task(std::packaged_task<void()>& task);
 
   std::vector<std::thread> threads_;
   std::deque<std::packaged_task<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  // Optional instrumentation (null when unbound).
+  Gauge* m_queue_depth_ = nullptr;
+  Counter* m_tasks_ = nullptr;
+  Histogram* m_task_ms_ = nullptr;
 };
 
 /// Null-tolerant helper for optional-parallelism call sites: a null pool

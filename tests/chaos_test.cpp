@@ -210,5 +210,58 @@ TEST(Chaos, TotalBlackoutIsUnrecoverableNotACrash) {
   EXPECT_EQ(rig.archive.get("doc"), data);
 }
 
+// ------------------------------------------------------------ observability
+
+TEST(Chaos, ForcedOutageProducesMatchingNodeQuarantinedEvent) {
+  Rig rig(ArchivalPolicy::FigErasure());
+  BreakerPolicy breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown_epochs = 2;
+  rig.cluster.set_breaker_policy(breaker);
+
+  std::vector<NodeQuarantined> seen;
+  rig.cluster.obs().events().subscribe([&](const Event& e) {
+    if (const auto* q = std::get_if<NodeQuarantined>(&e.payload))
+      seen.push_back(*q);
+  });
+
+  // Force the outage; each put fails its shard-2 write on the dead node.
+  rig.cluster.fail_node(2);
+  for (int i = 0; i < 3; ++i)
+    rig.archive.put("doc" + std::to_string(i), test_data(1500, 40 + i));
+
+  // The breaker opened exactly once, and every view of that fact agrees:
+  // NodeHealth, the cluster.breaker.quarantines counter, and the event
+  // stream all report the same quarantine of the same node.
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].node, 2u);
+  EXPECT_EQ(seen[0].consecutive_failures, 3u);
+  EXPECT_EQ(seen[0].until, rig.cluster.health(2).quarantined_until);
+  EXPECT_EQ(rig.cluster.health(2).quarantines, 1u);
+
+  unsigned total_quarantines = 0;
+  for (NodeId id = 0; id < rig.cluster.size(); ++id)
+    total_quarantines += rig.cluster.health(id).quarantines;
+  EventBus& events = rig.cluster.obs().events();
+  EXPECT_EQ(events.count(EventKind::kNodeQuarantined), total_quarantines);
+  const MetricsSnapshot snap = rig.cluster.obs().metrics().snapshot();
+  ASSERT_NE(snap.find("cluster.breaker.quarantines"), nullptr);
+  EXPECT_EQ(snap.find("cluster.breaker.quarantines")->value,
+            static_cast<double>(total_quarantines));
+
+  // While quarantined, further puts skip the node without new events.
+  rig.archive.put("later", test_data(500, 50));
+  EXPECT_EQ(events.count(EventKind::kNodeQuarantined), 1u);
+
+  // Cooldown passes, the node comes back, the re-probe closes the
+  // breaker; restore_node announces itself on the bus too.
+  rig.cluster.restore_node(2);
+  EXPECT_EQ(events.count(EventKind::kNodeRestored), 1u);
+  rig.cluster.advance_epoch();
+  rig.cluster.advance_epoch();
+  EXPECT_EQ(rig.archive.repair("doc0"), 1u);
+  EXPECT_EQ(events.count(EventKind::kNodeQuarantined), 1u);  // no re-open
+}
+
 }  // namespace
 }  // namespace aegis

@@ -1,0 +1,454 @@
+// Observability layer: metrics registry (lock-free counters under
+// contention, histogram buckets, JSON export), trace spans (nesting,
+// ring overflow), the typed event bus (re-entrant subscribe/unsubscribe)
+// and the archive's operation reports — including the contract that the
+// metric view and the struct view of the same activity never disagree.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/archive.h"
+#include "crypto/chacha20.h"
+#include "obs/obs.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aegis {
+namespace {
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, CounterExactUnderContention) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.op.count");
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIncs = 20000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (unsigned i = 0; i < kIncs; ++i) c.inc();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), std::uint64_t{kThreads} * kIncs);
+}
+
+TEST(Metrics, HistogramExactUnderContention) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.op.ms", {1.0, 10.0, 100.0});
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kObs = 5000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (unsigned i = 0; i < kObs; ++i) h.observe(2.0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), std::uint64_t{kThreads} * kObs);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0 * kThreads * kObs);
+  // All observations land in the (1, 10] bucket.
+  EXPECT_EQ(h.buckets()[1], std::uint64_t{kThreads} * kObs);
+}
+
+TEST(Metrics, HistogramBucketPlacement) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.lat.ms", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper edge)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // overflow
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Metrics, NameAndTypeDiscipline) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("Bad.Name"), InvalidArgument);
+  EXPECT_THROW(reg.counter(""), InvalidArgument);
+  EXPECT_THROW(reg.counter(".leading"), InvalidArgument);
+  reg.counter("layer.op.metric");
+  // Same name, same type: the same instance.
+  reg.counter("layer.op.metric").inc(3);
+  EXPECT_EQ(reg.counter("layer.op.metric").value(), 3u);
+  // Same name, different type: refused.
+  EXPECT_THROW(reg.gauge("layer.op.metric"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("layer.op.metric"), InvalidArgument);
+}
+
+// A minimal JSON syntax checker: enough to prove exported lines are
+// well-formed objects without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    pos_ = 0;
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      default: return number_or_keyword();
+    }
+  }
+  bool object() {
+    ++pos_;  // {
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // [
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '\\') { ++pos_; continue; }
+      if (s_[pos_] == '"') { ++pos_; return true; }
+    }
+    return false;
+  }
+  bool number_or_keyword() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.'))
+      ++pos_;
+    return pos_ > start;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Metrics, SnapshotJsonLinesWellFormedWithRequiredKeys) {
+  MetricsRegistry reg;
+  reg.counter("archive.put.count").inc(12);
+  reg.gauge("cluster.epoch").set(-3);
+  reg.histogram("archive.put.ms").observe(7.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto lines = snap.to_json_lines("workload");
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    EXPECT_NE(line.find("\"bench\":\"workload\""), std::string::npos);
+    EXPECT_NE(line.find("\"metric\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"type\":\""), std::string::npos);
+  }
+  // Counter/gauge carry "value"; histogram carries count/sum/buckets.
+  EXPECT_NE(lines[0].find("\"value\":12"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"value\":-3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"count\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"sum\":7.5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"le\":\"inf\""), std::string::npos);
+
+  EXPECT_NE(snap.find("cluster.epoch"), nullptr);
+  EXPECT_EQ(snap.find("no.such.metric"), nullptr);
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(Trace, SpansNestAndRecordVirtualEpochs) {
+  Tracer tracer(16);
+  Epoch now = 7;
+  tracer.set_epoch_source([&now] { return now; });
+  {
+    TraceSpan outer(tracer, "archive.scrub");
+    now = 9;
+    {
+      TraceSpan inner(tracer, "archive.audit", {{"object", "doc"}});
+      EXPECT_EQ(tracer.open_depth(), 2u);
+    }
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner completes first.
+  EXPECT_EQ(spans[0].name, "archive.audit");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[0].epoch_begin, 9u);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "object");
+  EXPECT_EQ(spans[1].name, "archive.scrub");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].epoch_begin, 7u);
+  EXPECT_EQ(spans[1].epoch_end, 9u);
+}
+
+TEST(Trace, RingOverflowKeepsNewestSpans) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i)
+    TraceSpan span(tracer, "op." + std::to_string(i));
+  EXPECT_TRUE(tracer.overflowed());
+  EXPECT_EQ(tracer.started(), 10u);
+  EXPECT_EQ(tracer.finished(), 10u);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "op.6");  // oldest survivor
+  EXPECT_EQ(spans[3].name, "op.9");  // newest
+}
+
+// ------------------------------------------------------------------ events
+
+TEST(Events, TypedSubscriptionAndKindCounts) {
+  EventBus bus;
+  std::vector<NodeId> quarantined;
+  bus.subscribe_to<NodeQuarantined>(
+      std::function<void(const NodeQuarantined&, const Event&)>(
+          [&](const NodeQuarantined& q, const Event& e) {
+            quarantined.push_back(q.node);
+            EXPECT_EQ(e.kind(), EventKind::kNodeQuarantined);
+          }));
+  bus.publish(1, NodeRestored{5});
+  bus.publish(2, NodeQuarantined{3, 4, 4});
+  bus.publish(2, NodeQuarantined{7, 4, 4});
+  EXPECT_EQ(quarantined, (std::vector<NodeId>{3, 7}));
+  EXPECT_EQ(bus.count(EventKind::kNodeQuarantined), 2u);
+  EXPECT_EQ(bus.count(EventKind::kNodeRestored), 1u);
+  EXPECT_EQ(bus.count(EventKind::kShardWritten), 0u);
+  EXPECT_EQ(bus.total(), 3u);
+}
+
+TEST(Events, UnsubscribeDuringDispatch) {
+  EventBus bus;
+  int first = 0, second = 0, third = 0;
+  EventBus::SubscriberId second_id = 0;
+  bus.subscribe([&](const Event&) {
+    ++first;
+    bus.unsubscribe(second_id);  // kill a later subscriber mid-dispatch
+  });
+  second_id = bus.subscribe([&](const Event&) { ++second; });
+  bus.subscribe([&](const Event&) { ++third; });
+
+  bus.publish(1, NodeRestored{0});
+  // The unsubscribed callback is skipped for the in-flight event too.
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);
+  EXPECT_EQ(third, 1);
+  EXPECT_EQ(bus.subscriber_count(), 2u);
+
+  bus.publish(2, NodeRestored{0});
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(second, 0);
+  EXPECT_EQ(third, 2);
+}
+
+TEST(Events, SelfUnsubscribeAndSubscribeDuringDispatch) {
+  EventBus bus;
+  int once = 0, late = 0;
+  EventBus::SubscriberId once_id = 0;
+  once_id = bus.subscribe([&](const Event&) {
+    ++once;
+    bus.unsubscribe(once_id);  // fire-once subscriber
+    bus.subscribe([&](const Event&) { ++late; });  // added mid-dispatch
+  });
+  bus.publish(1, NodeRestored{0});
+  // The new subscriber must NOT see the event that created it.
+  EXPECT_EQ(once, 1);
+  EXPECT_EQ(late, 0);
+  bus.publish(2, NodeRestored{0});
+  EXPECT_EQ(once, 1);
+  EXPECT_EQ(late, 1);
+}
+
+// ----------------------------------------------------------- thread pool
+
+TEST(ThreadPoolMetrics, CountsTasksInWorkerAndInlineModes) {
+  MetricsRegistry reg;
+  {
+    ThreadPool pool(2);
+    pool.bind_metrics(&reg, "test.pool");
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) futures.push_back(pool.submit([] {}));
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(reg.counter("test.pool.tasks").value(), 20u);
+  EXPECT_EQ(reg.histogram("test.pool.task_ms").count(), 20u);
+  EXPECT_EQ(reg.gauge("test.pool.queue_depth").value(), 0);
+
+  ThreadPool inline_pool(0);
+  inline_pool.bind_metrics(&reg, "test.inline");
+  inline_pool.submit([] {}).get();
+  EXPECT_EQ(reg.counter("test.inline.tasks").value(), 1u);
+}
+
+// ------------------------------------------------- archive integration
+
+struct Rig {
+  Cluster cluster;
+  SchemeRegistry registry;
+  ChaChaRng rng;
+  TimestampAuthority tsa;
+  Archive archive;
+
+  Rig(ArchivalPolicy policy, std::uint64_t seed = 1)
+      : cluster(policy.n, policy.channel, seed),
+        rng(seed),
+        tsa(rng),
+        archive(cluster, std::move(policy), registry, tsa, rng) {}
+};
+
+Bytes test_data(std::size_t size, std::uint64_t seed) {
+  SimRng rng(seed);
+  return rng.bytes(size);
+}
+
+TEST(ArchiveObs, GetReportCarriesEvidenceAndMatchesGet) {
+  Rig rig(ArchivalPolicy::FigErasure());  // RS(6,9)
+  const Bytes data = test_data(4000, 31);
+  rig.archive.put("doc", data);
+
+  const GetResult res = rig.archive.get_report("doc");
+  EXPECT_EQ(res.data, data);
+  EXPECT_EQ(res.report.op, "archive.get");
+  EXPECT_EQ(res.report.shards_gathered, 6u);
+  EXPECT_EQ(res.report.shards_bad, 0u);
+  EXPECT_EQ(res.report.retries, 0u);
+  EXPECT_GT(res.report.bytes_down, 0u);
+  EXPECT_EQ(res.report.logical_bytes, data.size());
+  EXPECT_TRUE(res.report.ok());
+  EXPECT_TRUE(JsonChecker(res.report.to_json()).valid())
+      << res.report.to_json();
+
+  // The thin wrapper returns the same bytes.
+  EXPECT_EQ(rig.archive.get("doc"), data);
+}
+
+TEST(ArchiveObs, OpReportsStampedAndCounted) {
+  Rig rig(ArchivalPolicy::FigErasure());
+  const Bytes data = test_data(1000, 32);
+  const PutReport put = rig.archive.put("doc", data);
+  EXPECT_EQ(put.op, "archive.put");
+  EXPECT_GT(put.duration_ms, 0.0);
+  EXPECT_TRUE(JsonChecker(put.to_json()).valid()) << put.to_json();
+
+  const VerifyReport verify = rig.archive.verify("doc");
+  EXPECT_EQ(verify.op, "archive.verify");
+  EXPECT_TRUE(verify.ok());
+
+  const Archive::ScrubReport scrub = rig.archive.scrub();
+  EXPECT_EQ(scrub.op, "archive.scrub");
+  EXPECT_TRUE(JsonChecker(scrub.to_json()).valid()) << scrub.to_json();
+
+  const MetricsSnapshot snap = rig.cluster.obs().metrics().snapshot();
+  EXPECT_EQ(snap.find("archive.put.count")->value, 1.0);
+  EXPECT_EQ(snap.find("archive.verify.count")->value, 1.0);
+  EXPECT_EQ(snap.find("archive.scrub.count")->value, 1.0);
+  // scrub audits every object through the instrumented entry point.
+  EXPECT_EQ(snap.find("archive.audit.count")->value, 1.0);
+  ASSERT_NE(snap.find("archive.put.ms"), nullptr);
+  EXPECT_EQ(snap.find("archive.put.ms")->value, 1.0);  // one observation
+}
+
+TEST(ArchiveObs, RetryMetricsExactlyMirrorIoStats) {
+  Rig rig(ArchivalPolicy::FigErasure(), 7);
+  LinkFaults flaky;
+  flaky.drop_prob = 0.2;
+  rig.cluster.faults().set_link_faults(flaky);
+
+  for (int i = 0; i < 5; ++i)
+    rig.archive.put("doc" + std::to_string(i), test_data(2000, 40 + i));
+  for (int i = 0; i < 5; ++i)
+    rig.archive.get("doc" + std::to_string(i));
+
+  const IoStats& io = rig.archive.io_stats();
+  EXPECT_GT(io.upload_retries, 0u);  // the fault rate must actually bite
+  const MetricsSnapshot snap = rig.cluster.obs().metrics().snapshot();
+  EXPECT_EQ(snap.find("archive.io.upload_attempts")->value,
+            static_cast<double>(io.upload_attempts));
+  EXPECT_EQ(snap.find("archive.io.upload_retries")->value,
+            static_cast<double>(io.upload_retries));
+  EXPECT_EQ(snap.find("archive.io.upload_failures")->value,
+            static_cast<double>(io.upload_failures));
+  EXPECT_EQ(snap.find("archive.io.download_attempts")->value,
+            static_cast<double>(io.download_attempts));
+  EXPECT_EQ(snap.find("archive.io.download_retries")->value,
+            static_cast<double>(io.download_retries));
+  // Every retry inside put()/get() is attributed to that op.
+  EXPECT_EQ(snap.find("archive.put.retries")->value,
+            static_cast<double>(io.upload_retries));
+  EXPECT_EQ(snap.find("archive.get.retries")->value,
+            static_cast<double>(io.download_retries));
+  EXPECT_TRUE(JsonChecker(io.to_json()).valid()) << io.to_json();
+}
+
+TEST(ArchiveObs, OperationFailedEventCarriesErrorCode) {
+  Rig rig(ArchivalPolicy::FigErasure());
+  std::vector<OperationFailed> failures;
+  rig.cluster.obs().events().subscribe([&](const Event& e) {
+    if (const auto* f = std::get_if<OperationFailed>(&e.payload))
+      failures.push_back(*f);
+  });
+  rig.archive.put("doc", test_data(100, 50));
+  try {
+    rig.archive.put("doc", test_data(100, 50));  // duplicate
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDuplicateObject);
+  }
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].op, "archive.put");
+  EXPECT_EQ(failures[0].object, "doc");
+  EXPECT_EQ(failures[0].code, ErrorCode::kDuplicateObject);
+  EXPECT_EQ(std::string(to_string(ErrorCode::kDuplicateObject)),
+            "duplicate-object");
+
+  const MetricsSnapshot snap = rig.cluster.obs().metrics().snapshot();
+  EXPECT_EQ(snap.find("archive.put.failures")->value, 1.0);
+  EXPECT_EQ(snap.find("archive.put.count")->value, 2.0);
+}
+
+TEST(ArchiveObs, ShardWritesTraced) {
+  Rig rig(ArchivalPolicy::FigErasure());
+  rig.archive.put("doc", test_data(500, 60));
+  // 9 data shards landed -> 9 ShardWritten events.
+  EXPECT_EQ(rig.cluster.obs().events().count(EventKind::kShardWritten), 9u);
+  // The put span is in the ring.
+  const auto spans = rig.cluster.obs().tracer().snapshot();
+  bool saw_put = false;
+  for (const auto& s : spans) saw_put |= s.name == "archive.put";
+  EXPECT_TRUE(saw_put);
+}
+
+}  // namespace
+}  // namespace aegis

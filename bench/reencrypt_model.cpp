@@ -1,17 +1,29 @@
 // §3.2's re-encryption arithmetic, regenerated — with this library's own
-// measured cipher throughput plugged into the CPU-bound column.
+// measured cipher throughput plugged into the CPU-bound column, and the
+// MigrationEngine's *measured* end-to-end cost run against the
+// analytical estimate.
 //
 // For each archive the paper cites, we print: raw read-out time, the
 // practical estimate after the paper's two penalties (write-back+verify
 // ~2x, reserved foreground capacity ~2x), and the crypto-compute bound
 // using the AES-256-CTR throughput measured on this machine. Then we
 // extrapolate to the exabyte/zettabyte archives the paper envisions.
+//
+// The second half drives a real staged-generation migration
+// (archive/migration.h) over a simulated cluster, measures the bytes it
+// actually moves and the virtual time it consumes — throttled and not —
+// and projects THOSE multipliers onto the same sites. Every measured row
+// is also emitted as a JSON line (prefix "JSON ", the BENCH_*.json
+// convention) for the CI artifact.
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "archive/archive.h"
 #include "archive/cost.h"
+#include "archive/migration.h"
 #include "crypto/aes.h"
+#include "crypto/chacha20.h"
 #include "util/rng.h"
 
 namespace {
@@ -33,6 +45,50 @@ double measure_aes_mbps() {
   const auto end = std::chrono::steady_clock::now();
   const double secs = std::chrono::duration<double>(end - start).count();
   return (static_cast<double>(buf.size()) * passes / 1.0e6) / secs;
+}
+
+struct EngineRun {
+  std::uint64_t logical = 0;      // bytes the client stored
+  std::uint64_t bytes_moved = 0;  // up+down bytes the migration moved
+  double virtual_ms = 0;          // simulated time the run consumed
+  unsigned steps = 0;             // checkpoint intervals
+};
+
+// One measured whole-archive re-encryption through the MigrationEngine
+// (cloud-baseline policy: AES under RS(6,9)) at the given bandwidth
+// fraction. Deterministic: same seed, same numbers, every run.
+EngineRun run_engine(double bandwidth_frac) {
+  using namespace aegis;
+  ArchivalPolicy policy = ArchivalPolicy::CloudBaseline();
+  policy.migrate_bandwidth_frac = bandwidth_frac;
+  policy.migrate_batch = 4;
+  Cluster cluster(policy.n, policy.channel, 5);
+  SchemeRegistry registry;
+  ChaChaRng rng(5);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, policy, registry, tsa, rng);
+
+  EngineRun run;
+  SimRng workload(9);
+  const unsigned kObjects = 16;
+  const std::size_t kSize = 64 * 1024;
+  for (unsigned i = 0; i < kObjects; ++i) {
+    archive.put("tape-" + std::to_string(i), workload.bytes(kSize));
+    run.logical += kSize;
+  }
+
+  MigrationSpec spec;
+  spec.kind = MigrationKind::kReencrypt;
+  spec.fresh = {SchemeId::kChaCha20};
+  MigrationEngine engine(archive, spec);
+  const double t0 = cluster.simulated_ms();
+  while (!engine.done()) {
+    engine.step();
+    ++run.steps;
+  }
+  run.virtual_ms = cluster.simulated_ms() - t0;
+  run.bytes_moved = engine.state().bytes_moved;
+  return run;
 }
 
 }  // namespace
@@ -75,5 +131,71 @@ int main() {
       "reserved-capacity\npenalties: months become years — during which "
       "all not-yet-re-encrypted data\nremains under the broken cipher, "
       "and nothing helps data already harvested.\n");
+
+  // ---- Measured: the MigrationEngine's own multipliers. ----------------
+  // The paper's penalties are estimates; the engine's are measurements.
+  // io_multiple is what a staged read+re-disperse pass really moves per
+  // logical byte (RS overhead n/k on the write leg, threshold k/k on the
+  // read leg, staged writes included). throttle_factor is the measured
+  // virtual-time stretch of reserving half the bandwidth for foreground
+  // traffic (the paper's reserve penalty, observed rather than assumed).
+  const EngineRun full = run_engine(1.0);
+  const EngineRun throttled = run_engine(0.5);
+  const double io_multiple =
+      static_cast<double>(full.bytes_moved) / full.logical;
+  const double throttle_factor = throttled.virtual_ms / full.virtual_ms;
+  const double mb_per_vs =
+      full.bytes_moved / 1.0e6 / (full.virtual_ms / 1000.0);
+
+  std::printf(
+      "\nMeasured staged-generation migration (MigrationEngine, "
+      "cloud-baseline policy):\n"
+      "  %llu logical bytes -> %llu moved (%.2fx logical), %u checkpoint "
+      "steps\n"
+      "  virtual time: %.0f ms unthrottled, %.0f ms at 50%% bandwidth "
+      "(x%.2f)\n"
+      "  effective migration throughput: %.1f MB per virtual second\n",
+      static_cast<unsigned long long>(full.logical),
+      static_cast<unsigned long long>(full.bytes_moved), io_multiple,
+      full.steps, full.virtual_ms, throttled.virtual_ms, throttle_factor,
+      mb_per_vs);
+  std::printf(
+      "JSON {\"bench\":\"migration_engine\",\"policy\":\"cloud-baseline\","
+      "\"objects\":16,\"logical_bytes\":%llu,\"bytes_moved\":%llu,"
+      "\"io_multiple\":%.3f,\"steps\":%u,\"virtual_ms_full\":%.1f,"
+      "\"virtual_ms_throttled\":%.1f,\"throttle_factor\":%.3f,"
+      "\"mb_per_virtual_s\":%.1f}\n",
+      static_cast<unsigned long long>(full.logical),
+      static_cast<unsigned long long>(full.bytes_moved), io_multiple,
+      full.steps, full.virtual_ms, throttled.virtual_ms, throttle_factor,
+      mb_per_vs);
+
+  // Project the measured multipliers onto the same sites the analytical
+  // table used: months = read_months x (bytes actually moved per logical
+  // byte) x (measured bandwidth-reservation stretch).
+  std::printf(
+      "\nprojection with MEASURED multipliers (vs the paper's x4 "
+      "practical estimate):\n%-22s %12s %15s %15s\n",
+      "archive", "read(mo)", "paper-x4(mo)", "engine(mo)");
+  for (const SiteModel& s : sites) {
+    const ReencryptionEstimate e =
+        estimate_reencryption(s, 2.0, 2.0, hw_mbps, streams);
+    const double engine_months =
+        e.read_months * io_multiple * throttle_factor;
+    std::printf("%-22s %12.2f %15.2f %15.2f\n", s.name.c_str(),
+                e.read_months, e.practical_months, engine_months);
+    std::printf(
+        "JSON {\"bench\":\"migration_model\",\"site\":\"%s\","
+        "\"read_months\":%.2f,\"practical_months\":%.2f,"
+        "\"engine_months\":%.2f,\"io_multiple\":%.3f,"
+        "\"throttle_factor\":%.3f}\n",
+        s.name.c_str(), e.read_months, e.practical_months, engine_months,
+        io_multiple, throttle_factor);
+  }
+  std::printf(
+      "\nThe engine's measured pass moves MORE than the paper's x4: the "
+      "x2 reserve\nshows up as measured, but the write leg pays the full "
+      "RS n/k blowup and the\nstaged protocol's read leg — "
+      "crash-consistency is not free, it is bytes.\n");
   return 0;
 }

@@ -10,6 +10,11 @@
 //                            plaintext exposure, key history grows);
 //   3. timestamp renewal   — integrity chains hop to a new signature
 //                            generation (cheap: metadata only).
+//   4. the background way  — the MigrationEngine runs the same
+//                            re-encryption as an incremental job:
+//                            batched commits, a durable checkpoint
+//                            cursor, crash + resume on a fresh archive
+//                            instance, optional bandwidth throttling.
 //
 // The example measures actual bytes moved on the simulated cluster for
 // each, then projects the I/O onto a real archive with the §3.2 cost
@@ -18,12 +23,14 @@
 
 #include "archive/archive.h"
 #include "archive/cost.h"
+#include "archive/migration.h"
 #include "crypto/chacha20.h"
 
 int main() {
   using namespace aegis;
 
   ArchivalPolicy policy = ArchivalPolicy::ArchiveSafeLT();
+  policy.migrate_batch = 3;  // checkpoint every 3 objects
   Cluster cluster(policy.n, policy.channel, 11);
   SchemeRegistry registry;
   ChaChaRng rng(11);
@@ -79,10 +86,53 @@ int main() {
       "metadata only\n\n",
       0u, archive.manifest("tape-0").chain.length());
 
-  // Everything still reads back.
+  // --- Response 4: the background engine. ------------------------------
+  // The one-shot calls above block until the whole pass lands; §3.2 says
+  // the real pass takes months, so production runs it incrementally. The
+  // MigrationEngine commits `migrate_batch` objects per step and hands
+  // back a durable cursor; (cursor, catalog) saved together is a
+  // checkpoint any fresh process can resume from.
+  std::printf("background engine  : re-encrypting to a fresh stack in "
+              "batches of %u\n",
+              policy.migrate_batch);
+  MigrationSpec spec;
+  spec.kind = MigrationKind::kReencrypt;
+  spec.fresh = {SchemeId::kAes256Ctr, SchemeId::kChaCha20};
+  MigrationEngine engine(archive, spec);
+  engine.step();  // one checkpoint interval, then the process "crashes"
+  const Bytes cursor = engine.checkpoint();
+  const Bytes catalog = archive.export_catalog();
+  std::printf(
+      "                     step 1: %llu/%llu objects committed, then "
+      "simulated crash\n"
+      "                     checkpoint = %zu B cursor + %zu B catalog\n",
+      static_cast<unsigned long long>(engine.state().objects_done),
+      static_cast<unsigned long long>(engine.state().objects_total),
+      cursor.size(), catalog.size());
+
+  // A brand-new Archive instance (new process) restores the pair over
+  // the same cluster and finishes the job. Mid-flight objects stay
+  // readable the whole time.
+  Archive restored(cluster, policy, registry, tsa, rng);
+  restored.import_catalog(catalog);
+  MigrationEngine resumed(restored, MigrationState::deserialize(cursor));
+  unsigned steps = 1;
+  while (!resumed.done()) {
+    resumed.step();
+    ++steps;
+  }
+  std::printf(
+      "                     resumed and finished: %llu objects, %llu "
+      "bytes moved, %u steps\n"
+      "                     (policy.migrate_bandwidth_frac throttles the "
+      "pass; 0.5 = x2 wall clock)\n\n",
+      static_cast<unsigned long long>(resumed.state().objects_done),
+      static_cast<unsigned long long>(resumed.state().bytes_moved), steps);
+
+  // Everything still reads back — through the restored instance.
   bool ok = true;
   for (unsigned i = 0; i < kObjects; ++i)
-    ok = ok && !archive.get("tape-" + std::to_string(i)).empty();
+    ok = ok && !restored.get("tape-" + std::to_string(i)).empty();
   std::printf("post-migration reads: %s\n\n", ok ? "all OK" : "FAILED");
 
   // Project the measured I/O multiple onto real archives (Sec. 3.2).

@@ -64,6 +64,42 @@ struct ObjectManifest {
   std::vector<std::vector<ShardChallenge>> audit_challenges;
   std::uint32_t audit_round = 0;
 
+  /// In-flight migration state for THIS object (absent in steady state).
+  /// The MigrationEngine stages a candidate next generation here while
+  /// its shards are written to the staging key (staging_object_id), so
+  /// the committed generation's shards stay untouched until the staged
+  /// set is durable:
+  ///
+  ///   kStaging   — staged shards are landing at the staging key; the
+  ///                manifest's committed fields still describe the old
+  ///                generation, and reads ignore the staging area.
+  ///   kPublished — the commit point passed: the manifest's committed
+  ///                fields now describe the staged generation, but its
+  ///                blobs may still live (wholly or partly) under the
+  ///                staging key until the engine promotes them into the
+  ///                real slots. Reads fall back to the staging key for
+  ///                any shard whose real slot is stale or missing.
+  ///
+  /// A crash in either phase leaves the object readable under exactly
+  /// one coherent cipher stack: kStaging rolls forward by re-staging,
+  /// kPublished by re-promoting (both idempotent).
+  struct StagedGeneration {
+    enum class Phase : std::uint8_t { kStaging = 0, kPublished = 1 };
+    Phase phase = Phase::kStaging;
+    std::uint32_t generation = 0;  // committed generation + 1
+    std::vector<SchemeId> ciphers;
+    std::vector<Bytes> shard_hashes;
+    Bytes merkle_root;
+    std::vector<std::vector<ShardChallenge>> audit_challenges;
+  };
+  std::optional<StagedGeneration> staged;
+
+  /// Fingerprint of the last MigrationEngine run that committed this
+  /// object — the idempotence marker a resumed run uses to skip objects
+  /// it already migrated (the cursor alone cannot tell when the engine
+  /// resumes from a checkpoint older than the manifest state).
+  std::uint64_t last_migration = 0;
+
   /// Measured entropy estimate of the content (bits/byte), stamped at
   /// put time. Drives the entropic-encoding risk escalation: entropic
   /// security is unconditional only for high-entropy messages.
@@ -201,6 +237,10 @@ class Archive {
   /// key-share blobs.
   static std::string key_object_id(const ObjectId& id);
 
+  /// The on-cluster object id the MigrationEngine stages next-generation
+  /// shards under while the committed generation's blobs stay intact.
+  static std::string staging_object_id(const ObjectId& id);
+
   /// Cumulative retry/failure counts for this archive's shard I/O.
   const IoStats& io_stats() const { return io_stats_; }
 
@@ -228,6 +268,16 @@ class Archive {
   /// Applies/removes the policy's cipher stack (empty stack = identity).
   Bytes apply_ciphers(const ObjectId& id, ByteView data,
                       const std::vector<SchemeId>& stack) const;
+
+  /// Downloads and validates one shard of the committed generation.
+  /// When the real slot is stale or missing and the object has a
+  /// published-but-unpromoted staged generation, falls back to the
+  /// staging key — mid-migration reads must serve whichever slot holds
+  /// the committed bytes. Sets *bad when a hash-mismatched (corrupt)
+  /// real-slot shard was seen.
+  std::optional<Bytes> fetch_valid_shard(const ObjectManifest& m,
+                                         std::uint32_t shard,
+                                         bool* bad = nullptr);
 
   /// Gathers up to `want` shards for the object at current generation.
   std::vector<std::optional<Bytes>> gather(const ObjectManifest& m,
@@ -271,6 +321,12 @@ class Archive {
   void rewrap_impl(SchemeId new_outer_cipher);
   void reencrypt_impl(const std::vector<SchemeId>& fresh);
   void redistribute_nodes_impl(unsigned t2, unsigned n2);
+
+  // The migration engine drives the staged-generation protocol through
+  // the archive's private encode/transfer plumbing (it is the archive's
+  // background half, split into its own type so runs can pause, resume
+  // and checkpoint across archive instances).
+  friend class MigrationEngine;
 
   Cluster& cluster_;
   ArchivalPolicy policy_;

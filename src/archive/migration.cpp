@@ -1,0 +1,427 @@
+#include "archive/migration.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "archive/aont.h"
+#include "crypto/cipher.h"
+#include "crypto/sha256.h"
+#include "erasure/codec_cache.h"
+#include "erasure/reed_solomon.h"
+#include "integrity/merkle.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+// Mirrors the archive's internal helpers (anonymous namespace there).
+bool uses_cipher_stack(EncodingKind e) {
+  return e == EncodingKind::kEncryptErasure ||
+         e == EncodingKind::kCascade ||
+         e == EncodingKind::kEntropicErasure;
+}
+
+std::size_t payload_size(const ObjectManifest& m) {
+  return m.encoding == EncodingKind::kAontRs ? aont_package_size(m.size)
+                                             : m.size;
+}
+
+constexpr unsigned kAuditChallengesPerShard = 4;
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(MigrationKind k) {
+  switch (k) {
+    case MigrationKind::kReencrypt: return "reencrypt";
+    case MigrationKind::kRewrap: return "rewrap";
+    case MigrationKind::kRenewTimestamps: return "renew_timestamps";
+  }
+  return "?";
+}
+
+Bytes MigrationState::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(static_cast<std::uint32_t>(fresh.size()));
+  for (SchemeId c : fresh) w.u16(static_cast<std::uint16_t>(c));
+  w.u16(static_cast<std::uint16_t>(outer));
+  w.u64(migration_id);
+  w.str(cursor);
+  w.u64(objects_done);
+  w.u64(objects_skipped);
+  w.u64(objects_total);
+  w.u64(bytes_moved);
+  w.u8(complete ? 1 : 0);
+  return std::move(w).take();
+}
+
+MigrationState MigrationState::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  MigrationState s;
+  s.kind = static_cast<MigrationKind>(r.u8());
+  const std::uint32_t nf = r.count(2);
+  s.fresh.reserve(nf);
+  for (std::uint32_t i = 0; i < nf; ++i)
+    s.fresh.push_back(static_cast<SchemeId>(r.u16()));
+  s.outer = static_cast<SchemeId>(r.u16());
+  s.migration_id = r.u64();
+  s.cursor = r.str();
+  s.objects_done = r.u64();
+  s.objects_skipped = r.u64();
+  s.objects_total = r.u64();
+  s.bytes_moved = r.u64();
+  s.complete = r.u8() != 0;
+  r.expect_done();
+  return s;
+}
+
+std::string MigrationStepReport::to_json() const {
+  return "{" + json_head() + ",\"kind\":\"" + to_string(kind) + "\"" +
+         ",\"migrated\":" + num(migrated) +
+         ",\"promoted\":" + num(promoted) +
+         ",\"skipped\":" + num(skipped) +
+         ",\"bytes_moved\":" + num(bytes_moved) +
+         ",\"done\":" + (done ? "true" : "false") + "}";
+}
+
+void MigrationEngine::validate(const Archive& archive, MigrationKind kind,
+                               const std::vector<SchemeId>& fresh,
+                               SchemeId outer) {
+  switch (kind) {
+    case MigrationKind::kReencrypt:
+      if (!uses_cipher_stack(archive.policy_.encoding))
+        throw InvalidArgument("Archive::reencrypt: policy has no cipher stack",
+                              ErrorCode::kUnsupportedOperation);
+      if (fresh.empty())
+        throw InvalidArgument(
+            "MigrationEngine: empty replacement cipher stack",
+            ErrorCode::kBadPolicy);
+      for (SchemeId c : fresh) {
+        if (scheme_info(c).kind != SchemeKind::kCipher)
+          throw InvalidArgument(
+              "MigrationEngine: " + scheme_name(c) + " is not a cipher",
+              ErrorCode::kBadPolicy);
+      }
+      break;
+    case MigrationKind::kRewrap:
+      if (archive.policy_.encoding != EncodingKind::kCascade)
+        throw InvalidArgument("Archive::rewrap: policy is not a cascade",
+                              ErrorCode::kUnsupportedOperation);
+      if (scheme_info(outer).kind != SchemeKind::kCipher)
+        throw InvalidArgument("Archive::rewrap: not a cipher");
+      break;
+    case MigrationKind::kRenewTimestamps:
+      break;
+  }
+}
+
+std::uint64_t MigrationEngine::fingerprint(const MigrationState& s,
+                                           Epoch start) {
+  // FNV-1a over the run parameters + start epoch: two runs with the same
+  // parameters started at different epochs are distinct migrations.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(s.kind));
+  mix(s.fresh.size());
+  for (SchemeId c : s.fresh) mix(static_cast<std::uint64_t>(c));
+  mix(static_cast<std::uint64_t>(s.outer));
+  mix(static_cast<std::uint64_t>(start));
+  return h == 0 ? 1 : h;  // 0 is the manifests' never-migrated sentinel
+}
+
+MigrationEngine::MigrationEngine(Archive& archive, MigrationSpec spec)
+    : archive_(archive) {
+  validate(archive, spec.kind, spec.fresh, spec.outer);
+  state_.kind = spec.kind;
+  state_.fresh = std::move(spec.fresh);
+  state_.outer = spec.outer;
+  state_.objects_total = archive.manifests_.size();
+  state_.migration_id = fingerprint(state_, archive.cluster_.now());
+  bind_metrics();
+}
+
+MigrationEngine::MigrationEngine(Archive& archive, MigrationState state)
+    : archive_(archive), state_(std::move(state)) {
+  validate(archive, state_.kind, state_.fresh, state_.outer);
+  bind_metrics();
+}
+
+void MigrationEngine::bind_metrics() {
+  MetricsRegistry& m = archive_.cluster_.obs().metrics();
+  m_objects_ = &m.counter("archive.migrate.objects");
+  m_skipped_ = &m.counter("archive.migrate.skipped");
+  m_bytes_ = &m.counter("archive.migrate.bytes");
+  m_throttle_ms_ = &m.counter("archive.migrate.throttle_ms");
+  m_checkpoints_ = &m.counter("archive.migrate.checkpoints");
+  m_stalls_ = &m.counter("archive.migrate.stalls");
+  m_object_ms_ = &m.histogram("archive.migrate.object_ms");
+}
+
+bool MigrationEngine::eligible(const ObjectManifest& m) const {
+  // Committed by THIS run already (visible even when the engine resumed
+  // from a checkpoint older than the manifest state).
+  if (m.last_migration == state_.migration_id) return false;
+  switch (state_.kind) {
+    case MigrationKind::kReencrypt:
+      return uses_cipher_stack(m.encoding) &&
+             m.current_ciphers() != state_.fresh;
+    case MigrationKind::kRewrap:
+      return m.encoding == EncodingKind::kCascade;
+    case MigrationKind::kRenewTimestamps:
+      return true;
+  }
+  return false;
+}
+
+void MigrationEngine::discard_staging(ObjectManifest& m) {
+  if (!m.staged.has_value()) return;
+  const ObjectId sid = Archive::staging_object_id(m.id);
+  for (std::uint32_t i = 0; i < m.n; ++i)
+    archive_.cluster_.node(archive_.shard_node(i)).erase(sid, i);
+  m.staged.reset();
+}
+
+void MigrationEngine::promote(ObjectManifest& m) {
+  // Node-local rename of staging blobs into the real shard slots. Like
+  // erase(), this is node-side metadata surgery, not a transfer — it
+  // works on offline nodes and moves no payload bytes. A missing staging
+  // blob (its upload failed at stage time, or an earlier promotion pass
+  // already moved it) leaves the real slot as-is; the shard reads as
+  // stale/missing and repair() heals it like any other erasure.
+  const ObjectId sid = Archive::staging_object_id(m.id);
+  for (std::uint32_t i = 0; i < m.n; ++i)
+    archive_.cluster_.node(archive_.shard_node(i)).rename(sid, i, m.id);
+  m.staged.reset();
+}
+
+unsigned MigrationEngine::settle_staged() {
+  unsigned promoted = 0;
+  for (auto& [id, m] : archive_.manifests_) {
+    if (!m.staged.has_value()) continue;
+    if (m.staged->phase ==
+        ObjectManifest::StagedGeneration::Phase::kPublished) {
+      promote(m);
+      ++promoted;
+    } else {
+      // kStaging residue from a crashed run: the commit point was never
+      // reached, so roll back to the intact committed generation.
+      discard_staging(m);
+    }
+  }
+  return promoted;
+}
+
+void MigrationEngine::migrate_one(ObjectManifest& m) {
+  if (state_.kind == MigrationKind::kRenewTimestamps) {
+    m.chain.renew(archive_.tsa_, archive_.cluster_.now());
+    m.last_migration = state_.migration_id;
+    archive_.cluster_.obs().emit(ChainRenewed{m.id, m.chain.length()});
+    return;
+  }
+
+  discard_staging(m);  // kStaging residue from a crashed run
+
+  // Build the staged generation's payload.
+  Bytes payload;
+  std::vector<SchemeId> stack;
+  if (state_.kind == MigrationKind::kReencrypt) {
+    auto shards =
+        archive_.gather(m, archive_.policy_.reconstruction_threshold());
+    const Bytes plain = archive_.decode(m, std::move(shards));
+    stack = state_.fresh;
+    payload = archive_.apply_ciphers(m.id, plain, stack);
+  } else {
+    // Re-wrap: reconstruct the *layered ciphertext* — never the
+    // plaintext — and add one outer layer.
+    auto shards = archive_.gather(m, m.k);
+    const Bytes ct = rs_codec(m.k, m.n).decode(shards, payload_size(m),
+                                               &archive_.pool_);
+    const ObjectKey* key = archive_.vault_.find(m.id);
+    if (key == nullptr)
+      throw InvalidArgument("MigrationEngine: no key for " + m.id,
+                            ErrorCode::kKeyLost);
+    const unsigned layer = static_cast<unsigned>(m.current_ciphers().size());
+    const SecureBytes lk = key->layer_key(state_.outer, layer);
+    const Bytes iv = key->layer_iv(state_.outer, layer);
+    payload =
+        cipher_apply(state_.outer, ByteView(lk.data(), lk.size()), iv, ct);
+    stack = m.current_ciphers();
+    stack.push_back(state_.outer);
+  }
+
+  const std::vector<Bytes> shards =
+      rs_codec(m.k, m.n).encode(payload, &archive_.pool_);
+
+  // Stage: the next generation's shards land under the staging key with
+  // their full integrity metadata precomputed; the committed
+  // generation's blobs and manifest stay untouched.
+  ObjectManifest::StagedGeneration st;
+  st.generation = m.generation + 1;
+  st.ciphers = std::move(stack);
+  st.audit_challenges.assign(shards.size(), {});
+  std::vector<Bytes> leaves;
+  leaves.reserve(shards.size());
+  for (std::uint32_t i = 0; i < shards.size(); ++i) {
+    st.shard_hashes.push_back(Sha256::hash(shards[i]));
+    for (unsigned c = 0; c < kAuditChallengesPerShard; ++c) {
+      ObjectManifest::ShardChallenge ch;
+      ch.nonce = archive_.rng_.bytes(16);
+      ch.expected = Sha256::hash_concat({shards[i], ch.nonce});
+      st.audit_challenges[i].push_back(std::move(ch));
+    }
+    leaves.push_back(shards[i]);
+  }
+  st.merkle_root = MerkleTree(leaves).root();
+  m.staged = std::move(st);
+
+  const ObjectId sid = Archive::staging_object_id(m.id);
+  unsigned written = 0;
+  for (std::uint32_t i = 0; i < shards.size(); ++i) {
+    StoredBlob blob;
+    blob.object = sid;
+    blob.shard_index = i;
+    blob.generation = m.staged->generation;
+    blob.data = shards[i];
+    blob.stored_at = archive_.cluster_.now();
+    if (archive_.upload_with_retry(archive_.shard_node(i), blob) ==
+        TransferStatus::kOk)
+      ++written;
+  }
+
+  if (written < archive_.policy_.reconstruction_threshold()) {
+    // The staged set can never be read back; abandon it. The committed
+    // generation was never touched, so the object stays fully readable —
+    // the run stalls with the cursor at the previous object.
+    discard_staging(m);
+    m_stalls_->inc();
+    throw UnrecoverableError(
+        "MigrationEngine: only " + std::to_string(written) + " of " +
+            std::to_string(shards.size()) + " staged shards of " + m.id +
+            " landed — below the reconstruction threshold; resume from the "
+            "last checkpoint once the cluster heals",
+        ErrorCode::kBelowThreshold);
+  }
+
+  // Publish — the commit point. The manifest swaps to the staged
+  // generation only now that its shard set is durable. Promotion of the
+  // staging blobs into the real slots is deferred to the next step(), so
+  // a checkpoint boundary always separates publish from promote; until
+  // then reads fall back to the staging key (fetch_valid_shard).
+  ObjectManifest::StagedGeneration& staged = *m.staged;
+  m.generation = staged.generation;
+  m.cipher_history.push_back(std::move(staged.ciphers));
+  m.shard_hashes = std::move(staged.shard_hashes);
+  m.merkle_root = std::move(staged.merkle_root);
+  m.audit_challenges = std::move(staged.audit_challenges);
+  m.audit_round = 0;
+  m.last_migration = state_.migration_id;
+  staged.phase = ObjectManifest::StagedGeneration::Phase::kPublished;
+}
+
+void MigrationEngine::throttle(double spent_ms) {
+  const double frac = archive_.policy_.migrate_bandwidth_frac;
+  if (frac >= 1.0 || spent_ms <= 0.0) return;
+  // With only `frac` of the cluster's bandwidth available to background
+  // work, moving the same bytes takes 1/frac as long: charge the
+  // difference to virtual time (the paper's reserved-capacity
+  // multiplier — frac = 0.5 doubles the migration's clock).
+  const double extra = spent_ms * (1.0 / frac - 1.0);
+  archive_.cluster_.charge_ms(extra);
+  m_throttle_ms_->inc(static_cast<std::uint64_t>(extra + 0.5));
+}
+
+MigrationStepReport MigrationEngine::step() {
+  Archive::OpScope scope = archive_.op_begin("migrate", ObjectId{});
+  try {
+    MigrationStepReport rep;
+    rep.kind = state_.kind;
+
+    // Settle what earlier steps (or a crashed run) left behind BEFORE
+    // committing new work: published generations promote, staging
+    // residue rolls back.
+    rep.promoted = settle_staged();
+
+    unsigned budget = archive_.policy_.migrate_batch;
+    auto it = state_.cursor.empty()
+                  ? archive_.manifests_.begin()
+                  : archive_.manifests_.upper_bound(state_.cursor);
+    for (; it != archive_.manifests_.end() && budget > 0; ++it) {
+      ObjectManifest& m = it->second;
+      if (!eligible(m)) {
+        state_.cursor = m.id;
+        ++state_.objects_skipped;
+        ++rep.skipped;
+        m_skipped_->inc();
+        continue;
+      }
+
+      const double t0 = archive_.cluster_.simulated_ms();
+      const std::uint64_t b0 = archive_.cluster_.stats().bytes_up +
+                               archive_.cluster_.stats().bytes_down;
+      migrate_one(m);  // throws on a stall; cursor stays put
+      throttle(archive_.cluster_.simulated_ms() - t0);
+      const std::uint64_t moved = archive_.cluster_.stats().bytes_up +
+                                  archive_.cluster_.stats().bytes_down - b0;
+
+      state_.cursor = m.id;
+      ++state_.objects_done;
+      state_.bytes_moved += moved;
+      ++rep.migrated;
+      rep.bytes_moved += moved;
+      --budget;
+
+      m_objects_->inc();
+      m_bytes_->inc(moved);
+      m_object_ms_->observe(archive_.cluster_.simulated_ms() - t0);
+      archive_.cluster_.obs().emit(
+          MigrationProgress{to_string(state_.kind), m.id, state_.objects_done,
+                            state_.objects_total, state_.bytes_moved});
+    }
+
+    if (it == archive_.manifests_.end()) {
+      // The cursor swept the whole catalog. The run completes one step
+      // later, once the final batch's publishes have been promoted
+      // behind a checkpoint boundary.
+      bool pending = false;
+      for (const auto& [id, m] : archive_.manifests_) {
+        if (m.staged.has_value()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending) state_.complete = true;
+    }
+
+    rep.done = state_.complete;
+    m_checkpoints_->inc();
+    archive_.cluster_.obs().emit(
+        MigrationCheckpoint{to_string(state_.kind), state_.cursor,
+                            state_.objects_done, state_.objects_skipped,
+                            state_.complete});
+    archive_.op_end(scope, &rep);
+    return rep;
+  } catch (const Error& e) {
+    archive_.op_failed(scope, ObjectId{}, e);
+    throw;
+  }
+}
+
+void MigrationEngine::run() {
+  while (!state_.complete) step();
+}
+
+}  // namespace aegis

@@ -1,0 +1,189 @@
+// Crash-consistent background migration: re-encryption, re-wrap and
+// timestamp renewal as an incremental, resumable, throttled job.
+//
+// The paper's §3.2 argues that whole-archive re-encryption is the cost
+// that makes crypto-agility hard: the operator must move every byte,
+// without pausing foreground traffic, without ever leaving an object in
+// a state where neither the old nor the new ciphertext is recoverable.
+// The legacy rewrap_impl/reencrypt_impl paths had exactly that bug:
+// they bumped the manifest generation and cipher history *before*
+// dispersing the new shards, so a fault mid-dispersal stranded the
+// object — manifest pointing at a generation whose shards never landed,
+// old shards already overwritten or stale.
+//
+// The MigrationEngine replaces the one-shot loops with a three-phase
+// per-object protocol whose commit point is explicit:
+//
+//   stage    — the next generation's shards are written under the
+//              staging key (Archive::staging_object_id); the committed
+//              generation's blobs and manifest are untouched. A fault
+//              here costs only the staging writes.
+//   publish  — only once >= reconstruction_threshold staged shards
+//              landed does the manifest swap to the staged generation
+//              (generation, cipher_history, hashes, merkle root, audit
+//              challenges move in one assignment). This is the commit.
+//   promote  — the staged blobs are renamed node-locally into the real
+//              shard slots. Promotion is deferred to the START of the
+//              NEXT step(), so a checkpoint boundary always separates
+//              publish from promote: a crash between them leaves the
+//              object readable through the staging-key fallback in
+//              Archive::fetch_valid_shard, and re-promotion is
+//              idempotent.
+//
+// The engine's cursor (MigrationState) serializes to a few dozen bytes;
+// together with Archive::export_catalog() it forms a checkpoint from
+// which a *fresh* Archive + MigrationEngine pair resumes the run after
+// a crash, finishing exactly the objects the dead run did not commit.
+// Per-object idempotence across stale checkpoints comes from the
+// manifest's last_migration fingerprint, not the cursor alone.
+//
+// Throttling models §3.2's reserved-foreground-capacity multiplier:
+// with policy.migrate_bandwidth_frac = f, every object's migration I/O
+// is stretched to 1/f of its nominal virtual time (f = 0.5 is the
+// paper's "reserve ×2 capacity" case). Progress and checkpoints are
+// observable as MigrationProgress / MigrationCheckpoint events and
+// archive.migrate.* metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "archive/reports.h"
+
+namespace aegis {
+
+class Counter;
+class Histogram;
+
+/// What a migration run rewrites.
+enum class MigrationKind : std::uint8_t {
+  kReencrypt = 0,        // swap the cipher stack (decrypt + re-encrypt)
+  kRewrap = 1,           // add an outer cascade layer (never decrypts)
+  kRenewTimestamps = 2,  // extend every timestamp chain
+};
+
+const char* to_string(MigrationKind k);
+
+/// Parameters of a new migration run.
+struct MigrationSpec {
+  MigrationKind kind = MigrationKind::kReencrypt;
+  std::vector<SchemeId> fresh;  // kReencrypt: replacement stack
+  SchemeId outer = SchemeId::kAes256Ctr;  // kRewrap: new outer layer
+};
+
+/// The engine's durable cursor. Serialize it next to the catalog export
+/// between step() calls and a crashed run can be resumed on a fresh
+/// Archive instance; every field is plain data on purpose.
+struct MigrationState {
+  MigrationKind kind = MigrationKind::kReencrypt;
+  std::vector<SchemeId> fresh;
+  SchemeId outer = SchemeId::kAes256Ctr;
+
+  /// Fingerprint of (kind, parameters, start epoch); stamped into each
+  /// committed manifest's last_migration so a resumed run recognizes
+  /// objects it already migrated even from a stale checkpoint.
+  std::uint64_t migration_id = 0;
+
+  ObjectId cursor;  // last object id committed or skipped; "" = start
+  std::uint64_t objects_done = 0;     // committed by this run
+  std::uint64_t objects_skipped = 0;  // ineligible or already migrated
+  std::uint64_t objects_total = 0;    // manifests when the run started
+  std::uint64_t bytes_moved = 0;      // cumulative up+down payload bytes
+  bool complete = false;
+
+  Bytes serialize() const;
+  static MigrationState deserialize(ByteView wire);
+};
+
+/// Outcome of one MigrationEngine::step() — one checkpoint interval.
+struct MigrationStepReport : OpReport {
+  MigrationKind kind = MigrationKind::kReencrypt;
+  unsigned migrated = 0;   // objects staged + published this step
+  unsigned promoted = 0;   // earlier publishes promoted this step
+  unsigned skipped = 0;    // ineligible objects passed over
+  std::uint64_t bytes_moved = 0;  // payload bytes this step
+  bool done = false;       // the whole run finished (incl. promotions)
+  std::string to_json() const;
+};
+
+/// Drives one migration run over one Archive. The engine borrows the
+/// archive's private plumbing (gather/decode/cipher/transfer) so its
+/// reads never inflate the client-facing archive.get.* metrics, and all
+/// of its own work lands under archive.migrate.*.
+///
+/// Typical background loop:
+///
+///   MigrationEngine eng(archive, {MigrationKind::kReencrypt, fresh});
+///   while (!eng.done()) {
+///     eng.step();                        // migrates policy.migrate_batch
+///     save(eng.checkpoint(), archive.export_catalog());
+///     cluster.advance_epoch();           // foreground work interleaves
+///   }
+///
+/// step() throws UnrecoverableError (kBelowThreshold) when a staged
+/// dispersal cannot reach the reconstruction threshold; the cursor stays
+/// at the last committed object and the same engine (or a resumed one)
+/// retries from there. Nothing is ever stranded: the failed object's
+/// committed generation is still fully intact.
+class MigrationEngine {
+ public:
+  /// Starts a fresh run. Throws InvalidArgument when the spec does not
+  /// fit the archive's policy (re-encrypting a policy with no cipher
+  /// stack, re-wrapping a non-cascade, a non-cipher outer scheme).
+  MigrationEngine(Archive& archive, MigrationSpec spec);
+
+  /// Resumes a checkpointed run — typically on a fresh Archive restored
+  /// via import_catalog(). Validates the state against the policy.
+  MigrationEngine(Archive& archive, MigrationState state);
+
+  /// One checkpoint interval: promotes generations published by the
+  /// previous step, then stages + publishes up to policy.migrate_batch
+  /// eligible objects. Runs as an `archive.migrate` operation.
+  MigrationStepReport step();
+
+  /// Steps until done. Equivalent to the legacy one-shot rewrap /
+  /// reencrypt drive (which now routes through here).
+  void run();
+
+  /// True once every eligible object is committed AND promoted.
+  bool done() const { return state_.complete; }
+
+  const MigrationState& state() const { return state_; }
+
+  /// Serialized cursor — store it next to export_catalog() after each
+  /// step; the pair is the crash-resume checkpoint.
+  Bytes checkpoint() const { return state_.serialize(); }
+
+ private:
+  static void validate(const Archive& archive, MigrationKind kind,
+                       const std::vector<SchemeId>& fresh, SchemeId outer);
+  static std::uint64_t fingerprint(const MigrationState& s, Epoch start);
+  void bind_metrics();
+
+  bool eligible(const ObjectManifest& m) const;
+  /// Clears kStaging residue and promotes kPublished staged generations
+  /// left by earlier steps (or a crashed run). Returns promotions done.
+  unsigned settle_staged();
+  void promote(ObjectManifest& m);
+  void discard_staging(ObjectManifest& m);
+  /// Stage + publish one object. Throws on a below-threshold dispersal.
+  void migrate_one(ObjectManifest& m);
+  /// Charges the reserved-capacity penalty for work that took `spent`
+  /// virtual ms at full bandwidth.
+  void throttle(double spent_ms);
+
+  Archive& archive_;
+  MigrationState state_;
+
+  Counter* m_objects_ = nullptr;      // archive.migrate.objects
+  Counter* m_skipped_ = nullptr;      // archive.migrate.skipped
+  Counter* m_bytes_ = nullptr;        // archive.migrate.bytes
+  Counter* m_throttle_ms_ = nullptr;  // archive.migrate.throttle_ms
+  Counter* m_checkpoints_ = nullptr;  // archive.migrate.checkpoints
+  Counter* m_stalls_ = nullptr;       // archive.migrate.stalls
+  Histogram* m_object_ms_ = nullptr;  // archive.migrate.object_ms
+};
+
+}  // namespace aegis

@@ -92,6 +92,12 @@ void ArchivalPolicy::validate() const {
   if (encode_workers > 256)
     throw InvalidArgument("policy: encode_workers > 256 is surely a typo",
                           ErrorCode::kBadPolicy);
+  if (migrate_batch == 0)
+    throw InvalidArgument("policy: migrate_batch must be >= 1",
+                          ErrorCode::kBadPolicy);
+  if (!(migrate_bandwidth_frac > 0.0) || migrate_bandwidth_frac > 1.0)
+    throw InvalidArgument("policy: migrate_bandwidth_frac must be in (0, 1]",
+                          ErrorCode::kBadPolicy);
   const bool needs_cipher = encoding == EncodingKind::kEncryptErasure ||
                             encoding == EncodingKind::kCascade ||
                             encoding == EncodingKind::kAontRs;

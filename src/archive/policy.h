@@ -76,6 +76,16 @@ struct ArchivalPolicy {
   unsigned io_retries = 3;
   double backoff_base_ms = 5.0;
 
+  // Migration engine (src/archive/migration.h) pacing. migrate_batch is
+  // the number of objects one MigrationEngine::step() commits before
+  // yielding (the checkpoint granularity). migrate_bandwidth_frac models
+  // §3.2's reserved-foreground-capacity penalty: the fraction of the
+  // cluster's bandwidth migration may consume — 0.5 means every byte the
+  // engine moves is charged twice its nominal virtual time, exactly the
+  // paper's ×2 reserve multiplier. 1.0 = unthrottled.
+  unsigned migrate_batch = 16;
+  double migrate_bandwidth_frac = 1.0;
+
   // Worker threads for the encode/decode compute pipeline (RS parity
   // rows, share-column arithmetic). 0 or 1 = single-threaded on the
   // calling thread — the fully deterministic default. Results are

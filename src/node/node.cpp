@@ -63,6 +63,18 @@ void StorageNode::erase(const ObjectId& object, std::uint32_t shard) {
   }
 }
 
+bool StorageNode::rename(const ObjectId& from_object, std::uint32_t shard,
+                         const ObjectId& to_object) {
+  const auto it = blobs_.find(key(from_object, shard));
+  if (it == blobs_.end()) return false;
+  StoredBlob blob = std::move(it->second);
+  bytes_stored_ -= blob.data.size();
+  blobs_.erase(it);
+  blob.object = to_object;
+  put(std::move(blob));
+  return true;
+}
+
 void StorageNode::erase_object(const ObjectId& object) {
   for (auto it = blobs_.begin(); it != blobs_.end();) {
     if (it->second.object == object) {

@@ -56,6 +56,16 @@ class StorageNode {
   void erase(const ObjectId& object, std::uint32_t shard);
   void erase_object(const ObjectId& object);
 
+  /// Node-local rename of one blob to a different object key (replacing
+  /// any blob already there). The migration engine's promote step: moving
+  /// a staged shard into its real slot is a metadata operation on the
+  /// node's own store, not a transfer — like erase(), it applies directly
+  /// to node state and therefore tolerates the node being offline (the
+  /// rename lands when the disk does). Returns false when the source
+  /// blob is absent.
+  bool rename(const ObjectId& from_object, std::uint32_t shard,
+              const ObjectId& to_object);
+
   /// Full contents — the mobile adversary's view when it owns the node.
   std::vector<const StoredBlob*> all_blobs() const;
 

@@ -18,6 +18,8 @@ const char* to_string(EventKind k) {
     case EventKind::kOperationFailed: return "operation-failed";
     case EventKind::kProtocolRound: return "protocol-round";
     case EventKind::kEpochAdvanced: return "epoch-advanced";
+    case EventKind::kMigrationProgress: return "migration-progress";
+    case EventKind::kMigrationCheckpoint: return "migration-checkpoint";
   }
   return "?";
 }

@@ -119,11 +119,30 @@ struct EpochAdvanced {
   unsigned online_nodes = 0;
 };
 
+/// The MigrationEngine committed one object to its new generation.
+struct MigrationProgress {
+  std::string op;  // "reencrypt" | "rewrap" | "renew_timestamps"
+  ObjectId object;
+  std::uint64_t objects_done = 0;
+  std::uint64_t objects_total = 0;  // manifests when the migration started
+  std::uint64_t bytes_moved = 0;    // cumulative migration payload bytes
+};
+
+/// The MigrationEngine's durable cursor advanced to a step boundary —
+/// the point a crashed run resumes from.
+struct MigrationCheckpoint {
+  std::string op;
+  ObjectId cursor;  // last object id committed or skipped
+  std::uint64_t objects_done = 0;
+  std::uint64_t objects_skipped = 0;
+  bool complete = false;
+};
+
 using EventPayload =
     std::variant<ShardWritten, ShardWriteFailed, RetryExhausted,
                  NodeQuarantined, NodeRestored, ChainRenewed, RepairCompleted,
                  ScrubCompleted, FaultInjected, OperationFailed, ProtocolRound,
-                 EpochAdvanced>;
+                 EpochAdvanced, MigrationProgress, MigrationCheckpoint>;
 
 /// Order matches the EventPayload alternatives exactly.
 enum class EventKind : std::uint8_t {
@@ -139,6 +158,8 @@ enum class EventKind : std::uint8_t {
   kOperationFailed,
   kProtocolRound,
   kEpochAdvanced,
+  kMigrationProgress,
+  kMigrationCheckpoint,
 };
 
 inline constexpr std::size_t kEventKindCount =

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "archive/archive.h"
+#include "archive/migration.h"
 #include "crypto/chacha20.h"
 #include "crypto/sha256.h"
 #include "node/adversary.h"
@@ -208,6 +209,130 @@ TEST(Chaos, TotalBlackoutIsUnrecoverableNotACrash) {
   // Power restored: nothing was actually lost at rest.
   for (NodeId id = 0; id < 5; ++id) rig.cluster.restore_node(id);
   EXPECT_EQ(rig.archive.get("doc"), data);
+}
+
+// --------------------------------------------------- migration under faults
+
+// The §3.2 crash-consistency story: a whole-archive re-encryption hit by
+// link faults mid-flight must never strand an object. The legacy path
+// bumped the manifest generation and overwrote shards in place BEFORE
+// knowing the dispersal landed, so a below-threshold write left the
+// manifest pointing at a generation that never fully existed — the
+// object was gone for good. The staged-generation protocol commits only
+// after the new shard set is durable, so at every instant every object
+// is readable under exactly one coherent cipher stack.
+TEST(Chaos, ReencryptionFaultsMidFlightStrandNoObject) {
+  ArchivalPolicy policy = ArchivalPolicy::CloudBaseline();  // RS(6,9) + AES
+  policy.io_retries = 0;  // every transient fault is terminal this run
+  policy.migrate_batch = 1;
+  Rig rig(std::move(policy), 4242);
+
+  std::map<ObjectId, Bytes> truth;
+  for (int i = 0; i < 4; ++i) {
+    const ObjectId id = "obj" + std::to_string(i);
+    truth[id] = test_data(2500 + 400 * i, 900 + i);
+    rig.archive.put(id, truth[id]);
+  }
+
+  // Flaky enough that staged dispersals fall below threshold for this
+  // seed (the stall), while enough reads still squeak through.
+  LinkFaults flaky;
+  flaky.drop_prob = 0.3;
+  rig.cluster.faults().set_link_faults(flaky);
+
+  unsigned stalls = 0;
+  bool migrated = false;
+  for (int attempt = 0; attempt < 300 && !migrated; ++attempt) {
+    try {
+      rig.archive.reencrypt({SchemeId::kChaCha20});
+      migrated = true;
+    } catch (const UnrecoverableError&) {
+      ++stalls;
+      // THE invariant the old code violated: a faulted migration pass
+      // leaves every object — committed and uncommitted alike —
+      // perfectly readable. Check it with the faults off so the reads
+      // themselves can't flake.
+      rig.cluster.faults().set_link_faults(LinkFaults{});
+      for (const auto& [id, data] : truth)
+        ASSERT_EQ(rig.archive.get(id), data)
+            << id << " stranded after a faulted migration pass";
+      rig.cluster.faults().set_link_faults(flaky);
+    }
+  }
+  ASSERT_TRUE(migrated);
+  EXPECT_GT(stalls, 0u) << "seed produced no mid-flight fault; the "
+                           "scenario tested nothing";
+
+  rig.cluster.faults().set_link_faults(LinkFaults{});
+  for (const auto& [id, data] : truth) {
+    const ObjectManifest& m = rig.archive.manifest(id);
+    EXPECT_EQ(m.current_ciphers(),
+              std::vector<SchemeId>{SchemeId::kChaCha20});
+    EXPECT_FALSE(m.staged.has_value());
+    EXPECT_EQ(rig.archive.get(id), data);
+  }
+  // The chaos was real and the engine recorded it.
+  const MetricsSnapshot snap = rig.cluster.obs().metrics().snapshot();
+  ASSERT_NE(snap.find("archive.migrate.stalls"), nullptr);
+  EXPECT_GE(snap.find("archive.migrate.stalls")->value, 1.0);
+}
+
+// Kill the operator mid-migration (archive instance destroyed), restore
+// from the checkpoint pair (cursor + catalog) on a fresh instance over
+// the same — still faulty — cluster, and finish the job.
+TEST(Chaos, MigrationResumesFromCheckpointAfterCrash) {
+  ArchivalPolicy policy = ArchivalPolicy::CloudBaseline();
+  policy.migrate_batch = 1;
+  Rig rig(std::move(policy), 77);
+
+  std::map<ObjectId, Bytes> truth;
+  for (int i = 0; i < 5; ++i) {
+    const ObjectId id = "obj" + std::to_string(i);
+    truth[id] = test_data(1800 + 250 * i, 700 + i);
+    rig.archive.put(id, truth[id]);
+  }
+
+  LinkFaults flaky;
+  flaky.drop_prob = 0.1;
+  flaky.corrupt_prob = 0.05;
+  rig.cluster.faults().set_link_faults(flaky);
+
+  MigrationSpec spec;
+  spec.kind = MigrationKind::kReencrypt;
+  spec.fresh = {SchemeId::kChaCha20};
+  MigrationEngine eng(rig.archive, spec);
+  eng.step();
+  eng.step();  // two objects committed, second still unpromoted
+
+  const Bytes cursor_blob = eng.checkpoint();
+  const Bytes catalog = rig.archive.export_catalog();
+
+  // "Crash": the original archive and engine are never touched again.
+  ArchivalPolicy policy2 = ArchivalPolicy::CloudBaseline();
+  policy2.migrate_batch = 1;
+  Archive restored(rig.cluster, std::move(policy2), rig.registry, rig.tsa,
+                   rig.rng);
+  restored.import_catalog(catalog);
+  MigrationEngine resumed(restored,
+                          MigrationState::deserialize(cursor_blob));
+  for (int attempt = 0; attempt < 300 && !resumed.done(); ++attempt) {
+    try {
+      resumed.step();
+    } catch (const UnrecoverableError&) {
+      // stalled on a flaky dispersal; the cursor holds, try again
+    }
+  }
+  ASSERT_TRUE(resumed.done());
+
+  rig.cluster.faults().set_link_faults(LinkFaults{});
+  for (const auto& [id, data] : truth) {
+    const ObjectManifest& m = restored.manifest(id);
+    EXPECT_EQ(m.generation, 1u) << id;
+    EXPECT_EQ(m.current_ciphers(),
+              std::vector<SchemeId>{SchemeId::kChaCha20});
+    EXPECT_EQ(restored.get(id), data);
+    EXPECT_TRUE(restored.verify(id).ok()) << id;
+  }
 }
 
 // ------------------------------------------------------------ observability

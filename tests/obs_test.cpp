@@ -380,6 +380,21 @@ TEST(ArchiveObs, OpReportsStampedAndCounted) {
   EXPECT_EQ(snap.find("archive.put.ms")->value, 1.0);  // one observation
 }
 
+TEST(ArchiveObs, WatchTimestampsRunsInstrumented) {
+  // watch_timestamps was the one public operation outside run_op: no
+  // span, no count, invisible to dashboards. Now it reports like every
+  // other op.
+  Rig rig(ArchivalPolicy::FigErasure());
+  rig.archive.put("doc", test_data(500, 33));
+  NotaryService notary(rig.tsa, rig.registry, rig.rng);
+  rig.archive.watch_timestamps(notary);
+
+  const MetricsSnapshot snap = rig.cluster.obs().metrics().snapshot();
+  ASSERT_NE(snap.find("archive.watch_timestamps.count"), nullptr);
+  EXPECT_EQ(snap.find("archive.watch_timestamps.count")->value, 1.0);
+  ASSERT_NE(snap.find("archive.watch_timestamps.ms"), nullptr);
+}
+
 TEST(ArchiveObs, RetryMetricsExactlyMirrorIoStats) {
   Rig rig(ArchivalPolicy::FigErasure(), 7);
   LinkFaults flaky;

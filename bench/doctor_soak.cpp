@@ -1,0 +1,128 @@
+// Doctor soak — continuous background scrub under recurring bit-rot.
+//
+// One archive, one Doctor, many rounds: each round flips a burst of
+// at-rest bits, then lets the doctor's epoch-sliced scrub find and heal
+// the damage. Measured per round: detection latency (slices from
+// injection until a slice reports damage) and heal latency (slices until
+// the degraded set drains). Aggregate throughput is objects verified per
+// virtual second, with the bandwidth throttle charged to the same clock.
+//
+// The aggregate row is emitted as a JSON line (prefix "JSON ") for
+// BENCH_doctor.json, and the final Prometheus exposition snapshot is
+// printed between PROM-SNAPSHOT-BEGIN/END markers so CI can upload both
+// artifacts from one run.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "archive/doctor.h"
+#include "crypto/chacha20.h"
+#include "obs/export.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace aegis;
+
+  ArchivalPolicy policy = ArchivalPolicy::FigErasure();  // RS(6,9)
+  policy.scrub_batch = 8;
+  policy.scrub_bandwidth_frac = 0.5;
+  constexpr int kObjects = 24;
+  constexpr std::size_t kObjectBytes = 4 * 1024;
+  constexpr int kRounds = 6;
+  constexpr int kMaxSlicesPerRound = 64;
+  constexpr double kRotFlipsPerMib = 24.0;
+
+  Cluster cluster(policy.n, policy.channel, 20260807);
+  SchemeRegistry registry;
+  ChaChaRng rng(20260807);
+  TimestampAuthority tsa(rng);
+  Archive archive(cluster, policy, registry, tsa, rng);
+  SimRng sim(41);
+
+  for (int i = 0; i < kObjects; ++i)
+    archive.put("obj" + std::to_string(i), sim.bytes(kObjectBytes));
+
+  Doctor doctor(archive);
+
+  std::printf(
+      "Doctor soak: %d objects x %zu KiB, %s, batch=%u frac=%.2f, "
+      "%d rot bursts (%.1f flips/MiB)\n\n"
+      "%6s %14s %12s %9s %7s\n",
+      kObjects, kObjectBytes / 1024, policy.name.c_str(),
+      policy.scrub_batch, policy.scrub_bandwidth_frac, kRounds,
+      kRotFlipsPerMib, "round", "detect-slices", "heal-slices", "repaired",
+      "unrec");
+
+  unsigned total_detect = 0, max_detect = 0;
+  unsigned alerts_raised = 0, alerts_cleared = 0;
+  unsigned long long total_slices = 0;
+  for (int round = 1; round <= kRounds; ++round) {
+    // One epoch of rot, then quiet: the doctor has to notice on its own.
+    cluster.faults().set_bitrot(kRotFlipsPerMib);
+    cluster.advance_epoch();
+    cluster.faults().set_bitrot(0.0);
+
+    int detect = -1, heal = -1;
+    unsigned repaired = 0, unrecoverable = 0;
+    for (int slice = 1; slice <= kMaxSlicesPerRound; ++slice) {
+      cluster.advance_epoch();
+      ++total_slices;
+      const DoctorStepReport rep = doctor.step();
+      repaired += rep.shards_repaired;
+      unrecoverable += rep.unrecoverable;
+      alerts_raised += rep.alerts_raised;
+      alerts_cleared += rep.alerts_cleared;
+      if (detect < 0 && rep.damaged > 0) detect = slice;
+      // Healed (or nothing was damaged): stop once a full pass after
+      // detection has completed with the degraded set empty.
+      if (detect >= 0 && rep.pass_completed && doctor.degraded_count() == 0) {
+        heal = slice;
+        break;
+      }
+      if (detect < 0 && rep.pass_completed && slice >= 2 * kObjects) break;
+    }
+
+    if (detect < 0) {
+      std::printf("%6d %14s %12s %9u %7u\n", round, "-", "-", repaired,
+                  unrecoverable);
+      continue;
+    }
+    total_detect += static_cast<unsigned>(detect);
+    if (static_cast<unsigned>(detect) > max_detect)
+      max_detect = static_cast<unsigned>(detect);
+    std::printf("%6d %14d %12d %9u %7u\n", round, detect, heal, repaired,
+                unrecoverable);
+  }
+
+  const DoctorState& st = doctor.state();
+  const double virtual_s = cluster.simulated_ms() / 1000.0;
+  const double per_s = virtual_s > 0 ? st.objects_scanned / virtual_s : 0;
+  std::printf(
+      "\nscanned %llu objects over %llu slices (%llu passes) in %.2f "
+      "virtual s -> %.1f objects/s; %llu shards repaired, %llu "
+      "unrecoverable, alerts %u raised / %u cleared\n",
+      static_cast<unsigned long long>(st.objects_scanned), total_slices,
+      static_cast<unsigned long long>(st.passes), virtual_s, per_s,
+      static_cast<unsigned long long>(st.shards_repaired),
+      static_cast<unsigned long long>(st.unrecoverable), alerts_raised,
+      alerts_cleared);
+
+  std::printf(
+      "JSON {\"bench\":\"doctor_soak\",\"objects\":%d,\"rounds\":%d,"
+      "\"objects_scanned\":%llu,\"passes\":%llu,\"virtual_s\":%.3f,"
+      "\"objects_per_s\":%.2f,\"detect_slices_avg\":%.2f,"
+      "\"detect_slices_max\":%u,\"shards_repaired\":%llu,"
+      "\"unrecoverable\":%llu,\"alerts_raised\":%u,\"alerts_cleared\":%u}\n",
+      kObjects, kRounds,
+      static_cast<unsigned long long>(st.objects_scanned),
+      static_cast<unsigned long long>(st.passes), virtual_s, per_s,
+      kRounds > 0 ? static_cast<double>(total_detect) / kRounds : 0.0,
+      max_detect, static_cast<unsigned long long>(st.shards_repaired),
+      static_cast<unsigned long long>(st.unrecoverable), alerts_raised,
+      alerts_cleared);
+
+  std::printf("PROM-SNAPSHOT-BEGIN\n%sPROM-SNAPSHOT-END\n",
+              to_prometheus(cluster.obs().metrics().snapshot()).c_str());
+  return 0;
+}

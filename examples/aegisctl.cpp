@@ -12,13 +12,16 @@
 // scenario in the paper by hand.
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "archive/analyzer.h"
 #include "archive/archive.h"
+#include "archive/doctor.h"
 #include "crypto/chacha20.h"
 #include "node/adversary.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -61,6 +64,11 @@ void print_help() {
       "  epoch                  advance the clock one epoch\n"
       "  exposure               what does the adversary hold?\n"
       "  report                 storage + traffic accounting\n"
+      "  metrics                Prometheus text exposition of all metrics\n"
+      "  trace                  Chrome trace-event JSON (about://tracing)\n"
+      "  audit verify           verify the hash-chained audit ledger\n"
+      "  doctor step            one background scrub slice (verify+repair)\n"
+      "  doctor status          doctor cursor, passes, degraded set, alerts\n"
       "  help | quit\n");
 }
 
@@ -83,6 +91,9 @@ int main(int argc, char** argv) {
   Archive archive(cluster, policy, registry, tsa, rng);
   MobileAdversary adversary(1, CorruptionStrategy::kSweep, 31337);
   SimRng chaos(4242);
+  // Created lazily on the first `doctor` command (it binds metrics and
+  // arms its alert baselines at construction).
+  std::optional<Doctor> doctor;
 
   std::printf("aegisctl — policy %s over %u nodes (%s transport). "
               "'help' for commands.\n",
@@ -125,9 +136,55 @@ int main(int argc, char** argv) {
       } else if (cmd == "audit") {
         std::string id;
         in >> id;
-        const auto r = archive.audit(id);
-        std::printf("%u challenged: %u passed, %u failed, %u silent\n",
-                    r.challenges, r.passed, r.failed, r.silent);
+        if (id == "verify") {
+          const AuditLedger& ledger = cluster.obs().ledger();
+          const ChainVerdict v = ledger.verify_chain();
+          if (v.ok)
+            std::printf("ledger OK: %zu records, head %s\n", ledger.size(),
+                        hex_encode(ledger.head()).c_str());
+          else
+            std::printf("ledger TAMPERED at record %llu: %s\n",
+                        static_cast<unsigned long long>(v.first_bad),
+                        v.reason.c_str());
+        } else {
+          const auto r = archive.audit(id);
+          std::printf("%u challenged: %u passed, %u failed, %u silent\n",
+                      r.challenges, r.passed, r.failed, r.silent);
+        }
+      } else if (cmd == "metrics") {
+        std::fputs(to_prometheus(cluster.obs().metrics().snapshot()).c_str(),
+                   stdout);
+      } else if (cmd == "trace") {
+        std::printf("%s\n",
+                    to_chrome_trace(cluster.obs().tracer().snapshot()).c_str());
+      } else if (cmd == "doctor") {
+        std::string sub;
+        in >> sub;
+        if (!doctor) doctor.emplace(archive);
+        if (sub == "step") {
+          const DoctorStepReport r = doctor->step();
+          std::printf(
+              "scanned %u (damaged %u), %u shards repaired, %u "
+              "unrecoverable; alerts +%u/-%u%s\n",
+              r.scanned, r.damaged, r.shards_repaired, r.unrecoverable,
+              r.alerts_raised, r.alerts_cleared,
+              r.pass_completed ? "; pass complete" : "");
+        } else if (sub == "status") {
+          const DoctorState& s = doctor->state();
+          std::printf(
+              "cursor '%s'; %llu passes, %llu objects scanned, %llu "
+              "shards repaired, %llu unrecoverable; %zu degraded\n",
+              s.cursor.c_str(), static_cast<unsigned long long>(s.passes),
+              static_cast<unsigned long long>(s.objects_scanned),
+              static_cast<unsigned long long>(s.shards_repaired),
+              static_cast<unsigned long long>(s.unrecoverable),
+              doctor->degraded_count());
+          for (const AlertRule& rule : AlertEngine::default_rules())
+            if (doctor->alerts().active(rule.name))
+              std::printf("  ALERT %s\n", rule.name.c_str());
+        } else {
+          std::printf("usage: doctor step | doctor status\n");
+        }
       } else if (cmd == "scrub") {
         const auto r = archive.scrub();
         std::printf("%u objects, %u shards repaired, %u unrecoverable\n",

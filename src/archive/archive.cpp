@@ -5,6 +5,7 @@
 #include <type_traits>
 
 #include "archive/aont.h"
+#include "archive/doctor.h"
 #include "archive/migration.h"
 #include "crypto/cipher.h"
 #include "crypto/sha256.h"
@@ -551,7 +552,15 @@ Archive::DisperseReport Archive::disperse(ObjectManifest& m,
 }
 
 PutReport Archive::put(const ObjectId& id, ByteView data) {
-  return run_op("put", id, [&] { return put_impl(id, data); });
+  PutReport report = run_op("put", id, [&] { return put_impl(id, data); });
+  // Mutations leave an explicit audit-ledger record (failures already do,
+  // via the OperationFailed event the bus routes into the ledger).
+  cluster_.obs().ledger().append(
+      cluster_.now(), "archive.put", id,
+      report.fully_replicated()
+          ? "ok"
+          : "under:" + std::to_string(report.under_replication()));
+  return report;
 }
 
 PutReport Archive::put_impl(const ObjectId& id, ByteView data) {
@@ -688,6 +697,7 @@ void Archive::remove(const ObjectId& id) {
   }
   vault_.erase(id);
   manifests_.erase(id);
+  cluster_.obs().ledger().append(cluster_.now(), "archive.remove", id, "ok");
 }
 
 VerifyReport Archive::verify(const ObjectId& id) {
@@ -806,6 +816,8 @@ std::string Archive::staging_object_id(const ObjectId& id) {
 
 void Archive::rewrap(SchemeId new_outer_cipher) {
   run_op("rewrap", ObjectId{}, [&] { rewrap_impl(new_outer_cipher); });
+  cluster_.obs().ledger().append(cluster_.now(), "archive.rewrap", ObjectId{},
+                                 "outer:" + scheme_name(new_outer_cipher));
 }
 
 void Archive::rewrap_impl(SchemeId new_outer_cipher) {
@@ -826,6 +838,13 @@ void Archive::rewrap_impl(SchemeId new_outer_cipher) {
 
 void Archive::reencrypt(const std::vector<SchemeId>& fresh) {
   run_op("reencrypt", ObjectId{}, [&] { reencrypt_impl(fresh); });
+  std::string stack;
+  for (SchemeId c : fresh) {
+    if (!stack.empty()) stack += "+";
+    stack += scheme_name(c);
+  }
+  cluster_.obs().ledger().append(cluster_.now(), "archive.reencrypt",
+                                 ObjectId{}, "stack:" + stack);
 }
 
 void Archive::reencrypt_impl(const std::vector<SchemeId>& fresh) {
@@ -847,6 +866,9 @@ void Archive::renew_timestamps() {
       cluster_.obs().emit(ChainRenewed{id, m.chain.length()});
     }
   });
+  cluster_.obs().ledger().append(
+      cluster_.now(), "archive.renew_timestamps", ObjectId{},
+      "objects:" + std::to_string(manifests_.size()));
 }
 
 void Archive::watch_timestamps(NotaryService& notary) {
@@ -968,19 +990,19 @@ AuditReport Archive::audit_impl(const ObjectId& id) {
 
 Archive::ScrubReport Archive::scrub() {
   return run_op("scrub", ObjectId{}, [&] {
+    // One whole-catalog pass through the doctor's per-object core, so
+    // the synchronous path and the background Doctor share metrics
+    // (archive.scrub.*), per-object ledger records, and ScrubCompleted
+    // field semantics — the two entry points cannot drift.
     ScrubReport report;
     std::vector<ObjectId> ids;
     ids.reserve(manifests_.size());
     for (const auto& entry : manifests_) ids.push_back(entry.first);
     for (const ObjectId& id : ids) {
       ++report.objects;
-      const AuditReport a = audit(id);
-      if (a.clean()) continue;
-      try {
-        report.shards_repaired += repair(id);
-      } catch (const UnrecoverableError&) {
-        ++report.unrecoverable;
-      }
+      const Doctor::ObjectOutcome out = Doctor::scrub_object(*this, id);
+      report.shards_repaired += out.shards_repaired;
+      if (out.unrecoverable) ++report.unrecoverable;
     }
     cluster_.obs().emit(ScrubCompleted{report.objects, report.shards_repaired,
                                        report.unrecoverable});

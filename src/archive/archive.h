@@ -328,6 +328,11 @@ class Archive {
   // and checkpoint across archive instances).
   friend class MigrationEngine;
 
+  // The doctor shares the archive's per-object verify/repair core and
+  // runs its slices as `archive.doctor` ops through the same
+  // instrumentation (op_begin/op_end) as every foreground operation.
+  friend class Doctor;
+
   Cluster& cluster_;
   ArchivalPolicy policy_;
   const SchemeRegistry& registry_;

@@ -1,0 +1,305 @@
+#include "archive/doctor.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += "+";
+    out += n;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- AlertEngine ---------------------------------------------------------
+
+void AlertEngine::add_rule(AlertRule rule) {
+  rules_.push_back({std::move(rule), false, 0, false});
+}
+
+std::vector<AlertRule> AlertEngine::default_rules() {
+  return {
+      // Objects the doctor found damaged and has not yet healed: the
+      // archive is running on reduced redundancy somewhere.
+      {"under-replication",
+       {"archive.doctor.degraded_objects"},
+       AlertRule::Mode::kLevel,
+       1.0},
+      // The circuit breaker opened on a node since the last slice.
+      {"breaker-open",
+       {"cluster.breaker.quarantines"},
+       AlertRule::Mode::kDelta,
+       1.0},
+      // Shard I/O abandoned after the full retry budget — the fault
+      // rate is outrunning the bounded-retry regime.
+      {"retry-exhaustion",
+       {"archive.io.upload_failures", "archive.io.download_failures"},
+       AlertRule::Mode::kDelta,
+       1.0},
+      // Scrubbing surfaced corrupt/missing shards since the last slice
+      // (the bit-rot detector).
+      {"scrub-corruption",
+       {"archive.scrub.corrupt"},
+       AlertRule::Mode::kDelta,
+       1.0},
+  };
+}
+
+std::pair<unsigned, unsigned> AlertEngine::evaluate(const MetricsSnapshot& snap,
+                                                    Observability& obs) {
+  unsigned raised = 0, cleared = 0;
+  for (RuleState& rs : rules_) {
+    double sum = 0;
+    for (const std::string& name : rs.rule.metrics)
+      if (const MetricsSnapshot::Entry* e = snap.find(name)) sum += e->value;
+
+    double value = sum;
+    if (rs.rule.mode == AlertRule::Mode::kDelta) {
+      if (!rs.primed) {
+        // First sight of this rule: arm the baseline, judge nothing.
+        rs.primed = true;
+        rs.last_sum = sum;
+        continue;
+      }
+      value = sum - rs.last_sum;
+      rs.last_sum = sum;
+    }
+
+    const bool above = value >= rs.rule.threshold;
+    if (above && !rs.firing) {
+      rs.firing = true;
+      ++raised;
+      obs.emit(AlertRaised{rs.rule.name, joined(rs.rule.metrics), value,
+                           rs.rule.threshold});
+    } else if (!above && rs.firing) {
+      rs.firing = false;
+      ++cleared;
+      obs.emit(AlertCleared{rs.rule.name, joined(rs.rule.metrics), value,
+                            rs.rule.threshold});
+    }
+  }
+  return {raised, cleared};
+}
+
+bool AlertEngine::active(const std::string& rule) const {
+  for (const RuleState& rs : rules_)
+    if (rs.rule.name == rule) return rs.firing;
+  return false;
+}
+
+// ---- DoctorState ---------------------------------------------------------
+
+Bytes DoctorState::serialize() const {
+  ByteWriter w;
+  w.str(cursor);
+  w.u64(passes);
+  w.u64(objects_scanned);
+  w.u64(shards_repaired);
+  w.u64(unrecoverable);
+  w.u32(pass_objects);
+  w.u32(pass_repaired);
+  w.u32(pass_unrecoverable);
+  return std::move(w).take();
+}
+
+DoctorState DoctorState::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  DoctorState s;
+  s.cursor = r.str();
+  s.passes = r.u64();
+  s.objects_scanned = r.u64();
+  s.shards_repaired = r.u64();
+  s.unrecoverable = r.u64();
+  s.pass_objects = r.u32();
+  s.pass_repaired = r.u32();
+  s.pass_unrecoverable = r.u32();
+  r.expect_done();
+  return s;
+}
+
+std::string DoctorStepReport::to_json() const {
+  return "{" + json_head() + ",\"scanned\":" + num(scanned) +
+         ",\"damaged\":" + num(damaged) +
+         ",\"shards_repaired\":" + num(shards_repaired) +
+         ",\"unrecoverable\":" + num(unrecoverable) +
+         ",\"alerts_raised\":" + num(alerts_raised) +
+         ",\"alerts_cleared\":" + num(alerts_cleared) +
+         ",\"pass_completed\":" + (pass_completed ? "true" : "false") + "}";
+}
+
+// ---- Doctor --------------------------------------------------------------
+
+Doctor::Doctor(Archive& archive) : archive_(archive) {
+  for (AlertRule& r : AlertEngine::default_rules()) {
+    // Moved element-wise; default_rules returns by value.
+    alerts_.add_rule(std::move(r));
+  }
+  bind_metrics();
+}
+
+Doctor::Doctor(Archive& archive, DoctorState state)
+    : archive_(archive), state_(std::move(state)) {
+  for (AlertRule& r : AlertEngine::default_rules())
+    alerts_.add_rule(std::move(r));
+  bind_metrics();
+}
+
+void Doctor::bind_metrics() {
+  MetricsRegistry& m = archive_.cluster_.obs().metrics();
+  m_steps_ = &m.counter("archive.doctor.steps");
+  m_passes_ = &m.counter("archive.doctor.passes");
+  m_throttle_ms_ = &m.counter("archive.doctor.throttle_ms");
+  m_degraded_ = &m.gauge("archive.doctor.degraded_objects");
+  m_object_ms_ = &m.histogram("archive.doctor.object_ms");
+  // Arm delta rules against the current counter values so a doctor
+  // attached to a long-running archive does not alert on history.
+  alerts_.evaluate(m.snapshot(), archive_.cluster_.obs());
+}
+
+Doctor::ObjectOutcome Doctor::scrub_object(Archive& archive,
+                                           const ObjectId& id) {
+  MetricsRegistry& metrics = archive.cluster_.obs().metrics();
+  Counter& m_objects = metrics.counter("archive.scrub.objects");
+  Counter& m_corrupt = metrics.counter("archive.scrub.corrupt");
+  Counter& m_repaired = metrics.counter("archive.scrub.repaired");
+  Counter& m_unrecoverable = metrics.counter("archive.scrub.unrecoverable");
+
+  ObjectOutcome out;
+  m_objects.inc();
+  const AuditReport audit = archive.audit(id);
+  std::string outcome = "clean";
+  if (!audit.clean()) {
+    out.damaged = true;
+    m_corrupt.inc();
+    try {
+      out.shards_repaired = archive.repair(id);
+      m_repaired.inc(out.shards_repaired);
+      // A repair against a partially-offline cluster can leave shards
+      // unwritten; only a clean re-audit counts as healed.
+      out.healed = archive.audit(id).clean();
+      outcome = (out.healed ? "repaired:" : "degraded:") +
+                num(out.shards_repaired);
+    } catch (const UnrecoverableError&) {
+      out.unrecoverable = true;
+      m_unrecoverable.inc();
+      outcome = "unrecoverable";
+    }
+  }
+  archive.cluster_.obs().ledger().append(archive.cluster_.now(),
+                                         "archive.scrub.object", id, outcome);
+  return out;
+}
+
+void Doctor::throttle(double spent_ms) {
+  const double frac = archive_.policy_.scrub_bandwidth_frac;
+  if (frac >= 1.0 || spent_ms <= 0.0) return;
+  const double extra = spent_ms * (1.0 / frac - 1.0);
+  archive_.cluster_.charge_ms(extra);
+  m_throttle_ms_->inc(static_cast<std::uint64_t>(extra + 0.5));
+}
+
+DoctorStepReport Doctor::step() {
+  Archive::OpScope scope = archive_.op_begin("doctor", ObjectId{});
+  try {
+    DoctorStepReport rep;
+    m_steps_->inc();
+
+    // Snapshot the slice's ids up front: repair of a sharing encoding
+    // re-disperses (mutating the manifest in place) but never inserts
+    // or erases manifests, so the cursor ordering stays stable.
+    std::vector<ObjectId> slice;
+    {
+      auto it = state_.cursor.empty()
+                    ? archive_.manifests_.begin()
+                    : archive_.manifests_.upper_bound(state_.cursor);
+      for (unsigned budget = archive_.policy_.scrub_batch;
+           it != archive_.manifests_.end() && budget > 0; ++it, --budget)
+        slice.push_back(it->first);
+    }
+
+    for (const ObjectId& id : slice) {
+      const double t0 = archive_.cluster_.simulated_ms();
+      const ObjectOutcome out = scrub_object(archive_, id);
+      throttle(archive_.cluster_.simulated_ms() - t0);
+      m_object_ms_->observe(archive_.cluster_.simulated_ms() - t0);
+
+      state_.cursor = id;
+      ++state_.objects_scanned;
+      ++state_.pass_objects;
+      ++rep.scanned;
+      if (out.damaged) ++rep.damaged;
+      rep.shards_repaired += out.shards_repaired;
+      state_.shards_repaired += out.shards_repaired;
+      state_.pass_repaired += out.shards_repaired;
+      if (out.unrecoverable) {
+        ++rep.unrecoverable;
+        ++state_.unrecoverable;
+        ++state_.pass_unrecoverable;
+      }
+
+      // Degraded set: damage that did not fully heal stays on the
+      // watchlist and is retried every pass until clean (or removed).
+      if (out.damaged && !out.healed)
+        degraded_.insert(id);
+      else
+        degraded_.erase(id);
+    }
+    // Objects removed from the archive leave the watchlist too.
+    for (auto it = degraded_.begin(); it != degraded_.end();) {
+      if (archive_.manifests_.count(*it) == 0)
+        it = degraded_.erase(it);
+      else
+        ++it;
+    }
+    m_degraded_->set(static_cast<std::int64_t>(degraded_.size()));
+
+    // Pass wrap: the cursor swept every manifest. The ScrubCompleted
+    // payload carries exactly the fields the synchronous scrub emits.
+    const bool wrapped =
+        !archive_.manifests_.empty() &&
+        (state_.cursor == archive_.manifests_.rbegin()->first ||
+         slice.empty());
+    if (wrapped) {
+      archive_.cluster_.obs().emit(ScrubCompleted{
+          state_.pass_objects, state_.pass_repaired,
+          state_.pass_unrecoverable});
+      ++state_.passes;
+      m_passes_->inc();
+      state_.pass_objects = 0;
+      state_.pass_repaired = 0;
+      state_.pass_unrecoverable = 0;
+      state_.cursor.clear();
+      rep.pass_completed = true;
+    }
+
+    const auto [raised, cleared] = alerts_.evaluate(
+        archive_.cluster_.obs().metrics().snapshot(), archive_.cluster_.obs());
+    rep.alerts_raised = raised;
+    rep.alerts_cleared = cleared;
+
+    archive_.op_end(scope, &rep);
+    return rep;
+  } catch (const Error& e) {
+    archive_.op_failed(scope, ObjectId{}, e);
+    throw;
+  }
+}
+
+}  // namespace aegis

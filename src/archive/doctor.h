@@ -1,0 +1,192 @@
+// The doctor: continuous background scrubbing plus a threshold-rule
+// alert engine — the archive's always-on health loop.
+//
+// Pergamum's argument is that archival media decays silently: nobody
+// reads a cold object for years, so latent damage (bit-rot, torn
+// writes, a node that quietly lost a disk) accumulates until the day a
+// read finally needs more redundancy than survives. The only defense is
+// continuous verification — touch every object on a cycle, repair what
+// the audit surfaces, and *alert* when the rates say decay is outrunning
+// repair.
+//
+// The Doctor is built on the MigrationEngine pattern: an epoch-sliced
+// incremental job with a durable cursor (DoctorState serde), batch and
+// bandwidth-fraction policy knobs (scrub_batch / scrub_bandwidth_frac,
+// charged to the virtual clock), resumable on a fresh Archive instance.
+// One step() verifies up to scrub_batch objects:
+//
+//        audit (proof-of-possession, no payload transfer)
+//          │ clean ───────────────────────────► next object
+//          ▼ damaged
+//        repair (rebuild damaged shards from survivors)
+//          ▼
+//        re-audit ── clean ──► healed (leaves the degraded set)
+//          │ still damaged / UnrecoverableError
+//          ▼
+//        degraded set (gauge archive.doctor.degraded_objects;
+//        retried every pass until healed or the object is gone)
+//
+// The same per-object core backs the synchronous Archive::scrub(), so
+// both entry points share metrics (archive.scrub.*), write identical
+// per-object audit-ledger records, and emit ScrubCompleted events with
+// identical fields.
+//
+// After each slice the AlertEngine evaluates its threshold rules
+// against a metrics snapshot and emits AlertRaised / AlertCleared
+// events (which the audit ledger records). Rules watch either a level
+// (a gauge's current value) or a delta (a counter's growth since the
+// previous evaluation — a rate per slice).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "archive/reports.h"
+
+namespace aegis {
+
+class Counter;
+class Gauge;
+class Histogram;
+class Observability;
+
+/// One threshold rule over the metrics snapshot.
+struct AlertRule {
+  /// How `value` is derived from the watched metrics each evaluation.
+  enum class Mode : std::uint8_t {
+    kLevel = 0,  // current summed value (gauges, set sizes)
+    kDelta = 1,  // growth since the previous evaluation (counter rates)
+  };
+  std::string name;                  // e.g. "scrub-corruption"
+  std::vector<std::string> metrics;  // summed before comparison
+  Mode mode = Mode::kLevel;
+  double threshold = 1.0;  // fires while value >= threshold
+};
+
+/// Evaluates rules against snapshots, tracking raise/clear edges.
+/// Deterministic: evaluation order is rule order, values come from the
+/// virtual-time-driven metrics only.
+class AlertEngine {
+ public:
+  void add_rule(AlertRule rule);
+
+  /// The doctor's stock rule set: under-replication (degraded objects
+  /// outstanding), breaker-open rate, retry-exhaustion rate, and
+  /// scrub-found-corruption rate.
+  static std::vector<AlertRule> default_rules();
+
+  /// Evaluates every rule against `snap`; emits AlertRaised on a
+  /// below→above threshold edge and AlertCleared on the way back down.
+  /// Returns (raised, cleared) counts for this evaluation.
+  std::pair<unsigned, unsigned> evaluate(const MetricsSnapshot& snap,
+                                         Observability& obs);
+
+  /// True while the named rule is above threshold.
+  bool active(const std::string& rule) const;
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    bool firing = false;
+    double last_sum = 0;  // previous raw sum, for kDelta
+    bool primed = false;  // first evaluation of a kDelta rule only arms it
+  };
+  std::vector<RuleState> rules_;
+};
+
+/// The doctor's durable cursor — serialize next to the catalog export
+/// and a fresh Archive + Doctor pair resumes the scrub cycle where the
+/// dead one stopped. Plain data on purpose, like MigrationState.
+struct DoctorState {
+  ObjectId cursor;  // last object id examined this pass; "" = pass start
+  std::uint64_t passes = 0;           // completed full sweeps
+  std::uint64_t objects_scanned = 0;  // cumulative, all passes
+  std::uint64_t shards_repaired = 0;  // cumulative
+  std::uint64_t unrecoverable = 0;    // cumulative damaged-beyond-repair
+  // Current-pass accumulators (become the ScrubCompleted payload when
+  // the cursor wraps).
+  unsigned pass_objects = 0;
+  unsigned pass_repaired = 0;
+  unsigned pass_unrecoverable = 0;
+
+  Bytes serialize() const;
+  static DoctorState deserialize(ByteView wire);
+};
+
+/// Outcome of one Doctor::step() slice.
+struct DoctorStepReport : OpReport {
+  unsigned scanned = 0;        // objects examined this slice
+  unsigned damaged = 0;        // objects whose audit surfaced damage
+  unsigned shards_repaired = 0;
+  unsigned unrecoverable = 0;  // objects repair could not recover
+  unsigned alerts_raised = 0;
+  unsigned alerts_cleared = 0;
+  bool pass_completed = false;  // the cursor wrapped this slice
+  std::string to_json() const;
+};
+
+/// Continuous scrub driver over one Archive. Typical background loop:
+///
+///   Doctor doc(archive);
+///   while (running) {
+///     doc.step();                          // scrub_batch objects
+///     save(doc.checkpoint());              // durable cursor
+///     cluster.advance_epoch();             // foreground interleaves
+///   }
+///
+/// step() never throws for per-object damage (an unrecoverable object
+/// is counted, alerted on, and retried next pass); only programming
+/// errors (bad state) escape.
+class Doctor {
+ public:
+  /// Fresh doctor with the stock alert rules.
+  explicit Doctor(Archive& archive);
+
+  /// Resumes from a checkpointed cursor on a (possibly fresh) Archive.
+  Doctor(Archive& archive, DoctorState state);
+
+  /// One slice: verify/repair up to policy.scrub_batch objects from the
+  /// cursor, then evaluate alert rules. Runs as an `archive.doctor` op.
+  DoctorStepReport step();
+
+  /// The shared per-object verify → repair → re-audit core. Used by
+  /// both Doctor::step and the synchronous Archive::scrub so the two
+  /// paths cannot drift. Updates archive.scrub.* metrics and appends
+  /// the per-object ledger record. Never throws for damage.
+  struct ObjectOutcome {
+    bool damaged = false;        // the audit surfaced a problem
+    bool healed = false;         // repair ran and the re-audit is clean
+    bool unrecoverable = false;  // repair threw UnrecoverableError
+    unsigned shards_repaired = 0;
+  };
+  static ObjectOutcome scrub_object(Archive& archive, const ObjectId& id);
+
+  const DoctorState& state() const { return state_; }
+  Bytes checkpoint() const { return state_.serialize(); }
+  AlertEngine& alerts() { return alerts_; }
+  const AlertEngine& alerts() const { return alerts_; }
+
+  /// Objects currently known-damaged (found damaged and not yet healed).
+  std::size_t degraded_count() const { return degraded_.size(); }
+
+ private:
+  void bind_metrics();
+  void throttle(double spent_ms);
+
+  Archive& archive_;
+  DoctorState state_;
+  AlertEngine alerts_;
+  std::set<ObjectId> degraded_;
+
+  Counter* m_steps_ = nullptr;        // archive.doctor.steps
+  Counter* m_passes_ = nullptr;       // archive.doctor.passes
+  Counter* m_throttle_ms_ = nullptr;  // archive.doctor.throttle_ms
+  Gauge* m_degraded_ = nullptr;       // archive.doctor.degraded_objects
+  Histogram* m_object_ms_ = nullptr;  // archive.doctor.object_ms
+};
+
+}  // namespace aegis

@@ -98,6 +98,12 @@ void ArchivalPolicy::validate() const {
   if (!(migrate_bandwidth_frac > 0.0) || migrate_bandwidth_frac > 1.0)
     throw InvalidArgument("policy: migrate_bandwidth_frac must be in (0, 1]",
                           ErrorCode::kBadPolicy);
+  if (scrub_batch == 0)
+    throw InvalidArgument("policy: scrub_batch must be >= 1",
+                          ErrorCode::kBadPolicy);
+  if (!(scrub_bandwidth_frac > 0.0) || scrub_bandwidth_frac > 1.0)
+    throw InvalidArgument("policy: scrub_bandwidth_frac must be in (0, 1]",
+                          ErrorCode::kBadPolicy);
   const bool needs_cipher = encoding == EncodingKind::kEncryptErasure ||
                             encoding == EncodingKind::kCascade ||
                             encoding == EncodingKind::kAontRs;

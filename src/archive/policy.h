@@ -86,6 +86,16 @@ struct ArchivalPolicy {
   unsigned migrate_batch = 16;
   double migrate_bandwidth_frac = 1.0;
 
+  // Doctor (src/archive/doctor.h) pacing, mirroring the migration
+  // knobs: scrub_batch objects are verified (and repaired if damaged)
+  // per Doctor::step() slice, and scrub_bandwidth_frac is the fraction
+  // of cluster bandwidth continuous scrubbing may consume — repair I/O
+  // beyond that fraction is charged to the virtual clock as stretch
+  // (Pergamum's idle-bandwidth scrubbing made explicit). 1.0 =
+  // unthrottled.
+  unsigned scrub_batch = 16;
+  double scrub_bandwidth_frac = 1.0;
+
   // Worker threads for the encode/decode compute pipeline (RS parity
   // rows, share-column arithmetic). 0 or 1 = single-threaded on the
   // calling thread — the fully deterministic default. Results are

@@ -214,7 +214,8 @@ TransferStatus Cluster::upload(NodeId id, StoredBlob blob,
     m_corrupted_->inc();
     record_link_failure(health);
     // The node stores whatever frame still parses — a torn write the
-    // client knows about (status) and scrub/repair can heal later.
+    // client knows about (status) and a scrub (synchronous or a
+    // background Doctor slice) can heal later.
     try {
       target.put(StoredBlob::deserialize(delivered));
     } catch (const Error&) {

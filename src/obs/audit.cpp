@@ -1,0 +1,204 @@
+#include "obs/audit.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "crypto/sha256.h"
+#include "obs/export.h"  // json_escape
+#include "util/error.h"
+#include "util/serde.h"
+
+namespace aegis {
+
+namespace {
+
+constexpr std::size_t kHashSize = Sha256::kDigestSize;
+
+std::string num_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Bytes AuditRecord::compute_hash() const {
+  // Canonical serialization of exactly the bound fields (entry_hash
+  // excluded — it IS the hash). Length prefixes from ByteWriter keep the
+  // encoding injective: no two distinct field tuples share bytes.
+  ByteWriter w;
+  w.u64(seq);
+  w.bytes(prev_hash);
+  w.u32(epoch);
+  w.str(op);
+  w.str(object);
+  w.str(outcome);
+  return Sha256::hash(w.data());
+}
+
+std::string AuditRecord::to_json() const {
+  return "{\"seq\":" + num_u64(seq) + ",\"epoch\":" + num_u64(epoch) +
+         ",\"op\":\"" + json_escape(op) + "\",\"object\":\"" +
+         json_escape(object) + "\",\"outcome\":\"" + json_escape(outcome) +
+         "\",\"hash\":\"" + hex_encode(entry_hash) + "\"}";
+}
+
+const AuditRecord& AuditLedger::append(Epoch epoch, std::string op,
+                                       std::string object,
+                                       std::string outcome) {
+  AuditRecord rec;
+  rec.seq = records_.size();
+  rec.prev_hash = head_;
+  rec.epoch = epoch;
+  rec.op = std::move(op);
+  rec.object = std::move(object);
+  rec.outcome = std::move(outcome);
+  rec.entry_hash = rec.compute_hash();
+  head_ = rec.entry_hash;
+  records_.push_back(std::move(rec));
+  return records_.back();
+}
+
+void AuditLedger::attach(EventBus& bus) {
+  bus.subscribe([this](const Event& e) {
+    switch (e.kind()) {
+      case EventKind::kNodeQuarantined: {
+        const auto& p = std::get<NodeQuarantined>(e.payload);
+        append(e.epoch, "cluster.quarantine", "node:" + num_u64(p.node),
+               "until:" + num_u64(p.until));
+        break;
+      }
+      case EventKind::kNodeRestored: {
+        const auto& p = std::get<NodeRestored>(e.payload);
+        append(e.epoch, "cluster.restore", "node:" + num_u64(p.node), "ok");
+        break;
+      }
+      case EventKind::kChainRenewed: {
+        const auto& p = std::get<ChainRenewed>(e.payload);
+        append(e.epoch, "archive.renew", p.object,
+               "links:" + num_u64(p.links));
+        break;
+      }
+      case EventKind::kRepairCompleted: {
+        const auto& p = std::get<RepairCompleted>(e.payload);
+        append(e.epoch, "archive.repair", p.object,
+               "rewritten:" + num_u64(p.shards_rewritten));
+        break;
+      }
+      case EventKind::kScrubCompleted: {
+        const auto& p = std::get<ScrubCompleted>(e.payload);
+        append(e.epoch, "archive.scrub", "",
+               "objects:" + num_u64(p.objects) +
+                   ",repaired:" + num_u64(p.shards_repaired) +
+                   ",unrecoverable:" + num_u64(p.unrecoverable));
+        break;
+      }
+      case EventKind::kOperationFailed: {
+        const auto& p = std::get<OperationFailed>(e.payload);
+        append(e.epoch, p.op, p.object,
+               std::string("failed:") + to_string(p.code));
+        break;
+      }
+      case EventKind::kMigrationProgress: {
+        // The cipher-suite trail: one record per object committed to a
+        // new generation under the run's stack.
+        const auto& p = std::get<MigrationProgress>(e.payload);
+        append(e.epoch, "archive.migrate." + p.op, p.object,
+               "done:" + num_u64(p.objects_done) + "/" +
+                   num_u64(p.objects_total));
+        break;
+      }
+      case EventKind::kMigrationCheckpoint: {
+        const auto& p = std::get<MigrationCheckpoint>(e.payload);
+        append(e.epoch, "archive.migrate.checkpoint", p.cursor,
+               std::string(p.complete ? "complete" : "partial") +
+                   ",done:" + num_u64(p.objects_done));
+        break;
+      }
+      case EventKind::kAlertRaised: {
+        const auto& p = std::get<AlertRaised>(e.payload);
+        append(e.epoch, "doctor.alert", p.rule, "raised");
+        break;
+      }
+      case EventKind::kAlertCleared: {
+        const auto& p = std::get<AlertCleared>(e.payload);
+        append(e.epoch, "doctor.alert", p.rule, "cleared");
+        break;
+      }
+      default:
+        break;  // data-plane noise stays out of the ledger
+    }
+  });
+}
+
+ChainVerdict AuditLedger::verify_chain() const {
+  ChainVerdict v;
+  Bytes running(kHashSize, 0);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const AuditRecord& rec = records_[i];
+    if (rec.seq != i) {
+      return {false, i, "seq " + num_u64(rec.seq) + " at index " +
+                            num_u64(i)};
+    }
+    if (rec.prev_hash != running)
+      return {false, i, "prev_hash of record " + num_u64(i) +
+                            " does not extend the chain"};
+    if (rec.entry_hash != rec.compute_hash())
+      return {false, i,
+              "record " + num_u64(i) + " content does not match its hash"};
+    running = rec.entry_hash;
+  }
+  if (head_ != running) {
+    const std::uint64_t last =
+        records_.empty() ? 0 : records_.size() - 1;
+    return {false, last, "stored head does not match the recomputed chain"};
+  }
+  return v;
+}
+
+Bytes AuditLedger::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const AuditRecord& rec : records_) {
+    w.u64(rec.seq);
+    w.bytes(rec.prev_hash);
+    w.u32(rec.epoch);
+    w.str(rec.op);
+    w.str(rec.object);
+    w.str(rec.outcome);
+    w.bytes(rec.entry_hash);
+  }
+  w.bytes(head_);
+  return std::move(w).take();
+}
+
+AuditLedger AuditLedger::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  AuditLedger ledger;
+  const std::uint32_t n = r.count(8 + 4 + kHashSize);
+  ledger.records_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AuditRecord rec;
+    rec.seq = r.u64();
+    rec.prev_hash = r.bytes();
+    rec.epoch = r.u32();
+    rec.op = r.str();
+    rec.object = r.str();
+    rec.outcome = r.str();
+    rec.entry_hash = r.bytes();
+    if (rec.prev_hash.size() != kHashSize ||
+        rec.entry_hash.size() != kHashSize)
+      throw ParseError("AuditLedger: hash field of record " + num_u64(i) +
+                           " has the wrong width",
+                       ErrorCode::kMalformedData);
+    ledger.records_.push_back(std::move(rec));
+  }
+  ledger.head_ = r.bytes();
+  if (ledger.head_.size() != kHashSize)
+    throw ParseError("AuditLedger: head hash has the wrong width",
+                     ErrorCode::kMalformedData);
+  r.expect_done();
+  return ledger;
+}
+
+}  // namespace aegis

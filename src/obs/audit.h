@@ -1,0 +1,116 @@
+// Tamper-evident audit ledger: the offline-verifiable record of who
+// touched what, when, and with what outcome.
+//
+// The paper's threat model spans decades — long after the operators who
+// ran a migration are gone, an auditor must still be able to establish
+// that the archive's mutation history is intact (ArchiveSafeLT and
+// LINCOS both make this trail central to long-term trust). Metrics and
+// events are in-process views; the ledger is the durable one: an
+// append-only sequence of records, each SHA-256 hash-chained to its
+// predecessor, serializable as a single blob a client stores out of
+// band next to the catalog export.
+//
+// Chain construction. Every record binds
+//     (seq, prev_hash, epoch, op, object, outcome)
+// and stores entry_hash = SHA-256 over exactly those fields; prev_hash
+// is the predecessor's entry_hash (zeros for the genesis record). The
+// ledger additionally tracks head() — the newest entry_hash — which an
+// auditor anchors externally (a notary, a newspaper, another archive).
+//
+// verify_chain() recomputes every hash offline and localizes the FIRST
+// record whose bytes no longer match the chain: flipping any single
+// byte of any field of record i (entry_hash and prev_hash included)
+// is reported as record i, because entry_hash covers every other field
+// of the record and the prev link covers the predecessor.
+//
+// Population: Observability attaches the ledger to its EventBus for the
+// control-plane events worth auditing (quarantines, repairs, scrubs,
+// renewals, migration progress, alerts, operation failures), and the
+// Archive appends explicit records from every mutating operation
+// (put / remove / rewrap / reencrypt / renew_timestamps). Single-
+// threaded by the control plane's contract, like the bus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "util/bytes.h"
+
+namespace aegis {
+
+class EventBus;
+
+/// One audit record. Plain data; entry_hash is stored (not implied) so
+/// a serialized ledger carries its own evidence.
+struct AuditRecord {
+  std::uint64_t seq = 0;
+  Bytes prev_hash;      // predecessor's entry_hash; 32 zero bytes for seq 0
+  Epoch epoch = 0;      // cluster virtual time at append
+  std::string op;       // e.g. "archive.put", "cluster.quarantine"
+  std::string object;   // object id / node id / rule name; may be empty
+  std::string outcome;  // e.g. "ok", "repaired:2", "failed:below-threshold"
+  Bytes entry_hash;     // SHA-256 over (seq, prev_hash, epoch, op, object,
+                        // outcome)
+
+  /// Recomputes the hash from the other fields (canonical serialization).
+  Bytes compute_hash() const;
+
+  /// One-line JSON rendering (for aegisctl / log pipelines).
+  std::string to_json() const;
+};
+
+/// Outcome of AuditLedger::verify_chain.
+struct ChainVerdict {
+  bool ok = true;
+  std::uint64_t first_bad = 0;  // index of the first tampered record
+  std::string reason;           // human-readable mismatch description
+
+  explicit operator bool() const { return ok; }
+};
+
+class AuditLedger {
+ public:
+  AuditLedger() = default;
+  AuditLedger(const AuditLedger&) = delete;
+  AuditLedger& operator=(const AuditLedger&) = delete;
+  AuditLedger(AuditLedger&&) = default;
+  AuditLedger& operator=(AuditLedger&&) = default;
+
+  /// Appends one record, chaining it to the current head. Returns it.
+  const AuditRecord& append(Epoch epoch, std::string op, std::string object,
+                            std::string outcome);
+
+  /// Subscribes to `bus` and appends a record for every audit-worthy
+  /// event (quarantine/restore, repair, scrub, chain renewal, migration
+  /// progress/checkpoints, alerts, operation failures). High-volume
+  /// data-plane events (ShardWritten, faults) are deliberately not
+  /// ledgered. Call at most once per bus.
+  void attach(EventBus& bus);
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// The newest entry_hash (32 zero bytes while empty) — the value an
+  /// auditor anchors externally.
+  const Bytes& head() const { return head_; }
+
+  /// Full offline re-verification: recomputes every entry_hash, checks
+  /// every prev link and seq, and checks the stored head. On failure,
+  /// first_bad names the first record whose bytes diverge from the
+  /// chain.
+  ChainVerdict verify_chain() const;
+
+  /// Wire format: every record plus the head hash. A deserialized
+  /// ledger is ready for verify_chain() and further appends.
+  Bytes serialize() const;
+  static AuditLedger deserialize(ByteView wire);
+
+ private:
+  std::vector<AuditRecord> records_;
+  Bytes head_ = Bytes(32, 0);
+};
+
+}  // namespace aegis

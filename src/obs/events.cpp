@@ -20,6 +20,8 @@ const char* to_string(EventKind k) {
     case EventKind::kEpochAdvanced: return "epoch-advanced";
     case EventKind::kMigrationProgress: return "migration-progress";
     case EventKind::kMigrationCheckpoint: return "migration-checkpoint";
+    case EventKind::kAlertRaised: return "alert-raised";
+    case EventKind::kAlertCleared: return "alert-cleared";
   }
   return "?";
 }

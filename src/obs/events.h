@@ -138,11 +138,28 @@ struct MigrationCheckpoint {
   bool complete = false;
 };
 
+/// The doctor's alert engine found a threshold rule newly firing.
+struct AlertRaised {
+  std::string rule;    // rule name, e.g. "scrub-corruption"
+  std::string metric;  // the metric (or summed metrics) evaluated
+  double value = 0;    // observed value (level or per-window delta)
+  double threshold = 0;
+};
+
+/// A previously raised alert rule fell back under its threshold.
+struct AlertCleared {
+  std::string rule;
+  std::string metric;
+  double value = 0;
+  double threshold = 0;
+};
+
 using EventPayload =
     std::variant<ShardWritten, ShardWriteFailed, RetryExhausted,
                  NodeQuarantined, NodeRestored, ChainRenewed, RepairCompleted,
                  ScrubCompleted, FaultInjected, OperationFailed, ProtocolRound,
-                 EpochAdvanced, MigrationProgress, MigrationCheckpoint>;
+                 EpochAdvanced, MigrationProgress, MigrationCheckpoint,
+                 AlertRaised, AlertCleared>;
 
 /// Order matches the EventPayload alternatives exactly.
 enum class EventKind : std::uint8_t {
@@ -160,6 +177,8 @@ enum class EventKind : std::uint8_t {
   kEpochAdvanced,
   kMigrationProgress,
   kMigrationCheckpoint,
+  kAlertRaised,
+  kAlertCleared,
 };
 
 inline constexpr std::size_t kEventKindCount =

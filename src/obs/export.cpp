@@ -1,0 +1,140 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+
+namespace aegis {
+
+namespace {
+
+// %g keeps integers clean (no trailing .000000) and doubles short —
+// matches MetricsSnapshot::to_json_lines.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string num_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& metric) {
+  std::string out = "aegis_";
+  out.reserve(metric.size() + out.size());
+  for (char c : metric) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const MetricsSnapshot::Entry& e : snap.entries) {
+    const std::string name = prometheus_name(e.name);
+    if (e.type == "histogram") {
+      out += "# TYPE " + name + " histogram\n";
+      // The registry stores per-bucket counts; Prometheus buckets are
+      // cumulative and always end with le="+Inf" == _count.
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+        cum += e.buckets[i];
+        out += name + "_bucket{le=\"";
+        out += i < e.bounds.size() ? num(e.bounds[i]) : "+Inf";
+        out += "\"} " + num_u64(cum) + "\n";
+      }
+      out += name + "_sum " + num(e.sum) + "\n";
+      out += name + "_count " + num(e.value) + "\n";
+    } else {
+      out += "# TYPE " + name + " " + e.type + "\n";
+      out += name + " " + num(e.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
+  // Synthetic microsecond timeline. Wall clocks are nondeterministic and
+  // virtual epochs too coarse, so the exporter reconstructs the span
+  // tree (parent links; ids are begin order) and lays it out as a
+  // bracket sequence — one clock tick per span entry and exit, children
+  // visited in id order. Children land strictly inside their parent and
+  // siblings are disjoint, so Perfetto renders exactly the recorded
+  // nesting; the real clocks ride along in "args". A span whose parent
+  // was evicted from the ring is promoted to a root.
+  std::map<std::uint64_t, std::size_t> by_id;
+  for (std::size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> children;
+  std::vector<std::uint64_t> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent != 0 && by_id.count(s.parent) > 0)
+      children[s.parent].push_back(s.id);
+    else
+      roots.push_back(s.id);
+  }
+  std::sort(roots.begin(), roots.end());
+  for (auto& [parent, kids] : children) std::sort(kids.begin(), kids.end());
+
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> interval;
+  std::uint64_t clock = 0;
+  const std::function<void(std::uint64_t)> layout = [&](std::uint64_t id) {
+    interval[id].first = clock++;
+    auto kids = children.find(id);
+    if (kids != children.end())
+      for (std::uint64_t child : kids->second) layout(child);
+    interval[id].second = clock++;
+  };
+  for (std::uint64_t root : roots) layout(root);
+
+  std::string out = "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    const auto [begin, end] = interval[s.id];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + json_escape(s.name) + "\",\"ph\":\"X\"";
+    out += ",\"ts\":" + num_u64(begin);
+    out += ",\"dur\":" + num_u64(end - begin);
+    out += ",\"pid\":1,\"tid\":1,\"args\":{";
+    out += "\"span_id\":" + num_u64(s.id);
+    out += ",\"parent\":" + num_u64(s.parent);
+    out += ",\"depth\":" + num_u64(s.depth);
+    out += ",\"epoch_begin\":" + num_u64(s.epoch_begin);
+    out += ",\"epoch_end\":" + num_u64(s.epoch_end);
+    out += ",\"wall_us\":" + num(s.wall_us);
+    for (const auto& [k, v] : s.attrs)
+      out += ",\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+    out += "}}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace aegis

@@ -1,0 +1,52 @@
+// Standard-format exporters for the observability planes.
+//
+// PR 3 built the in-process views (MetricsRegistry, Tracer); this file
+// renders them in the two formats operators actually scrape:
+//
+//   * Prometheus text exposition (version 0.0.4) from a MetricsSnapshot.
+//     Metric names mangle `layer.op.metric` -> `aegis_layer_op_metric`;
+//     histograms render the canonical `_bucket{le="..."}` / `_sum` /
+//     `_count` triple with CUMULATIVE bucket counts and a final
+//     `le="+Inf"` bucket equal to `_count` (the registry stores
+//     per-bucket counts; the exporter accumulates).
+//   * Chrome trace-event JSON ("X" complete events) from the Tracer's
+//     span ring, loadable in about://tracing or https://ui.perfetto.dev.
+//     Timestamps are synthesized deterministically by laying the span
+//     tree out as a bracket sequence (children in begin order, strictly
+//     inside their parent, siblings disjoint), so Perfetto renders the
+//     recorded nesting regardless of wall clock; the real clocks
+//     (virtual epochs, wall-clock us) ride along in "args".
+//
+// Both renderers are pure functions of a snapshot — no registry locks
+// held while formatting, and output for a given seed is byte-identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace aegis {
+
+/// `layer.op.metric` -> `aegis_layer_op_metric`. Registry names are
+/// already [a-z0-9._]; dots become underscores and the `aegis_`
+/// namespace prefix is added. A leading digit after the prefix is
+/// impossible (names cannot start with '.'), so the result is always a
+/// valid Prometheus metric name.
+std::string prometheus_name(const std::string& metric);
+
+/// Renders the whole snapshot in Prometheus text exposition format,
+/// `# TYPE` comment per family, families in snapshot (name) order.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Renders completed spans as a Chrome trace-event JSON array. Spans are
+/// emitted oldest-first; `pid` is 1 and `tid` is 1 (one control plane).
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+/// Escapes a string for embedding in a JSON double-quoted literal
+/// (backslash, quote, control characters). Shared by the exporters and
+/// the audit ledger's JSON rendering.
+std::string json_escape(const std::string& s);
+
+}  // namespace aegis

@@ -13,6 +13,7 @@
 #include <functional>
 #include <utility>
 
+#include "obs/audit.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -27,6 +28,9 @@ class Observability {
     // is safe because Observability is pinned (non-copyable, non-movable
     // — owners that must move hold it behind a unique_ptr).
     tracer_.set_epoch_source([this] { return epoch_; });
+    // The ledger hears every audit-worthy control-plane event; archive
+    // mutating ops append their own records on top.
+    ledger_.attach(events_);
   }
 
   Observability(const Observability&) = delete;
@@ -38,6 +42,8 @@ class Observability {
   const EventBus& events() const { return events_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  AuditLedger& ledger() { return ledger_; }
+  const AuditLedger& ledger() const { return ledger_; }
 
   /// The owner (the Cluster) pushes its virtual clock here whenever it
   /// ticks; all three views stamp from this value. Pushed rather than
@@ -57,6 +63,7 @@ class Observability {
   MetricsRegistry metrics_;
   EventBus events_;
   Tracer tracer_;
+  AuditLedger ledger_;
 };
 
 }  // namespace aegis

@@ -1,0 +1,395 @@
+// The doctor: alert-rule engine semantics (level vs delta, summed
+// metrics, raise/clear edges), epoch-sliced background scrubbing with a
+// durable cursor (resume on a fresh Doctor), the shared per-object core
+// keeping the synchronous scrub and the background path identical, and
+// the bandwidth-fraction throttle charging the virtual clock.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "archive/doctor.h"
+#include "crypto/chacha20.h"
+#include "obs/obs.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace aegis {
+namespace {
+
+struct Rig {
+  Cluster cluster;
+  SchemeRegistry registry;
+  ChaChaRng rng;
+  TimestampAuthority tsa;
+  Archive archive;
+
+  Rig(ArchivalPolicy policy, std::uint64_t seed = 1)
+      : cluster(policy.n, policy.channel, seed),
+        rng(seed),
+        tsa(rng),
+        archive(cluster, std::move(policy), registry, tsa, rng) {}
+};
+
+Bytes test_data(std::size_t size, std::uint64_t seed) {
+  SimRng rng(seed);
+  return rng.bytes(size);
+}
+
+// Flips one byte in the first stored shard of `id` found on any node.
+bool corrupt_one_shard(Rig& rig, const ObjectId& id) {
+  for (NodeId node = 0; node < rig.cluster.size(); ++node) {
+    for (const StoredBlob* blob : rig.cluster.node(node).all_blobs()) {
+      if (blob->object != id || blob->data.empty()) continue;
+      StoredBlob bad = *blob;
+      bad.data[0] ^= 0xff;
+      rig.cluster.node(node).put(bad);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Erases `count` distinct shards of `id` (across nodes).
+unsigned erase_shards(Rig& rig, const ObjectId& id, unsigned count) {
+  unsigned erased = 0;
+  for (NodeId node = 0; node < rig.cluster.size() && erased < count; ++node) {
+    std::vector<std::uint32_t> shards;
+    for (const StoredBlob* blob : rig.cluster.node(node).all_blobs())
+      if (blob->object == id) shards.push_back(blob->shard_index);
+    for (std::uint32_t s : shards) {
+      if (erased >= count) break;
+      rig.cluster.node(node).erase(id, s);
+      ++erased;
+    }
+  }
+  return erased;
+}
+
+// -------------------------------------------------------------- alert rules
+
+TEST(AlertEngine, LevelRuleRaisesAndClearsOnThresholdEdges) {
+  Observability obs;
+  Gauge& g = obs.metrics().gauge("archive.doctor.degraded_objects");
+  std::vector<std::string> log;
+  obs.events().subscribe([&](const Event& e) {
+    if (e.kind() == EventKind::kAlertRaised)
+      log.push_back("raise:" + std::get<AlertRaised>(e.payload).rule);
+    if (e.kind() == EventKind::kAlertCleared)
+      log.push_back("clear:" + std::get<AlertCleared>(e.payload).rule);
+  });
+
+  AlertEngine engine;
+  engine.add_rule({"under-replication",
+                   {"archive.doctor.degraded_objects"},
+                   AlertRule::Mode::kLevel,
+                   1.0});
+
+  auto eval = [&] { return engine.evaluate(obs.metrics().snapshot(), obs); };
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{0, 0}));
+  g.set(2);
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{1, 0}));
+  EXPECT_TRUE(engine.active("under-replication"));
+  // Still above: no duplicate raise.
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{0, 0}));
+  g.set(0);
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{0, 1}));
+  EXPECT_FALSE(engine.active("under-replication"));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "raise:under-replication");
+  EXPECT_EQ(log[1], "clear:under-replication");
+}
+
+TEST(AlertEngine, DeltaRuleArmsThenTracksGrowthAcrossSummedMetrics) {
+  Observability obs;
+  Counter& up = obs.metrics().counter("archive.io.upload_failures");
+  Counter& down = obs.metrics().counter("archive.io.download_failures");
+  up.inc(100);  // history before the engine ever looks
+
+  AlertEngine engine;
+  engine.add_rule({"retry-exhaustion",
+                   {"archive.io.upload_failures",
+                    "archive.io.download_failures"},
+                   AlertRule::Mode::kDelta,
+                   2.0});
+  auto eval = [&] { return engine.evaluate(obs.metrics().snapshot(), obs); };
+
+  // First evaluation only arms the baseline — history must not alert.
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{0, 0}));
+  EXPECT_FALSE(engine.active("retry-exhaustion"));
+  // Growth of 1 stays under threshold 2; growth across BOTH metrics sums.
+  up.inc(1);
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{0, 0}));
+  up.inc(1);
+  down.inc(1);
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{1, 0}));
+  // No growth this window: the rate alert clears.
+  EXPECT_EQ(eval(), (std::pair<unsigned, unsigned>{0, 1}));
+}
+
+TEST(AlertEngine, MissingMetricsCountAsZero) {
+  Observability obs;
+  AlertEngine engine;
+  engine.add_rule(
+      {"ghost", {"no.such.metric"}, AlertRule::Mode::kLevel, 1.0});
+  EXPECT_EQ(engine.evaluate(obs.metrics().snapshot(), obs),
+            (std::pair<unsigned, unsigned>{0, 0}));
+}
+
+// ------------------------------------------------------------- doctor state
+
+TEST(DoctorState, SerdeRoundTrip) {
+  DoctorState s;
+  s.cursor = "doc-17";
+  s.passes = 3;
+  s.objects_scanned = 123;
+  s.shards_repaired = 9;
+  s.unrecoverable = 1;
+  s.pass_objects = 7;
+  s.pass_repaired = 2;
+  s.pass_unrecoverable = 1;
+  const DoctorState r = DoctorState::deserialize(s.serialize());
+  EXPECT_EQ(r.cursor, s.cursor);
+  EXPECT_EQ(r.passes, s.passes);
+  EXPECT_EQ(r.objects_scanned, s.objects_scanned);
+  EXPECT_EQ(r.shards_repaired, s.shards_repaired);
+  EXPECT_EQ(r.unrecoverable, s.unrecoverable);
+  EXPECT_EQ(r.pass_objects, s.pass_objects);
+  EXPECT_EQ(r.pass_repaired, s.pass_repaired);
+  EXPECT_EQ(r.pass_unrecoverable, s.pass_unrecoverable);
+  EXPECT_THROW(DoctorState::deserialize(test_data(5, 1)), Error);
+}
+
+// ------------------------------------------------------------ doctor slices
+
+TEST(Doctor, SlicesThroughCatalogAndWrapsPass) {
+  ArchivalPolicy policy = ArchivalPolicy::FigErasure();
+  policy.scrub_batch = 2;
+  Rig rig(std::move(policy));
+  for (int i = 0; i < 5; ++i)
+    rig.archive.put("doc-" + std::to_string(i), test_data(800, 40 + i));
+
+  std::vector<ScrubCompleted> scrubs;
+  rig.cluster.obs().events().subscribe([&](const Event& e) {
+    if (e.kind() == EventKind::kScrubCompleted)
+      scrubs.push_back(std::get<ScrubCompleted>(e.payload));
+  });
+
+  Doctor doctor(rig.archive);
+  const DoctorStepReport s1 = doctor.step();
+  EXPECT_EQ(s1.scanned, 2u);
+  EXPECT_FALSE(s1.pass_completed);
+  EXPECT_EQ(doctor.state().cursor, "doc-1");
+  const DoctorStepReport s2 = doctor.step();
+  EXPECT_EQ(s2.scanned, 2u);
+  EXPECT_FALSE(s2.pass_completed);
+  const DoctorStepReport s3 = doctor.step();
+  EXPECT_EQ(s3.scanned, 1u);
+  EXPECT_TRUE(s3.pass_completed);
+  EXPECT_TRUE(doctor.state().cursor.empty());
+  EXPECT_EQ(doctor.state().passes, 1u);
+  EXPECT_EQ(doctor.state().objects_scanned, 5u);
+
+  // One ScrubCompleted per pass, with whole-pass totals.
+  ASSERT_EQ(scrubs.size(), 1u);
+  EXPECT_EQ(scrubs[0].objects, 5u);
+  EXPECT_EQ(scrubs[0].shards_repaired, 0u);
+  EXPECT_EQ(scrubs[0].unrecoverable, 0u);
+
+  // The next step starts pass 2 from the top.
+  const DoctorStepReport s4 = doctor.step();
+  EXPECT_EQ(s4.scanned, 2u);
+  EXPECT_EQ(doctor.state().cursor, "doc-1");
+}
+
+TEST(Doctor, DetectsRepairsAndAlertsOnBitRot) {
+  ArchivalPolicy policy = ArchivalPolicy::FigErasure();
+  policy.scrub_batch = 8;  // whole catalog per slice
+  Rig rig(std::move(policy));
+  const Bytes data = test_data(2000, 50);
+  for (int i = 0; i < 3; ++i)
+    rig.archive.put("doc-" + std::to_string(i), data);
+  Doctor doctor(rig.archive);
+  ASSERT_TRUE(corrupt_one_shard(rig, "doc-1"));
+
+  const DoctorStepReport s1 = doctor.step();
+  EXPECT_EQ(s1.scanned, 3u);
+  EXPECT_EQ(s1.damaged, 1u);
+  EXPECT_EQ(s1.shards_repaired, 1u);
+  EXPECT_EQ(s1.unrecoverable, 0u);
+  EXPECT_EQ(s1.alerts_raised, 1u);  // scrub-corruption (delta rule)
+  EXPECT_TRUE(doctor.alerts().active("scrub-corruption"));
+  EXPECT_EQ(doctor.degraded_count(), 0u);  // healed in the same slice
+  EXPECT_FALSE(doctor.alerts().active("under-replication"));
+  EXPECT_EQ(rig.archive.get("doc-1"), data);
+
+  // A quiet follow-up slice clears the rate alert.
+  const DoctorStepReport s2 = doctor.step();
+  EXPECT_EQ(s2.damaged, 0u);
+  EXPECT_EQ(s2.alerts_cleared, 1u);
+  EXPECT_FALSE(doctor.alerts().active("scrub-corruption"));
+
+  // The ledger carries the per-object trail: doc-1 repaired, alert
+  // raised and cleared, both scrub passes summarized.
+  const auto& records = rig.cluster.obs().ledger().records();
+  bool saw_repair = false, saw_raise = false, saw_clear = false;
+  for (const AuditRecord& r : records) {
+    if (r.op == "archive.scrub.object" && r.object == "doc-1" &&
+        r.outcome == "repaired:1")
+      saw_repair = true;
+    if (r.op == "doctor.alert" && r.object == "scrub-corruption")
+      (r.outcome == "raised" ? saw_raise : saw_clear) = true;
+  }
+  EXPECT_TRUE(saw_repair);
+  EXPECT_TRUE(saw_raise);
+  EXPECT_TRUE(saw_clear);
+  EXPECT_TRUE(rig.cluster.obs().ledger().verify_chain().ok);
+}
+
+TEST(Doctor, UnrecoverableObjectStaysDegradedAndRetries) {
+  ArchivalPolicy policy = ArchivalPolicy::FigErasure();  // RS(6, 9)
+  policy.scrub_batch = 4;
+  Rig rig(std::move(policy));
+  rig.archive.put("doc", test_data(1500, 60));
+  Doctor doctor(rig.archive);
+  // 4 of 9 shards gone: only 5 survive, below the k=6 threshold.
+  ASSERT_EQ(erase_shards(rig, "doc", 4), 4u);
+
+  const DoctorStepReport s1 = doctor.step();
+  EXPECT_EQ(s1.damaged, 1u);
+  EXPECT_EQ(s1.unrecoverable, 1u);
+  EXPECT_EQ(doctor.degraded_count(), 1u);
+  EXPECT_TRUE(doctor.alerts().active("under-replication"));
+  EXPECT_TRUE(doctor.alerts().active("scrub-corruption"));
+
+  // Retried every pass; the level alert holds while damage persists.
+  const DoctorStepReport s2 = doctor.step();
+  EXPECT_EQ(s2.unrecoverable, 1u);
+  EXPECT_TRUE(doctor.alerts().active("under-replication"));
+  EXPECT_EQ(doctor.state().unrecoverable, 2u);  // cumulative, both passes
+
+  // The object is still cataloged (an operator decision, not the
+  // doctor's) and the ledger shows the repeated failure.
+  EXPECT_EQ(rig.archive.manifests().count("doc"), 1u);
+  unsigned unrecoverable_records = 0;
+  for (const AuditRecord& r : rig.cluster.obs().ledger().records())
+    if (r.op == "archive.scrub.object" && r.outcome == "unrecoverable")
+      ++unrecoverable_records;
+  EXPECT_EQ(unrecoverable_records, 2u);
+}
+
+TEST(Doctor, CheckpointResumesCursorOnFreshDoctor) {
+  ArchivalPolicy policy = ArchivalPolicy::FigErasure();
+  policy.scrub_batch = 2;
+  Rig rig(std::move(policy));
+  for (int i = 0; i < 4; ++i)
+    rig.archive.put("doc-" + std::to_string(i), test_data(600, 70 + i));
+
+  std::vector<ScrubCompleted> scrubs;
+  rig.cluster.obs().events().subscribe([&](const Event& e) {
+    if (e.kind() == EventKind::kScrubCompleted)
+      scrubs.push_back(std::get<ScrubCompleted>(e.payload));
+  });
+
+  Bytes checkpoint;
+  {
+    Doctor doctor(rig.archive);
+    EXPECT_EQ(doctor.step().scanned, 2u);
+    checkpoint = doctor.checkpoint();
+  }  // the doctor dies mid-pass
+
+  Doctor resumed(rig.archive, DoctorState::deserialize(checkpoint));
+  EXPECT_EQ(resumed.state().cursor, "doc-1");
+  const DoctorStepReport s = resumed.step();
+  EXPECT_EQ(s.scanned, 2u);  // doc-2, doc-3 — no rescan of done objects
+  EXPECT_TRUE(s.pass_completed);
+  ASSERT_EQ(scrubs.size(), 1u);
+  EXPECT_EQ(scrubs[0].objects, 4u);  // whole-pass total spans the restart
+}
+
+TEST(Doctor, BandwidthFractionStretchesVirtualTime) {
+  auto run_pass = [](double frac) {
+    ArchivalPolicy policy = ArchivalPolicy::FigErasure();
+    policy.scrub_batch = 8;
+    policy.scrub_bandwidth_frac = frac;
+    Rig rig(std::move(policy), 7);
+    rig.archive.put("doc", test_data(4000, 80));
+    Doctor doctor(rig.archive);
+    EXPECT_TRUE(corrupt_one_shard(rig, "doc"));
+    const double before = rig.cluster.simulated_ms();
+    doctor.step();
+    return rig.cluster.simulated_ms() - before;
+  };
+  const double full = run_pass(1.0);
+  const double throttled = run_pass(0.25);
+  EXPECT_GT(full, 0.0);
+  // 25% bandwidth ≈ 4x the virtual time for the same repair work.
+  EXPECT_GT(throttled, full * 3.0);
+}
+
+// ------------------------------------------------- sync scrub shares the core
+
+TEST(Doctor, SynchronousScrubAndDoctorPassAreIdentical) {
+  auto build = [] {
+    ArchivalPolicy policy = ArchivalPolicy::FigErasure();
+    policy.scrub_batch = 16;
+    auto rig = std::make_unique<Rig>(std::move(policy), 9);
+    for (int i = 0; i < 3; ++i)
+      rig->archive.put("doc-" + std::to_string(i), test_data(900, 90 + i));
+    return rig;
+  };
+  auto scrub_records = [](const Rig& rig) {
+    std::vector<std::string> out;
+    for (const AuditRecord& r : rig.cluster.obs().ledger().records())
+      if (r.op == "archive.scrub.object")
+        out.push_back(r.object + "=" + r.outcome);
+    return out;
+  };
+
+  auto sync_rig = build();
+  auto doctor_rig = build();
+  ASSERT_TRUE(corrupt_one_shard(*sync_rig, "doc-1"));
+  ASSERT_TRUE(corrupt_one_shard(*doctor_rig, "doc-1"));
+
+  std::vector<ScrubCompleted> sync_events, doctor_events;
+  sync_rig->cluster.obs().events().subscribe([&](const Event& e) {
+    if (e.kind() == EventKind::kScrubCompleted)
+      sync_events.push_back(std::get<ScrubCompleted>(e.payload));
+  });
+  doctor_rig->cluster.obs().events().subscribe([&](const Event& e) {
+    if (e.kind() == EventKind::kScrubCompleted)
+      doctor_events.push_back(std::get<ScrubCompleted>(e.payload));
+  });
+
+  const ScrubReport report = sync_rig->archive.scrub();
+  Doctor doctor(doctor_rig->archive);
+  const DoctorStepReport step = doctor.step();
+  ASSERT_TRUE(step.pass_completed);
+
+  // Identical ScrubCompleted payloads from either entry point.
+  ASSERT_EQ(sync_events.size(), 1u);
+  ASSERT_EQ(doctor_events.size(), 1u);
+  EXPECT_EQ(sync_events[0].objects, doctor_events[0].objects);
+  EXPECT_EQ(sync_events[0].shards_repaired, doctor_events[0].shards_repaired);
+  EXPECT_EQ(sync_events[0].unrecoverable, doctor_events[0].unrecoverable);
+  EXPECT_EQ(report.objects, sync_events[0].objects);
+  EXPECT_EQ(report.shards_repaired, sync_events[0].shards_repaired);
+
+  // Identical per-object ledger trail and shared archive.scrub.* metrics.
+  EXPECT_EQ(scrub_records(*sync_rig), scrub_records(*doctor_rig));
+  const auto sync_snap = sync_rig->cluster.obs().metrics().snapshot();
+  const auto doc_snap = doctor_rig->cluster.obs().metrics().snapshot();
+  for (const char* metric :
+       {"archive.scrub.objects", "archive.scrub.corrupt",
+        "archive.scrub.repaired", "archive.scrub.unrecoverable"}) {
+    ASSERT_NE(sync_snap.find(metric), nullptr) << metric;
+    ASSERT_NE(doc_snap.find(metric), nullptr) << metric;
+    EXPECT_EQ(sync_snap.find(metric)->value, doc_snap.find(metric)->value)
+        << metric;
+  }
+}
+
+}  // namespace
+}  // namespace aegis

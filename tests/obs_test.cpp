@@ -12,6 +12,7 @@
 
 #include "archive/archive.h"
 #include "crypto/chacha20.h"
+#include "json_checker.h"
 #include "obs/obs.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -82,83 +83,8 @@ TEST(Metrics, NameAndTypeDiscipline) {
   EXPECT_THROW(reg.histogram("layer.op.metric"), InvalidArgument);
 }
 
-// A minimal JSON syntax checker: enough to prove exported lines are
-// well-formed objects without pulling in a JSON library.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-  bool valid() {
-    pos_ = 0;
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      default: return number_or_keyword();
-    }
-  }
-  bool object() {
-    ++pos_;  // {
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // [
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    for (;;) {
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool string() {
-    if (peek() != '"') return false;
-    for (++pos_; pos_ < s_.size(); ++pos_) {
-      if (s_[pos_] == '\\') { ++pos_; continue; }
-      if (s_[pos_] == '"') { ++pos_; return true; }
-    }
-    return false;
-  }
-  bool number_or_keyword() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.'))
-      ++pos_;
-    return pos_ > start;
-  }
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+// The JSON syntax checker lives in tests/json_checker.h (shared with
+// the exporter and doctor test binaries).
 
 TEST(Metrics, SnapshotJsonLinesWellFormedWithRequiredKeys) {
   MetricsRegistry reg;
